@@ -1,0 +1,68 @@
+// Command mdxbench regenerates the paper's evaluated artifacts: every
+// figure-level scenario (E1-E5), the comparative and scaling studies
+// (E6-E10), and the design ablations (A1-A2). Each experiment prints its
+// result tables and a PASS/FAIL verdict for the shape criterion documented
+// in DESIGN.md.
+//
+// Usage:
+//
+//	mdxbench            # run everything at full scale
+//	mdxbench -quick     # reduced sweeps (CI scale)
+//	mdxbench -exp E6    # one experiment
+//	mdxbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sr2201/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id to run (e.g. E4), or 'all'")
+		quick = flag.Bool("quick", false, "reduced sweep sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdxbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		r, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdxbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(r.String())
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mdxbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,180 @@
+// Command mdxsim runs one workload on a simulated SR2201 multi-dimensional
+// crossbar network (or a mesh/torus baseline) and reports throughput,
+// latency and contention.
+//
+// Examples:
+//
+//	mdxsim -shape 8x8 -load 0.1 -cycles 2000
+//	mdxsim -shape 4x4x4 -pattern transpose -load 0.05
+//	mdxsim -shape 8x8 -fault rtc:3,4 -load 0.08 -bcast 0.001
+//	mdxsim -shape 8x8 -topology mesh -pattern uniform -load 0.1
+//	mdxsim -shape 4x4 -naive-broadcast -bcast 0.01   # reproduces Fig. 5 deadlock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sr2201/internal/cliutil"
+	"sr2201/internal/core"
+	"sr2201/internal/engine"
+	"sr2201/internal/geom"
+	"sr2201/internal/meshnet"
+	"sr2201/internal/stats"
+	"sr2201/internal/traffic"
+)
+
+func main() {
+	var (
+		shapeStr = flag.String("shape", "8x8", "lattice shape, e.g. 8x8 or 4x4x4")
+		topology = flag.String("topology", "xbar", "xbar | mesh | torus | torus-novc")
+		pattern  = flag.String("pattern", "uniform", "uniform | transpose | bitreverse | shuffle | hotspot | ring | tree")
+		load     = flag.Float64("load", 0.05, "offered load, packets per PE per cycle")
+		bcast    = flag.Float64("bcast", 0, "broadcast rate, broadcasts per PE per cycle")
+		size     = flag.Int("packet", 8, "packet size in flits")
+		buffers  = flag.Int("buffers", 2, "input buffer depth in flits")
+		warmup   = flag.Int64("warmup", 500, "warmup cycles (not measured)")
+		cycles   = flag.Int64("cycles", 2000, "measured cycles")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		naive    = flag.Bool("naive-broadcast", false, "disable S-XB serialization (deadlock-prone, Fig. 5)")
+		sepDXB   = flag.String("dxb", "", "separate D-XB fixed coordinate (deadlock-prone, Fig. 9), e.g. 0,3")
+		topPorts = flag.Int("topports", 0, "print the N busiest network channels after the run")
+		faults   faultList
+	)
+	flag.Var(&faults, "fault", "fault spec rtc:X,Y or xb:DIM:X,Y (repeatable; xbar only)")
+	flag.Parse()
+
+	shape, err := cliutil.ParseShape(*shapeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var target traffic.Target
+	switch *topology {
+	case "xbar":
+		cfg := core.Config{
+			Shape:          shape,
+			NaiveBroadcast: *naive,
+			Engine:         engine.Config{BufferDepth: *buffers, LinkDelay: 1},
+		}
+		if *sepDXB != "" {
+			c, err := cliutil.ParseCoord(*sepDXB, shape.Dims())
+			if err != nil {
+				fatal(err)
+			}
+			cfg.DXB = c
+			cfg.DXBSeparate = true
+		}
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fs := range faults {
+			f, err := cliutil.ParseFault(fs, shape.Dims())
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.AddFault(f); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fault installed: %s (effective S-XB %v, D-XB %v)\n", f, m.Policy().EffectiveSXB(), m.Policy().EffectiveDXB())
+		}
+		target = m
+	case "mesh", "torus", "torus-novc":
+		if len(faults) > 0 {
+			fatal(fmt.Errorf("faults are supported on the crossbar only"))
+		}
+		kind := meshnet.Mesh
+		if *topology == "torus" {
+			kind = meshnet.Torus
+		} else if *topology == "torus-novc" {
+			kind = meshnet.TorusNoVC
+		}
+		n, err := meshnet.New(meshnet.Config{
+			Kind:   kind,
+			Shape:  shape,
+			Engine: engine.Config{BufferDepth: *buffers, LinkDelay: 1},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		target = n
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topology))
+	}
+
+	pat, err := pickPattern(*pattern, shape)
+	if err != nil {
+		fatal(err)
+	}
+
+	d := traffic.Driver{
+		M:             target,
+		Pattern:       pat,
+		Rate:          *load,
+		BroadcastRate: *bcast,
+		Size:          *size,
+		Seed:          *seed,
+		Warmup:        *warmup,
+		Measure:       *cycles,
+	}
+	res := d.Run()
+
+	fmt.Printf("topology=%s shape=%s pattern=%s load=%.3f bcast=%.4f packet=%d buffers=%d\n",
+		*topology, shape, pat.Name(), *load, *bcast, *size, *buffers)
+	fmt.Printf("offered packets:      %d\n", res.Offered)
+	fmt.Printf("delivered packets:    %d\n", res.Delivered)
+	if res.BroadcastCopies > 0 {
+		fmt.Printf("broadcast copies:     %d\n", res.BroadcastCopies)
+	}
+	fmt.Printf("accepted throughput:  %.4f pkts/PE/cycle\n", res.Throughput)
+	fmt.Printf("latency:              %s\n", res.Latency)
+	fmt.Printf("port conflicts:       %d\n", res.Conflicts)
+	fmt.Printf("source backlog:       %d flits\n", res.Backlog)
+	if *topPorts > 0 {
+		fmt.Println()
+		fmt.Print(stats.UtilizationTable(target.Engine(), *topPorts))
+	}
+	switch {
+	case res.Deadlocked:
+		fmt.Println("outcome:              DEADLOCK (cyclic wait confirmed)")
+		os.Exit(1)
+	case res.Drained:
+		fmt.Println("outcome:              drained")
+	default:
+		fmt.Println("outcome:              drain budget exceeded (network still moving)")
+	}
+}
+
+func pickPattern(name string, shape geom.Shape) (traffic.Pattern, error) {
+	switch name {
+	case "uniform":
+		return traffic.Uniform{Shape: shape}, nil
+	case "transpose":
+		return traffic.Transpose{Shape: shape}, nil
+	case "bitreverse":
+		return traffic.BitReverse{Shape: shape}, nil
+	case "shuffle":
+		return traffic.Shuffle{Shape: shape}, nil
+	case "hotspot":
+		return traffic.Hotspot{Shape: shape, Hot: geom.Coord{}, Fraction: 0.2}, nil
+	case "ring":
+		return traffic.RingNeighbor{Shape: shape}, nil
+	case "tree":
+		return traffic.TreeParent{Shape: shape}, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+// faultList collects repeated -fault flags.
+type faultList []string
+
+func (f *faultList) String() string     { return fmt.Sprint([]string(*f)) }
+func (f *faultList) Set(s string) error { *f = append(*f, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdxsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,118 @@
+// Command mdxtrace prints the hop-by-hop route of one packet or broadcast —
+// the static path computed by the routing policy and the dynamic trace from
+// the simulator — reproducing the paper's figure walkthroughs.
+//
+// Examples:
+//
+//	mdxtrace -shape 4x3 -src 0,0 -dst 2,2                  # Fig. 2-style X-Y route
+//	mdxtrace -shape 4x3 -src 0,0 -dst 2,2 -fault rtc:2,0   # Fig. 8 detour
+//	mdxtrace -shape 4x3 -src 3,2 -broadcast                # Fig. 6 broadcast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sr2201/internal/cliutil"
+	"sr2201/internal/core"
+	"sr2201/internal/trace"
+)
+
+func main() {
+	var (
+		shapeStr = flag.String("shape", "4x3", "lattice shape, e.g. 4x3")
+		srcStr   = flag.String("src", "0,0", "source PE coordinate")
+		dstStr   = flag.String("dst", "", "destination PE coordinate (point-to-point)")
+		bcast    = flag.Bool("broadcast", false, "trace a broadcast instead of a point-to-point packet")
+		sxbStr   = flag.String("sxb", "", "S-XB fixed coordinate (default all-zero line)")
+		faults   faultList
+	)
+	flag.Var(&faults, "fault", "fault spec rtc:X,Y or xb:DIM:X,Y (repeatable)")
+	flag.Parse()
+
+	shape, err := cliutil.ParseShape(*shapeStr)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := cliutil.ParseCoord(*srcStr, shape.Dims())
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{Shape: shape}
+	if *sxbStr != "" {
+		if cfg.SXB, err = cliutil.ParseCoord(*sxbStr, shape.Dims()); err != nil {
+			fatal(err)
+		}
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fs := range faults {
+		f, err := cliutil.ParseFault(fs, shape.Dims())
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.AddFault(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault installed: %s\n", f)
+	}
+	fmt.Printf("effective S-XB: %v   effective D-XB: %v\n\n", m.Policy().EffectiveSXB(), m.Policy().EffectiveDXB())
+
+	rec := trace.Attach(m.Engine())
+
+	var id uint64
+	if *bcast {
+		tree, err := m.Policy().BroadcastTree(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("static broadcast tree from %v: %d PEs, depth %d, %d element traversals\n\n",
+			src, len(tree.Delivered), tree.Depth, tree.Elements)
+		id, _, err = m.Broadcast(src, 4)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *dstStr == "" {
+			fatal(fmt.Errorf("need -dst or -broadcast"))
+		}
+		dst, err := cliutil.ParseCoord(*dstStr, shape.Dims())
+		if err != nil {
+			fatal(err)
+		}
+		path, err := m.Policy().UnicastPath(src, dst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("static route %v -> %v (%d elements):\n", src, dst, len(path))
+		for i, h := range path {
+			fmt.Printf("  step %2d: %s\n", i+1, h)
+		}
+		fmt.Println()
+		id, err = m.Send(src, dst, 4)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	out := m.Run(100_000)
+	fmt.Print(rec.Format(id))
+	fmt.Printf("\ndeliveries: %d", len(m.Deliveries()))
+	if !out.Drained {
+		fmt.Printf("   OUTCOME: %+v", out)
+	}
+	fmt.Println()
+}
+
+type faultList []string
+
+func (f *faultList) String() string     { return fmt.Sprint([]string(*f)) }
+func (f *faultList) Set(s string) error { *f = append(*f, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdxtrace:", err)
+	os.Exit(2)
+}

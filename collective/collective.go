@@ -1,0 +1,51 @@
+// Package collective exposes the communication collectives built on the
+// simulated SR2201 interconnect: barrier, reduce, broadcast, allreduce,
+// gather, scatter and all-to-all. All operations are fault-aware — PEs
+// behind a faulty relay switch are excluded and tree schedules are rebuilt
+// over the survivors. See the internal implementation for scheduling
+// details.
+package collective
+
+import (
+	"sr2201"
+	impl "sr2201/internal/collective"
+)
+
+// Result summarizes one collective operation.
+type Result = impl.Result
+
+// Reduce runs a binary-tree reduction of one value per PE to root.
+func Reduce(m *sr2201.Machine, root sr2201.Coord, size int) (Result, error) {
+	return impl.Reduce(m, root, size)
+}
+
+// Broadcast distributes one value from root to every live PE using the
+// hardware broadcast facility.
+func Broadcast(m *sr2201.Machine, root sr2201.Coord, size int) (Result, error) {
+	return impl.Broadcast(m, root, size)
+}
+
+// Allreduce reduces to root and broadcasts the result back.
+func Allreduce(m *sr2201.Machine, root sr2201.Coord, size int) (Result, error) {
+	return impl.Allreduce(m, root, size)
+}
+
+// Barrier synchronizes every live PE.
+func Barrier(m *sr2201.Machine, root sr2201.Coord) (Result, error) {
+	return impl.Barrier(m, root)
+}
+
+// Gather collects one packet from every live PE at root.
+func Gather(m *sr2201.Machine, root sr2201.Coord, size int) (Result, error) {
+	return impl.Gather(m, root, size)
+}
+
+// Scatter distributes a distinct packet from root to every live PE.
+func Scatter(m *sr2201.Machine, root sr2201.Coord, size int) (Result, error) {
+	return impl.Scatter(m, root, size)
+}
+
+// AllToAll exchanges one packet between every ordered pair of live PEs.
+func AllToAll(m *sr2201.Machine, size int) (Result, error) {
+	return impl.AllToAll(m, size)
+}

@@ -1,0 +1,62 @@
+package collective_test
+
+import (
+	"testing"
+
+	"sr2201"
+	"sr2201/collective"
+)
+
+func TestPublicCollectives(t *testing.T) {
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: sr2201.MustShape(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := sr2201.Coord{0, 0}
+
+	res, err := collective.Allreduce(m, root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 16 || res.Copies != 16 || res.Messages != 15 {
+		t.Errorf("allreduce = %+v", res)
+	}
+
+	if res, err = collective.Barrier(m, root); err != nil || res.Copies != 16 {
+		t.Errorf("barrier = %+v, %v", res, err)
+	}
+	if res, err = collective.Gather(m, root, 0); err != nil || res.Messages != 15 {
+		t.Errorf("gather = %+v, %v", res, err)
+	}
+	if res, err = collective.Scatter(m, root, 0); err != nil || res.Messages != 15 {
+		t.Errorf("scatter = %+v, %v", res, err)
+	}
+	if res, err = collective.Reduce(m, root, 0); err != nil || res.Messages != 15 {
+		t.Errorf("reduce = %+v, %v", res, err)
+	}
+	if res, err = collective.Broadcast(m, root, 0); err != nil || res.Copies != 16 {
+		t.Errorf("broadcast = %+v, %v", res, err)
+	}
+	if res, err = collective.AllToAll(m, 2); err != nil || res.Messages != 240 {
+		t.Errorf("alltoall = %+v, %v", res, err)
+	}
+}
+
+// Collectives survive a network fault through the detour facility: with a
+// faulty router the operations run over the 15 survivors.
+func TestPublicCollectivesWithFault(t *testing.T) {
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: sr2201.MustShape(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFault(sr2201.RouterFault(sr2201.Coord{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := collective.Allreduce(m, sr2201.Coord{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 15 || res.Copies != 15 {
+		t.Errorf("faulted allreduce = %+v", res)
+	}
+}

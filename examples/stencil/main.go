@@ -1,0 +1,69 @@
+// Stencil: the halo exchange of a 2D Jacobi iteration mapped onto the MD
+// crossbar — the "conflict-free remapping" use case of the paper's Section 3.
+// Every PE owns a tile and exchanges boundary rows/columns with its four
+// mesh neighbors each iteration; on the crossbar every exchange gets a
+// dedicated switch path, so iterations complete in near-constant time
+// regardless of machine size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sr2201"
+)
+
+// iteration performs one halo exchange (4 neighbor sends per interior PE)
+// and returns the cycles it took and the switch conflicts it generated.
+func iteration(m *sr2201.Machine, haloFlits int) (int64, int64) {
+	shape := m.Shape()
+	start := m.Cycle()
+	shape.Enumerate(func(c sr2201.Coord) bool {
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nb := sr2201.Coord{c[0] + d[0], c[1] + d[1]}
+			if !shape.Contains(nb) {
+				continue
+			}
+			if _, err := m.Send(c, nb, haloFlits); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return true
+	})
+	out := m.Run(1_000_000)
+	if !out.Drained {
+		log.Fatalf("halo exchange wedged: %+v", out)
+	}
+	var conflicts int64
+	for _, sw := range m.Engine().Switches() {
+		for _, op := range sw.Out {
+			conflicts += op.ConflictCycles
+		}
+	}
+	return m.Cycle() - start, conflicts
+}
+
+func main() {
+	const haloFlits = 16
+	fmt.Printf("2D Jacobi halo exchange on the MD crossbar (%d-flit halos)\n\n", haloFlits)
+	fmt.Printf("%-8s  %6s  %16s  %18s\n", "shape", "PEs", "cycles/iteration", "conflicts (total)")
+	for _, extents := range [][]int{{4, 4}, {8, 8}, {16, 16}} {
+		shape := sr2201.MustShape(extents...)
+		m, err := sr2201.NewMachine(sr2201.Config{Shape: shape})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total int64
+		var conflicts int64
+		const iters = 5
+		for i := 0; i < iters; i++ {
+			cyc, conf := iteration(m, haloFlits)
+			total += cyc
+			conflicts = conf
+		}
+		fmt.Printf("%-8s  %6d  %13.1f  %18d\n", shape, shape.Size(), float64(total)/iters, conflicts)
+	}
+	fmt.Println("\nper-iteration time stays flat as the machine grows: neighbor exchanges map")
+	fmt.Println("onto disjoint crossbar paths (the paper's remapping claim); the remaining")
+	fmt.Println("conflicts are the inherent 2:1 convergences of opposite halos at each PE.")
+}

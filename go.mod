@@ -1,0 +1,3 @@
+module sr2201
+
+go 1.22

@@ -1,0 +1,411 @@
+// Package cdg builds and checks the static channel dependency graph (CDG)
+// of a routing configuration — the Dally–Seitz criterion the paper's
+// Section 5 argument rests on: deterministic cut-through routing is
+// deadlock-free if the "holds channel u, waits for channel v" relation over
+// network channels is acyclic.
+//
+// Channels are the output ports of routers and crossbars. Edges come from:
+//
+//   - every point-to-point class (all source/destination pairs, including
+//     detoured routes): consecutive channels on the path;
+//   - every broadcast request leg (source to S-XB): consecutive channels;
+//   - the broadcast fan tree. Because the S-XB serializes broadcasts, at
+//     most one fan is ever mid-acquisition (paper Section 3.2; verified
+//     dynamically by experiments E1/E8), so the whole tree behaves as one
+//     composite resource: the analyzer contracts all tree channels into a
+//     single node. An edge out of the contracted node into a channel that
+//     can lead back into it is exactly the Fig. 9 cyclic wait.
+//
+// With NaiveBroadcast (no serialization) the contraction is unsound;
+// instead the analyzer reports the hazard directly: two simultaneous fans
+// whose trees share two or more channels can acquire them in opposite
+// orders (paper Fig. 5).
+package cdg
+
+import (
+	"fmt"
+	"sort"
+
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+	"sr2201/internal/routing"
+)
+
+// Channel identifies one directed network channel: the out-port of a router
+// or crossbar.
+type Channel struct {
+	// Router is true for a relay-switch channel; false for a crossbar.
+	Router bool
+	// Coord locates a router channel; Line a crossbar channel.
+	Coord geom.Coord
+	Line  geom.Line
+	// Out is the output port index.
+	Out int
+}
+
+// String renders the channel, e.g. "RTC(1,2).out0" or "XB0(0,1).out2".
+func (c Channel) String() string {
+	if c.Router {
+		return fmt.Sprintf("RTC%s.out%d", c.Coord, c.Out)
+	}
+	return fmt.Sprintf("XB%d%s.out%d", c.Line.Dim, c.Line.Fixed, c.Out)
+}
+
+// Result is the analyzer's verdict.
+type Result struct {
+	// Channels and Edges count the contracted graph.
+	Channels, Edges int
+	// Acyclic reports whether the dependency graph has no cycle — the
+	// sufficient condition for deadlock freedom.
+	Acyclic bool
+	// Cycle names the channels of one dependency cycle when !Acyclic. The
+	// contracted broadcast tree appears as "BROADCAST-TREE".
+	Cycle []string
+	// NaiveHazard reports the unserialized-broadcast hazard (Fig. 5): two
+	// fan trees overlapping on two or more channels.
+	NaiveHazard bool
+	// SharedFanChannels counts the overlap behind NaiveHazard.
+	SharedFanChannels int
+}
+
+// treeNode is the contracted broadcast-tree vertex id marker.
+const treeName = "BROADCAST-TREE"
+
+// Analyze builds the CDG for the policy over the given shape and checks it.
+// naive selects the unserialized broadcast analysis. Sources for broadcasts
+// default to every healthy PE.
+func Analyze(p *routing.Policy, shape geom.Shape, naive bool) (Result, error) {
+	b := newBuilder()
+
+	// Point-to-point classes: every reachable pair contributes its path;
+	// with the pivot extension enabled, otherwise-unreachable pairs
+	// contribute their two-phase route.
+	shape.Enumerate(func(src geom.Coord) bool {
+		shape.Enumerate(func(dst geom.Coord) bool {
+			path, err := p.UnicastPath(src, dst)
+			if err != nil {
+				if !p.PivotEnabled() {
+					return true // unreachable pairs contribute no dependencies
+				}
+				path, err = p.PivotPath(src, dst)
+				if err != nil {
+					return true
+				}
+			}
+			b.addPath(channelsOf(path))
+			return true
+		})
+		return true
+	})
+
+	if naive {
+		return b.analyzeNaive(p, shape)
+	}
+	return b.analyzeSerialized(p, shape)
+}
+
+// channelsOf converts a hop path into its channel sequence.
+func channelsOf(path []routing.Hop) []Channel {
+	var out []Channel
+	for _, h := range path {
+		switch h.Kind {
+		case routing.HopRouter:
+			out = append(out, Channel{Router: true, Coord: h.Coord, Out: h.Out})
+		case routing.HopXB:
+			out = append(out, Channel{Line: h.Line, Out: h.Out})
+		}
+	}
+	return out
+}
+
+// builder accumulates the raw channel graph.
+type builder struct {
+	ids   map[Channel]int
+	names []string
+	adj   map[int]map[int]bool
+}
+
+func newBuilder() *builder {
+	return &builder{ids: map[Channel]int{}, adj: map[int]map[int]bool{}}
+}
+
+func (b *builder) id(c Channel) int {
+	if v, ok := b.ids[c]; ok {
+		return v
+	}
+	v := len(b.names)
+	b.ids[c] = v
+	b.names = append(b.names, c.String())
+	return v
+}
+
+func (b *builder) addEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = map[int]bool{}
+	}
+	b.adj[u][v] = true
+}
+
+func (b *builder) addPath(cs []Channel) {
+	for i := 1; i < len(cs); i++ {
+		b.addEdge(b.id(cs[i-1]), b.id(cs[i]))
+	}
+}
+
+// broadcastChannels replays the policy's broadcast decisions from src and
+// returns the request-leg channel sequence and the fan-tree channel set
+// (channels carrying RC=broadcast), with parent->child tree edges.
+func broadcastChannels(p *routing.Policy, shape geom.Shape, src geom.Coord, naive bool) (request []Channel, tree []Channel, treeEdges [][2]Channel, err error) {
+	type node struct {
+		atRouter bool
+		coord    geom.Coord
+		line     geom.Line
+		in       int
+		h        *flit.Header
+		parent   *Channel
+	}
+	rc := flit.RCBroadcastRequest
+	if naive {
+		rc = flit.RCBroadcast
+	}
+	dims := shape.Dims()
+	queue := []node{{atRouter: true, coord: src, in: dims, h: &flit.Header{Src: src, BroadcastOrigin: src, RC: rc}}}
+	seen := map[Channel]bool{}
+	limit := shape.Size()*(dims+2)*4 + 64
+	steps := 0
+	for len(queue) > 0 {
+		if steps++; steps > limit {
+			return nil, nil, nil, fmt.Errorf("cdg: broadcast walk from %v exceeded %d steps", src, limit)
+		}
+		nd := queue[0]
+		queue = queue[1:]
+		var outs []int
+		var transform func(*flit.Header) *flit.Header
+		var derr error
+		if nd.atRouter {
+			dec, e := p.RouteRouter(nil, nd.coord, nd.in, nd.h)
+			outs, transform, derr = dec.Outs, dec.Transform, e
+		} else {
+			dec, e := p.RouteXB(nil, nd.line, nd.in, nd.h)
+			outs, transform, derr = dec.Outs, dec.Transform, e
+		}
+		if derr != nil {
+			if nd.h.RC == flit.RCBroadcastRequest {
+				return nil, nil, nil, derr
+			}
+			continue // dead fan branch (over-faulted network)
+		}
+		for _, out := range outs {
+			var ch Channel
+			if nd.atRouter {
+				ch = Channel{Router: true, Coord: nd.coord, Out: out}
+			} else {
+				ch = Channel{Line: nd.line, Out: out}
+			}
+			h := nd.h
+			if transform != nil {
+				h = transform(h)
+			}
+			if h.RC == flit.RCBroadcastRequest {
+				request = append(request, ch)
+			} else if !seen[ch] {
+				seen[ch] = true
+				tree = append(tree, ch)
+				if nd.parent != nil {
+					treeEdges = append(treeEdges, [2]Channel{*nd.parent, ch})
+				} else if len(request) > 0 {
+					treeEdges = append(treeEdges, [2]Channel{request[len(request)-1], ch})
+				}
+			}
+			// Descend unless this was a PE delivery port.
+			if nd.atRouter && out == dims {
+				continue
+			}
+			chCopy := ch
+			if nd.atRouter {
+				queue = append(queue, node{
+					line:   geom.LineOf(nd.coord, out),
+					in:     nd.coord[out],
+					h:      h,
+					parent: &chCopy,
+				})
+			} else {
+				queue = append(queue, node{
+					atRouter: true,
+					coord:    nd.line.Point(out),
+					in:       nd.line.Dim,
+					h:        h,
+					parent:   &chCopy,
+				})
+			}
+		}
+	}
+	return request, tree, treeEdges, nil
+}
+
+// analyzeSerialized adds the request legs and the contracted fan tree, then
+// searches for cycles.
+func (b *builder) analyzeSerialized(p *routing.Policy, shape geom.Shape) (Result, error) {
+	// The tree node.
+	treeID := len(b.names)
+	b.names = append(b.names, treeName)
+	members := map[int]bool{}
+
+	shape.Enumerate(func(src geom.Coord) bool {
+		req, tree, _, err := broadcastChannels(p, shape, src, false)
+		if err != nil {
+			return true // sources that cannot broadcast contribute nothing
+		}
+		b.addPath(req)
+		if len(req) > 0 && len(tree) > 0 {
+			b.addEdge(b.id(req[len(req)-1]), treeID)
+		}
+		for _, c := range tree {
+			members[b.id(c)] = true
+		}
+		return true
+	})
+
+	// Contract: redirect edges touching members onto treeID.
+	contracted := map[int]map[int]bool{}
+	redirect := func(v int) int {
+		if members[v] {
+			return treeID
+		}
+		return v
+	}
+	edges := 0
+	for u, vs := range b.adj {
+		cu := redirect(u)
+		for v := range vs {
+			cv := redirect(v)
+			if cu == cv {
+				continue
+			}
+			if contracted[cu] == nil {
+				contracted[cu] = map[int]bool{}
+			}
+			if !contracted[cu][cv] {
+				contracted[cu][cv] = true
+				edges++
+			}
+		}
+	}
+
+	res := Result{Channels: len(b.names) - len(members), Edges: edges}
+	cycle := findCycle(contracted, b.names)
+	res.Acyclic = cycle == nil
+	res.Cycle = cycle
+	return res, nil
+}
+
+// analyzeNaive checks the unserialized hazard: two distinct sources whose
+// fan trees overlap on >= 2 channels can deadlock by acquiring them in
+// opposite orders. It also still reports unicast-graph cycles.
+func (b *builder) analyzeNaive(p *routing.Policy, shape geom.Shape) (Result, error) {
+	var trees [][]Channel
+	shape.Enumerate(func(src geom.Coord) bool {
+		_, tree, _, err := broadcastChannels(p, shape, src, true)
+		if err == nil && len(tree) > 0 {
+			trees = append(trees, tree)
+		}
+		return len(trees) < 8 // a handful of representatives suffice
+	})
+	res := Result{Channels: len(b.names)}
+	for i := 0; i < len(trees) && !res.NaiveHazard; i++ {
+		set := map[Channel]bool{}
+		for _, c := range trees[i] {
+			set[c] = true
+		}
+		for j := i + 1; j < len(trees); j++ {
+			shared := 0
+			for _, c := range trees[j] {
+				if set[c] {
+					shared++
+				}
+			}
+			if shared >= 2 {
+				res.NaiveHazard = true
+				res.SharedFanChannels = shared
+				break
+			}
+		}
+	}
+	for _, vs := range b.adj {
+		res.Edges += len(vs)
+	}
+	cycle := findCycle(b.adj, b.names)
+	res.Acyclic = cycle == nil && !res.NaiveHazard
+	res.Cycle = cycle
+	return res, nil
+}
+
+// findCycle runs an iterative DFS over the graph and returns the names of
+// one cycle's vertices, or nil.
+func findCycle(adj map[int]map[int]bool, names []string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	parent := map[int]int{}
+	var cycleAt = -1
+
+	var nodes []int
+	for u := range adj {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		var targets []int
+		for v := range adj[u] {
+			targets = append(targets, v)
+		}
+		sort.Ints(targets)
+		for _, v := range targets {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				parent[v] = u
+				cycleAt = v
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range nodes {
+		if color[u] == white {
+			if dfs(u) {
+				break
+			}
+		}
+	}
+	if cycleAt < 0 {
+		return nil
+	}
+	var cyc []string
+	cur := cycleAt
+	for {
+		cyc = append(cyc, names[cur])
+		cur = parent[cur]
+		if cur == cycleAt {
+			break
+		}
+	}
+	for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+		cyc[i], cyc[j] = cyc[j], cyc[i]
+	}
+	return cyc
+}

@@ -1,0 +1,76 @@
+// Package cliutil parses the small textual formats the command-line tools
+// share: shapes ("8x8"), coordinates ("2,1"), and fault specifications
+// ("rtc:2,1" or "xb:0:0,1").
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+// ParseShape parses "n1xn2x..." into a Shape, e.g. "8x8" or "4x4x4".
+func ParseShape(s string) (geom.Shape, error) {
+	parts := strings.Split(s, "x")
+	extents := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad shape %q: %v", s, err)
+		}
+		extents = append(extents, v)
+	}
+	return geom.NewShape(extents...)
+}
+
+// ParseCoord parses "2,1" (dimensionality dims) into a Coord.
+func ParseCoord(s string, dims int) (geom.Coord, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		return geom.Coord{}, fmt.Errorf("cliutil: coordinate %q needs %d components", s, dims)
+	}
+	var c geom.Coord
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return geom.Coord{}, fmt.Errorf("cliutil: bad coordinate %q: %v", s, err)
+		}
+		c[i] = v
+	}
+	return c, nil
+}
+
+// ParseFault parses a fault specification:
+//
+//	rtc:X,Y      a faulty relay switch at the coordinate
+//	xb:DIM:X,Y   a faulty crossbar — the dim-DIM line through the coordinate
+func ParseFault(s string, dims int) (fault.Fault, error) {
+	switch {
+	case strings.HasPrefix(s, "rtc:"):
+		c, err := ParseCoord(strings.TrimPrefix(s, "rtc:"), dims)
+		if err != nil {
+			return fault.Fault{}, err
+		}
+		return fault.RouterFault(c), nil
+	case strings.HasPrefix(s, "xb:"):
+		rest := strings.TrimPrefix(s, "xb:")
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return fault.Fault{}, fmt.Errorf("cliutil: crossbar fault %q needs xb:DIM:COORD", s)
+		}
+		dim, err := strconv.Atoi(rest[:colon])
+		if err != nil || dim < 0 || dim >= dims {
+			return fault.Fault{}, fmt.Errorf("cliutil: bad crossbar dimension in %q", s)
+		}
+		c, err := ParseCoord(rest[colon+1:], dims)
+		if err != nil {
+			return fault.Fault{}, err
+		}
+		return fault.XBFault(geom.LineOf(c, dim)), nil
+	default:
+		return fault.Fault{}, fmt.Errorf("cliutil: fault %q must start with rtc: or xb:", s)
+	}
+}

@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+func TestParseShape(t *testing.T) {
+	s, err := ParseShape("4x3")
+	if err != nil || s.Dims() != 2 || s[0] != 4 || s[1] != 3 {
+		t.Errorf("ParseShape(4x3) = %v, %v", s, err)
+	}
+	if _, err := ParseShape("4xq"); err == nil {
+		t.Error("bad shape accepted")
+	}
+	if _, err := ParseShape("4x0"); err == nil {
+		t.Error("zero extent accepted")
+	}
+	s, err = ParseShape(" 2x3x4 ")
+	if err != nil || s.Dims() != 3 {
+		t.Errorf("whitespace shape = %v, %v", s, err)
+	}
+}
+
+func TestParseCoord(t *testing.T) {
+	c, err := ParseCoord("2,1", 2)
+	if err != nil || c != (geom.Coord{2, 1}) {
+		t.Errorf("ParseCoord = %v, %v", c, err)
+	}
+	if _, err := ParseCoord("2", 2); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := ParseCoord("2,x", 2); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	f, err := ParseFault("rtc:2,1", 2)
+	if err != nil || f.Kind != fault.KindRouter || f.Coord != (geom.Coord{2, 1}) {
+		t.Errorf("rtc fault = %+v, %v", f, err)
+	}
+	f, err = ParseFault("xb:1:3,0", 2)
+	if err != nil || f.Kind != fault.KindXB || f.Line.Dim != 1 || f.Line.Fixed != (geom.Coord{3, 0}) {
+		t.Errorf("xb fault = %+v, %v", f, err)
+	}
+	for _, bad := range []string{"nope:1,1", "xb:9:0,0", "xb:0,0", "rtc:a,b", "xb:q:0,0"} {
+		if _, err := ParseFault(bad, 2); err == nil {
+			t.Errorf("bad fault %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package cliutil
+
+import (
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+// FuzzParseFault: arbitrary fault specs must never panic, and accepted
+// specs must produce in-shape faults.
+func FuzzParseFault(f *testing.F) {
+	for _, seed := range []string{"rtc:2,1", "xb:0:0,1", "xb:1:3,0", "rtc:", "xb::", "junk", "rtc:9,9", "xb:7:1,1", "rtc:-1,-1"} {
+		f.Add(seed)
+	}
+	shape := geom.MustShape(4, 3)
+	f.Fuzz(func(t *testing.T, s string) {
+		flt, err := ParseFault(s, shape.Dims())
+		if err != nil {
+			return
+		}
+		// Accepted faults must be addable to a set (i.e., in shape) or be
+		// rejected there with a clean error — never panic.
+		set := fault.NewSet(shape)
+		_ = set.Add(flt)
+	})
+}
+
+// FuzzParseShape: arbitrary shape strings must never panic; accepted shapes
+// have positive extents.
+func FuzzParseShape(f *testing.F) {
+	for _, seed := range []string{"4x3", "8x8x8", "x", "0x0", "1", "2x-3", "999999999999999999999x2"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		shape, err := ParseShape(s)
+		if err != nil {
+			return
+		}
+		if shape.Size() < 1 {
+			t.Fatalf("accepted shape %q has size %d", s, shape.Size())
+		}
+	})
+}

@@ -1,0 +1,293 @@
+// Package collective implements the communication collectives that
+// large-scale numerical applications — the paper's motivating workloads —
+// run on the SR2201 interconnect: barrier, reduce, broadcast, allreduce,
+// gather, scatter and all-to-all.
+//
+// Each collective is a synchronous schedule of point-to-point sends and
+// hardware broadcasts: a sequence of waves, each drained to completion
+// before the next starts (the barrier an MPI-style runtime would impose).
+// All collectives are fault-aware: PEs whose relay switch is faulty are
+// excluded, and tree schedules are rebuilt over the surviving PEs, so a
+// single network fault degrades a collective by exactly one participant —
+// the operational continuity the paper's facility is for.
+package collective
+
+import (
+	"fmt"
+
+	"sr2201/internal/core"
+	"sr2201/internal/geom"
+)
+
+// waveBudget bounds each drained wave.
+const waveBudget = 2_000_000
+
+// Result summarizes one collective operation.
+type Result struct {
+	// Cycles is the simulated time the operation took (injection of the
+	// first wave to drain of the last).
+	Cycles int64
+	// Messages counts point-to-point packets sent.
+	Messages int
+	// Copies counts broadcast copies delivered.
+	Copies int
+	// Participants is the number of live PEs included.
+	Participants int
+	// Waves is the number of drained phases.
+	Waves int
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("cycles=%d messages=%d copies=%d participants=%d waves=%d",
+		r.Cycles, r.Messages, r.Copies, r.Participants, r.Waves)
+}
+
+// op drives a schedule against a quiescent machine.
+type op struct {
+	m     *core.Machine
+	res   Result
+	start int64
+	err   error
+}
+
+func begin(m *core.Machine) (*op, error) {
+	if !m.Engine().Quiescent() {
+		return nil, fmt.Errorf("collective: machine must be quiescent")
+	}
+	return &op{m: m, start: m.Cycle()}, nil
+}
+
+// alive lists live PEs in index order.
+func alive(m *core.Machine) []geom.Coord {
+	var out []geom.Coord
+	m.Shape().Enumerate(func(c geom.Coord) bool {
+		if m.Alive(c) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// send queues one point-to-point packet within the current wave.
+func (o *op) send(src, dst geom.Coord, size int) {
+	if o.err != nil || src == dst {
+		return
+	}
+	if _, err := o.m.Send(src, dst, size); err != nil {
+		o.err = fmt.Errorf("collective: %v -> %v: %w", src, dst, err)
+		return
+	}
+	o.res.Messages++
+}
+
+// drain completes the current wave.
+func (o *op) drain() {
+	if o.err != nil {
+		return
+	}
+	out := o.m.Run(waveBudget)
+	if !out.Drained {
+		o.err = fmt.Errorf("collective: wave did not drain (deadlocked=%v at cycle %d)", out.Deadlocked, out.Cycle)
+		return
+	}
+	o.res.Waves++
+}
+
+// finish closes the operation.
+func (o *op) finish(participants int) (Result, error) {
+	if o.err != nil {
+		return Result{}, o.err
+	}
+	o.res.Cycles = o.m.Cycle() - o.start
+	o.res.Participants = participants
+	return o.res, nil
+}
+
+// treeLevels builds a binary-tree schedule over the live PEs (tree index =
+// rank in the alive list), returning for each level the (child, parent)
+// rank pairs, deepest level first.
+func treeLevels(n int) [][][2]int {
+	if n <= 1 {
+		return nil
+	}
+	level := func(i int) int {
+		l := 0
+		for i > 0 {
+			i = (i - 1) / 2
+			l++
+		}
+		return l
+	}
+	maxLevel := 0
+	for i := 1; i < n; i++ {
+		if l := level(i); l > maxLevel {
+			maxLevel = l
+		}
+	}
+	levels := make([][][2]int, 0, maxLevel)
+	for l := maxLevel; l >= 1; l-- {
+		var pairs [][2]int
+		for i := 1; i < n; i++ {
+			if level(i) == l {
+				pairs = append(pairs, [2]int{i, (i - 1) / 2})
+			}
+		}
+		levels = append(levels, pairs)
+	}
+	return levels
+}
+
+// rankOf maps a root coordinate to its rank in the alive list (rank 0 by
+// swapping): the returned slice has the root first.
+func ranked(m *core.Machine, root geom.Coord) ([]geom.Coord, error) {
+	pes := alive(m)
+	if len(pes) == 0 {
+		return nil, fmt.Errorf("collective: no live PEs")
+	}
+	if !m.Alive(root) {
+		return nil, fmt.Errorf("collective: root %v is dead", root)
+	}
+	for i, c := range pes {
+		if c == root {
+			pes[0], pes[i] = pes[i], pes[0]
+			return pes, nil
+		}
+	}
+	return nil, fmt.Errorf("collective: root %v outside shape", root)
+}
+
+// Reduce runs a binary-tree reduction of one value per PE to root: each
+// level is one wave of child-to-parent packets.
+func Reduce(m *core.Machine, root geom.Coord, size int) (Result, error) {
+	pes, err := ranked(m, root)
+	if err != nil {
+		return Result{}, err
+	}
+	o, err := begin(m)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, pairs := range treeLevels(len(pes)) {
+		for _, p := range pairs {
+			o.send(pes[p[0]], pes[p[1]], size)
+		}
+		o.drain()
+	}
+	return o.finish(len(pes))
+}
+
+// Broadcast distributes one value from root to every live PE using the
+// hardware broadcast facility.
+func Broadcast(m *core.Machine, root geom.Coord, size int) (Result, error) {
+	if !m.Alive(root) {
+		return Result{}, fmt.Errorf("collective: root %v is dead", root)
+	}
+	o, err := begin(m)
+	if err != nil {
+		return Result{}, err
+	}
+	_, covered, err := m.Broadcast(root, size)
+	if err != nil {
+		return Result{}, fmt.Errorf("collective: broadcast from %v: %w", root, err)
+	}
+	o.drain()
+	res, err := o.finish(len(alive(m)))
+	res.Copies = covered
+	return res, err
+}
+
+// Allreduce reduces to root and broadcasts the result back: the pattern the
+// S-XB facility makes cheap (one broadcast instead of n).
+func Allreduce(m *core.Machine, root geom.Coord, size int) (Result, error) {
+	r1, err := Reduce(m, root, size)
+	if err != nil {
+		return Result{}, err
+	}
+	r2, err := Broadcast(m, root, size)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:       r1.Cycles + r2.Cycles,
+		Messages:     r1.Messages,
+		Copies:       r2.Copies,
+		Participants: r1.Participants,
+		Waves:        r1.Waves + r2.Waves,
+	}, nil
+}
+
+// Barrier synchronizes every live PE: a tree reduction of empty tokens
+// followed by a hardware broadcast of the release.
+func Barrier(m *core.Machine, root geom.Coord) (Result, error) {
+	return Allreduce(m, root, 1)
+}
+
+// Gather collects one packet from every live PE at root. The arrivals
+// serialize on the root's PE channel; the schedule staggers senders by
+// crossbar distance into waves to bound in-flight convergence.
+func Gather(m *core.Machine, root geom.Coord, size int) (Result, error) {
+	pes, err := ranked(m, root)
+	if err != nil {
+		return Result{}, err
+	}
+	o, err := begin(m)
+	if err != nil {
+		return Result{}, err
+	}
+	// Waves by distance: 1-hop senders first, then 2-hop, ...
+	dims := m.Shape().Dims()
+	for d := 0; d <= dims; d++ {
+		any := false
+		for _, c := range pes[1:] {
+			if c.Distance(root) == d {
+				o.send(c, root, size)
+				any = true
+			}
+		}
+		if any {
+			o.drain()
+		}
+	}
+	return o.finish(len(pes))
+}
+
+// Scatter distributes a distinct packet from root to every live PE.
+func Scatter(m *core.Machine, root geom.Coord, size int) (Result, error) {
+	pes, err := ranked(m, root)
+	if err != nil {
+		return Result{}, err
+	}
+	o, err := begin(m)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range pes[1:] {
+		o.send(root, c, size)
+	}
+	o.drain()
+	return o.finish(len(pes))
+}
+
+// AllToAll exchanges one packet between every ordered pair of live PEs,
+// scheduled as n-1 rotation phases (phase k: rank i sends to rank i+k) so
+// each phase is a permutation with no endpoint convergence.
+func AllToAll(m *core.Machine, size int) (Result, error) {
+	pes := alive(m)
+	if len(pes) < 2 {
+		return Result{}, fmt.Errorf("collective: all-to-all needs at least two live PEs")
+	}
+	o, err := begin(m)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(pes)
+	for k := 1; k < n; k++ {
+		for i := 0; i < n; i++ {
+			o.send(pes[i], pes[(i+k)%n], size)
+		}
+		o.drain()
+	}
+	return o.finish(n)
+}

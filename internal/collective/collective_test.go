@@ -1,0 +1,219 @@
+package collective
+
+import (
+	"strings"
+	"testing"
+
+	"sr2201/internal/core"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+func machine(t *testing.T, extents ...int) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(extents...), StallThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReduceCountsAndDeliveries(t *testing.T) {
+	m := machine(t, 4, 4)
+	root := geom.Coord{1, 2}
+	res, err := Reduce(m, root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 15 { // n-1 child->parent packets
+		t.Errorf("messages = %d", res.Messages)
+	}
+	if res.Participants != 16 || res.Cycles <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	// Every packet lands at a live PE; the last wave's arrivals are at root.
+	for _, d := range m.Deliveries() {
+		if d.Broadcast {
+			t.Errorf("unexpected broadcast delivery %+v", d)
+		}
+	}
+	// The tree has log2-ish depth: waves between 2 and 5 for 16 PEs.
+	if res.Waves < 2 || res.Waves > 5 {
+		t.Errorf("waves = %d", res.Waves)
+	}
+}
+
+func TestBroadcastCollective(t *testing.T) {
+	m := machine(t, 4, 3)
+	res, err := Broadcast(m, geom.Coord{2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies != 12 || res.Participants != 12 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestAllreduceCheaperThanAllBroadcast(t *testing.T) {
+	shape := geom.MustShape(6, 6)
+	m := machine(t, 6, 6)
+	res, err := Allreduce(m, geom.Coord{0, 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: every PE broadcasts (serialized at the S-XB).
+	m2 := machine(t, 6, 6)
+	start := m2.Cycle()
+	shape.Enumerate(func(c geom.Coord) bool {
+		if _, _, err := m2.Broadcast(c, 8); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if out := m2.Run(2_000_000); !out.Drained {
+		t.Fatal("all-broadcast did not drain")
+	}
+	allBcast := m2.Cycle() - start
+	if res.Cycles >= allBcast {
+		t.Errorf("allreduce %d cycles not cheaper than %d-broadcast %d cycles", res.Cycles, shape.Size(), allBcast)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	m := machine(t, 3, 3)
+	res, err := Barrier(m, geom.Coord{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 9 || res.Copies != 9 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	m := machine(t, 4, 4)
+	root := geom.Coord{3, 3}
+	res, err := Gather(m, root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 15 {
+		t.Errorf("gather messages = %d", res.Messages)
+	}
+	got := 0
+	for _, d := range m.Deliveries() {
+		if d.At == root {
+			got++
+		}
+	}
+	if got != 15 {
+		t.Errorf("root received %d", got)
+	}
+	m.ResetStats()
+	res, err = Scatter(m, root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 15 || res.Waves != 1 {
+		t.Errorf("scatter result = %+v", res)
+	}
+	dests := map[geom.Coord]bool{}
+	for _, d := range m.Deliveries() {
+		dests[d.At] = true
+	}
+	if len(dests) != 15 {
+		t.Errorf("scatter reached %d PEs", len(dests))
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	m := machine(t, 3, 3)
+	res, err := AllToAll(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 9*8 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+	if res.Waves != 8 {
+		t.Errorf("waves = %d", res.Waves)
+	}
+	// Every ordered pair delivered exactly once.
+	pair := map[[2]geom.Coord]int{}
+	for _, d := range m.Deliveries() {
+		pair[[2]geom.Coord{d.Src, d.At}]++
+	}
+	if len(pair) != 72 {
+		t.Fatalf("distinct pairs = %d", len(pair))
+	}
+	for p, n := range pair {
+		if n != 1 {
+			t.Errorf("pair %v delivered %d times", p, n)
+		}
+	}
+}
+
+// A single faulty router removes exactly one participant from every
+// collective; the rest complete.
+func TestCollectivesFaultAware(t *testing.T) {
+	build := func() *core.Machine {
+		m := machine(t, 4, 4)
+		if err := m.AddFault(fault.RouterFault(geom.Coord{2, 2})); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	root := geom.Coord{0, 0}
+
+	if res, err := Reduce(build(), root, 4); err != nil || res.Participants != 15 || res.Messages != 14 {
+		t.Errorf("reduce: %+v, %v", res, err)
+	}
+	if res, err := Broadcast(build(), root, 4); err != nil || res.Copies != 15 {
+		t.Errorf("broadcast: %+v, %v", res, err)
+	}
+	if res, err := Allreduce(build(), root, 4); err != nil || res.Participants != 15 {
+		t.Errorf("allreduce: %+v, %v", res, err)
+	}
+	if res, err := Gather(build(), root, 4); err != nil || res.Messages != 14 {
+		t.Errorf("gather: %+v, %v", res, err)
+	}
+	if res, err := AllToAll(build(), 4); err != nil || res.Messages != 15*14 {
+		t.Errorf("alltoall: %+v, %v", res, err)
+	}
+	// A dead root is rejected.
+	if _, err := Reduce(build(), geom.Coord{2, 2}, 4); err == nil {
+		t.Error("dead root accepted")
+	}
+}
+
+func TestCollectiveRequiresQuiescence(t *testing.T) {
+	m := machine(t, 3, 3)
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{2, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reduce(m, geom.Coord{0, 0}, 4); err == nil || !strings.Contains(err.Error(), "quiescent") {
+		t.Errorf("non-quiescent machine accepted: %v", err)
+	}
+}
+
+func TestSinglePEEdgeCases(t *testing.T) {
+	m := machine(t, 1)
+	if res, err := Reduce(m, geom.Coord{}, 4); err != nil || res.Messages != 0 || res.Participants != 1 {
+		t.Errorf("1-PE reduce: %+v, %v", res, err)
+	}
+	if _, err := AllToAll(m, 4); err == nil {
+		t.Error("1-PE all-to-all accepted")
+	}
+	if res, err := Broadcast(m, geom.Coord{}, 4); err != nil || res.Copies != 1 {
+		t.Errorf("1-PE broadcast: %+v, %v", res, err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{Cycles: 10, Messages: 3, Copies: 4, Participants: 5, Waves: 2}.String()
+	for _, want := range []string{"cycles=10", "messages=3", "copies=4", "participants=5", "waves=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}

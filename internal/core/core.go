@@ -1,0 +1,341 @@
+// Package core is the public façade of the SR2201 network reproduction: a
+// Machine bundles the lattice, the simulation kernel, the routing policy and
+// the fault set, and exposes the operations a PE's network interface adapter
+// (NIA) offers — point-to-point sends, hardware broadcasts — plus simulation
+// control and measurement.
+//
+// Typical use:
+//
+//	m, _ := core.NewMachine(core.Config{Shape: geom.MustShape(8, 8)})
+//	m.Send(geom.Coord{0, 0}, geom.Coord{7, 7}, 0)
+//	out := m.Run(10_000)      // deadlock-watched simulation
+//	fmt.Println(out.Drained, m.Deliveries())
+package core
+
+import (
+	"fmt"
+
+	"sr2201/internal/deadlock"
+	"sr2201/internal/engine"
+	"sr2201/internal/fault"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+	"sr2201/internal/mdxb"
+	"sr2201/internal/routing"
+	"sr2201/internal/stats"
+)
+
+// DefaultPacketSize is the packet length in flits when a caller passes 0.
+// Eight flits against the default two-flit buffers puts the network in the
+// wormhole-like regime of the paper's deadlock discussions.
+const DefaultPacketSize = 8
+
+// Config assembles a Machine.
+type Config struct {
+	// Shape is the lattice shape (n1, ..., nd). Required.
+	Shape geom.Shape
+	// SXB fixes the serialized crossbar line (dims 1..d-1 of the coordinate);
+	// dimension 0 is ignored. Defaults to the all-zero line.
+	SXB geom.Coord
+	// DXB fixes the detour crossbar line. The paper's deadlock-free scheme
+	// uses DXB == SXB, which is the default when DXBSeparate is false.
+	DXB geom.Coord
+	// DXBSeparate uses the configured DXB instead of tying it to SXB,
+	// reproducing the deadlock-prone configuration of paper Fig. 9.
+	DXBSeparate bool
+	// NaiveBroadcast disables S-XB serialization (paper Fig. 5 scheme).
+	NaiveBroadcast bool
+	// PivotLastDim enables the two-phase pivot extension (DESIGN.md A3,
+	// beyond the paper): Send falls back to routing via an intermediate
+	// router when the destination sits behind a faulty last-dimension
+	// crossbar.
+	PivotLastDim bool
+	// Engine overrides kernel parameters; the zero value selects
+	// engine.DefaultConfig.
+	Engine engine.Config
+	// PacketSize is the default packet length in flits (0 = DefaultPacketSize).
+	PacketSize int
+	// StallThreshold configures the deadlock watchdog (0 = package default).
+	StallThreshold int64
+}
+
+// Delivery records one packet consumed by a PE.
+type Delivery struct {
+	PacketID uint64
+	// Src is the originating PE (for broadcasts, the broadcast origin).
+	Src geom.Coord
+	// At is the receiving PE.
+	At geom.Coord
+	// Broadcast marks a copy delivered by the broadcast facility.
+	Broadcast bool
+	// Detoured marks a packet that traveled part of its route with RC=detour.
+	Detoured bool
+	// Cycle is the delivery time; Latency is Cycle minus injection time.
+	Cycle   int64
+	Latency int64
+}
+
+// Machine is a simulated SR2201 interconnect.
+type Machine struct {
+	cfg    Config
+	shape  geom.Shape
+	eng    *engine.Engine
+	net    *mdxb.Network
+	policy *routing.Policy
+	faults *fault.Set
+
+	nextID     uint64
+	useTables  bool
+	deliveries []Delivery
+	latency    stats.Latency
+	bcastLat   stats.Latency
+
+	// OnDeliver, if set, observes deliveries as they happen (in addition to
+	// the recorded slice).
+	OnDeliver func(Delivery)
+}
+
+// NewMachine builds the network, installs the routing policy, and returns a
+// ready Machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Shape.Dims() == 0 {
+		return nil, fmt.Errorf("core: config needs a shape")
+	}
+	ecfg := cfg.Engine
+	if ecfg == (engine.Config{}) {
+		ecfg = engine.DefaultConfig()
+	}
+	if cfg.PacketSize < 0 {
+		return nil, fmt.Errorf("core: negative packet size")
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = DefaultPacketSize
+	}
+	if !cfg.DXBSeparate {
+		cfg.DXB = cfg.SXB
+	}
+
+	m := &Machine{
+		cfg:    cfg,
+		shape:  cfg.Shape,
+		eng:    engine.New(ecfg),
+		faults: fault.NewSet(cfg.Shape),
+	}
+	m.net = mdxb.Build(m.eng, cfg.Shape)
+	if err := m.rebuildPolicy(); err != nil {
+		return nil, err
+	}
+	m.eng.OnDeliver = m.onDeliver
+	return m, nil
+}
+
+// rebuildPolicy refreshes the routing policy (the S-XB/D-XB substitution
+// depends on the fault set), recompiling the lookup tables when enabled.
+func (m *Machine) rebuildPolicy() error {
+	p, err := routing.New(routing.Config{
+		Shape:          m.shape,
+		SXB:            m.cfg.SXB,
+		DXB:            m.cfg.DXB,
+		Faults:         m.faults,
+		NaiveBroadcast: m.cfg.NaiveBroadcast,
+		PivotLastDim:   m.cfg.PivotLastDim,
+	})
+	if err != nil {
+		return err
+	}
+	m.policy = p
+	if m.useTables {
+		tp, err := routing.Compile(p)
+		if err != nil {
+			return err
+		}
+		m.net.SetPolicy(tp)
+	} else {
+		m.net.SetPolicy(p)
+	}
+	return nil
+}
+
+// UseCompiledTables switches the switches' forwarding decisions to the
+// compiled lookup-table implementation (routing.Compile) — the hardware
+// realization style the paper contrasts with the CRAY T3D. Send-side
+// reachability prechecks keep using the algorithmic policy; AddFault
+// recompiles the tables. Incompatible with the pivot extension.
+func (m *Machine) UseCompiledTables() error {
+	if !m.eng.Quiescent() {
+		return fmt.Errorf("core: table switch-over needs a quiescent network")
+	}
+	m.useTables = true
+	if err := m.rebuildPolicy(); err != nil {
+		m.useTables = false
+		return err
+	}
+	return nil
+}
+
+func (m *Machine) onDeliver(d engine.Delivery) {
+	h := d.Header
+	src := h.Src
+	if h.RC == flit.RCBroadcast {
+		src = h.BroadcastOrigin
+	}
+	del := Delivery{
+		PacketID:  h.PacketID,
+		Src:       src,
+		At:        d.At.Meta.(mdxb.PEMeta).Coord,
+		Broadcast: h.RC == flit.RCBroadcast,
+		Detoured:  h.DetourHops > 0,
+		Cycle:     d.Cycle,
+		Latency:   d.Cycle - h.InjectedAt,
+	}
+	m.deliveries = append(m.deliveries, del)
+	if del.Broadcast {
+		m.bcastLat.Add(del.Latency)
+	} else {
+		m.latency.Add(del.Latency)
+	}
+	if m.OnDeliver != nil {
+		m.OnDeliver(del)
+	}
+}
+
+// AddFault marks a switch faulty. Fault information is "set in advance" in
+// the hardware, so faults may only be added while the network is empty.
+func (m *Machine) AddFault(f fault.Fault) error {
+	if !m.eng.Quiescent() {
+		return fmt.Errorf("core: faults must be configured on a quiescent network")
+	}
+	if err := m.faults.Add(f); err != nil {
+		return err
+	}
+	switch f.Kind {
+	case fault.KindRouter:
+		m.net.Router(f.Coord).Failed = true
+	case fault.KindXB:
+		m.net.XB(f.Line).Failed = true
+	}
+	return m.rebuildPolicy()
+}
+
+// Faults returns the machine's fault set.
+func (m *Machine) Faults() *fault.Set { return m.faults }
+
+// Send queues a point-to-point packet of the given size in flits (0 = the
+// configured default). It refuses — like the NIA consulting the pre-set
+// fault information — sends whose destination is unreachable, returning the
+// routing error.
+func (m *Machine) Send(src, dst geom.Coord, size int) (uint64, error) {
+	if err := m.policy.Reachable(src, dst); err != nil {
+		if m.cfg.PivotLastDim {
+			if _, perr := m.policy.PivotPath(src, dst); perr == nil {
+				return m.sendPivot(src, dst, size)
+			}
+		}
+		return 0, err
+	}
+	return m.send(src, dst, size)
+}
+
+// sendPivot queues a two-phase pivot packet (extension A3).
+func (m *Machine) sendPivot(src, dst geom.Coord, size int) (uint64, error) {
+	mid, ok := m.policy.PivotIntermediate(src, dst)
+	if !ok {
+		return 0, fmt.Errorf("core: pivot intermediate vanished for %v -> %v", src, dst)
+	}
+	if size <= 0 {
+		size = m.cfg.PacketSize
+	}
+	m.nextID++
+	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal}
+	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	return m.nextID, nil
+}
+
+// SendUnchecked queues a packet without the reachability precheck; an
+// undeliverable packet is dropped inside the network (visible via Dropped).
+func (m *Machine) SendUnchecked(src, dst geom.Coord, size int) (uint64, error) {
+	if !m.shape.Contains(src) || !m.shape.Contains(dst) {
+		return 0, fmt.Errorf("core: src %v or dst %v outside shape", src, dst)
+	}
+	return m.send(src, dst, size)
+}
+
+func (m *Machine) send(src, dst geom.Coord, size int) (uint64, error) {
+	if size <= 0 {
+		size = m.cfg.PacketSize
+	}
+	m.nextID++
+	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: dst, RC: flit.RCNormal}
+	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	return m.nextID, nil
+}
+
+// Broadcast queues a hardware broadcast from src (S-XB-serialized, or the
+// naive tree when the machine is configured NaiveBroadcast). The returned
+// count is the number of PEs that will receive a copy; the error reports a
+// source that cannot reach the serialization point.
+func (m *Machine) Broadcast(src geom.Coord, size int) (uint64, int, error) {
+	tree, err := m.policy.BroadcastTree(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size <= 0 {
+		size = m.cfg.PacketSize
+	}
+	m.nextID++
+	rc := flit.RCBroadcastRequest
+	if m.cfg.NaiveBroadcast {
+		rc = flit.RCBroadcast
+	}
+	h := &flit.Header{PacketID: m.nextID, Src: src, BroadcastOrigin: src, RC: rc}
+	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	return m.nextID, len(tree.Delivered), nil
+}
+
+// Step advances the simulation one cycle.
+func (m *Machine) Step() { m.eng.Step() }
+
+// Run steps until the network drains, deadlocks, or maxCycles elapse,
+// returning the watched outcome.
+func (m *Machine) Run(maxCycles int64) deadlock.Outcome {
+	return deadlock.Run(m.eng, maxCycles, m.cfg.StallThreshold)
+}
+
+// Deliveries returns every recorded delivery (in delivery order).
+func (m *Machine) Deliveries() []Delivery { return m.deliveries }
+
+// ResetStats clears recorded deliveries and latency accumulators (in-flight
+// packets keep their injection timestamps).
+func (m *Machine) ResetStats() {
+	m.deliveries = nil
+	m.latency = stats.Latency{}
+	m.bcastLat = stats.Latency{}
+}
+
+// Latency returns the point-to-point latency distribution.
+func (m *Machine) Latency() *stats.Latency { return &m.latency }
+
+// BroadcastLatency returns the broadcast-copy latency distribution.
+func (m *Machine) BroadcastLatency() *stats.Latency { return &m.bcastLat }
+
+// Dropped reports packets discarded inside the network.
+func (m *Machine) Dropped() int64 { return m.eng.Dropped() }
+
+// Cycle reports the simulation time.
+func (m *Machine) Cycle() int64 { return m.eng.Cycle() }
+
+// Engine exposes the simulation kernel (for measurement and experiments).
+func (m *Machine) Engine() *engine.Engine { return m.eng }
+
+// Network exposes the built topology.
+func (m *Machine) Network() *mdxb.Network { return m.net }
+
+// Policy exposes the active routing policy (for static path queries).
+func (m *Machine) Policy() *routing.Policy { return m.policy }
+
+// Shape reports the lattice shape.
+func (m *Machine) Shape() geom.Shape { return m.shape }
+
+// Alive reports whether the PE at c can use the network: its relay switch
+// must be healthy.
+func (m *Machine) Alive(c geom.Coord) bool { return m.faults.PEAlive(c) }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+// TestSoakMixedTraffic is a long-running reliability drill: heavy randomized
+// unicast + broadcast traffic on a faulted 6x6 machine for many cycles, with
+// kernel invariants audited periodically and a final drain. It is the
+// closest the suite gets to "operate the machine for a while".
+func TestSoakMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, seedFault := range []struct {
+		seed int64
+		f    fault.Fault
+	}{
+		{1, fault.RouterFault(geom.Coord{2, 3})},
+		{2, fault.XBFault(geom.LineOf(geom.Coord{0, 1}, 0))},
+	} {
+		m := mustMachine(t, Config{Shape: geom.MustShape(6, 6), StallThreshold: 2048})
+		if err := m.AddFault(seedFault.f); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seedFault.seed))
+		shape := m.Shape()
+		sent, bcasts := 0, 0
+		for cycle := 0; cycle < 20_000; cycle++ {
+			if rng.Float64() < 0.4 {
+				src := shape.CoordOf(rng.Intn(shape.Size()))
+				dst := shape.CoordOf(rng.Intn(shape.Size()))
+				if m.Alive(src) && src != dst {
+					if _, err := m.Send(src, dst, 4+rng.Intn(8)); err == nil {
+						sent++
+					}
+				}
+			}
+			if rng.Float64() < 0.002 {
+				src := shape.CoordOf(rng.Intn(shape.Size()))
+				if m.Alive(src) {
+					if _, _, err := m.Broadcast(src, 8); err == nil {
+						bcasts++
+					}
+				}
+			}
+			m.Step()
+			if cycle%500 == 0 {
+				if err := m.Engine().CheckInvariants(); err != nil {
+					t.Fatalf("fault %v cycle %d: %v", seedFault.f, cycle, err)
+				}
+			}
+		}
+		out := m.Run(500_000)
+		if !out.Drained {
+			t.Fatalf("fault %v: soak did not drain: %+v\n%s", seedFault.f, out, out.Report.Describe())
+		}
+		if err := m.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("fault %v post-drain: %v", seedFault.f, err)
+		}
+		if m.Dropped() != 0 {
+			t.Errorf("fault %v: %d packets dropped (prechecked sends should never drop)", seedFault.f, m.Dropped())
+		}
+		t.Logf("fault %v: %d packets + %d broadcasts over 20k cycles, all delivered (%d deliveries)",
+			seedFault.f, sent, bcasts, len(m.Deliveries()))
+	}
+}

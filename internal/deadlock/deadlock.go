@@ -1,0 +1,242 @@
+// Package deadlock detects and diagnoses routing deadlock in a running
+// simulation. Detection is two-staged, as in Section 5 of DESIGN.md:
+//
+//  1. a progress watchdog declares the network stalled when flits are
+//     resident but none has moved for a configurable number of cycles;
+//  2. a wait-for-graph analyzer then inspects the kernel's blocked ports and
+//     searches for a cycle among the channel resources, distinguishing true
+//     deadlock (cyclic waiting, the paper's failure mode) from mere
+//     starvation or long transients.
+package deadlock
+
+import (
+	"fmt"
+	"strings"
+
+	"sr2201/internal/engine"
+)
+
+// DefaultStallThreshold is the number of zero-movement cycles after which the
+// watchdog fires. It comfortably exceeds any legitimate pause in the
+// experiments (the longest packets are tens of flits).
+const DefaultStallThreshold = 512
+
+// Watchdog tracks simulation progress.
+type Watchdog struct {
+	eng        *engine.Engine
+	threshold  int64
+	lastMoves  int64
+	lastChange int64
+}
+
+// NewWatchdog wraps an engine. threshold <= 0 selects
+// DefaultStallThreshold.
+func NewWatchdog(e *engine.Engine, threshold int64) *Watchdog {
+	if threshold <= 0 {
+		threshold = DefaultStallThreshold
+	}
+	return &Watchdog{eng: e, threshold: threshold, lastMoves: e.Moves(), lastChange: e.Cycle()}
+}
+
+// Stalled reports whether the network has held flits without any movement
+// for at least the threshold. Call it once per cycle, after Step.
+func (w *Watchdog) Stalled() bool {
+	if w.eng.Moves() != w.lastMoves {
+		w.lastMoves = w.eng.Moves()
+		w.lastChange = w.eng.Cycle()
+		return false
+	}
+	if w.eng.Resident() == 0 {
+		return false
+	}
+	return w.eng.Cycle()-w.lastChange >= w.threshold
+}
+
+// WaitEdge is one arc of the wait-for graph: the packet blocked at From is
+// waiting for a resource whose release depends on the packet at To.
+type WaitEdge struct {
+	From, To *engine.InPort
+	// Why describes the dependency ("wants output X owned by ...", or
+	// "credit-stalled into ...").
+	Why string
+}
+
+// Report is the analyzer's verdict on a stalled network.
+type Report struct {
+	// Deadlocked is true when the wait-for graph contains a cycle.
+	Deadlocked bool
+	// Cycle lists the edges of one wait cycle when Deadlocked.
+	Cycle []WaitEdge
+	// Edges is the full wait-for graph.
+	Edges []WaitEdge
+	// Blocked is the kernel's snapshot the graph was built from.
+	Blocked []engine.WaitInfo
+}
+
+// Analyze builds the wait-for graph from the engine's blocked ports and
+// searches it for a cycle. Call it only when the watchdog has fired (or the
+// network is otherwise known to be quiescent-but-loaded); on a live network
+// transient arbitration losses make spurious edges.
+func Analyze(e *engine.Engine) Report {
+	blocked := e.BlockedPorts()
+	r := Report{Blocked: blocked}
+
+	// adjacency over input ports
+	adj := map[*engine.InPort][]WaitEdge{}
+	addEdge := func(we WaitEdge) {
+		if we.To == nil || we.From == we.To {
+			return
+		}
+		adj[we.From] = append(adj[we.From], we)
+		r.Edges = append(r.Edges, we)
+	}
+	for _, wi := range blocked {
+		for _, o := range wi.WantsOwned {
+			addEdge(WaitEdge{
+				From: wi.In,
+				To:   o.Owner(),
+				Why:  fmt.Sprintf("wants %s.out%d owned by packet at %s.in%d", o.Node().Name, o.Index(), o.Owner().Node().Name, o.Owner().Index()),
+			})
+		}
+		for _, o := range wi.CreditStalled {
+			dn := o.DownstreamIn()
+			if dn == nil || dn.Node().Kind == engine.KindEndpoint {
+				// Endpoints drain unconditionally (unbounded eject in our
+				// experiments); no dependency.
+				continue
+			}
+			addEdge(WaitEdge{
+				From: wi.In,
+				To:   dn,
+				Why:  fmt.Sprintf("credit-stalled into %s.in%d", dn.Node().Name, dn.Index()),
+			})
+		}
+		if wi.AwaitingFlits && wi.In.UpstreamInFlight() == 0 {
+			// The port's circuit is open but its flits are stuck upstream
+			// (and none are in flight on the link): progress depends on the
+			// packet's upstream segment — the input port holding the output
+			// that feeds this one.
+			if up := wi.In.UpstreamOut(); up != nil {
+				if owner := up.Owner(); owner != nil {
+					addEdge(WaitEdge{
+						From: wi.In,
+						To:   owner,
+						Why:  fmt.Sprintf("starved of flits from %s.in%d", owner.Node().Name, owner.Index()),
+					})
+				}
+			}
+		}
+	}
+
+	// Cycle search: iterative DFS with colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*engine.InPort]int{}
+	parentEdge := map[*engine.InPort]WaitEdge{}
+	var cycleAt *engine.InPort
+	var dfs func(u *engine.InPort) bool
+	dfs = func(u *engine.InPort) bool {
+		color[u] = gray
+		for _, e := range adj[u] {
+			switch color[e.To] {
+			case white:
+				parentEdge[e.To] = e
+				if dfs(e.To) {
+					return true
+				}
+			case gray:
+				parentEdge[e.To] = e // closing edge; cycle through e.To
+				cycleAt = e.To
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, wi := range blocked {
+		if color[wi.In] == white {
+			if dfs(wi.In) {
+				break
+			}
+		}
+	}
+	if cycleAt != nil {
+		r.Deadlocked = true
+		// Walk parent edges backwards from cycleAt until we return to it.
+		var cyc []WaitEdge
+		cur := cycleAt
+		for {
+			e := parentEdge[cur]
+			cyc = append(cyc, e)
+			cur = e.From
+			if cur == cycleAt {
+				break
+			}
+		}
+		// Reverse into forward order.
+		for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+			cyc[i], cyc[j] = cyc[j], cyc[i]
+		}
+		r.Cycle = cyc
+	}
+	return r
+}
+
+// Describe renders the report for logs and error messages.
+func (r Report) Describe() string {
+	var b strings.Builder
+	if !r.Deadlocked {
+		fmt.Fprintf(&b, "no wait cycle (%d blocked ports, %d edges)\n", len(r.Blocked), len(r.Edges))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "DEADLOCK: wait cycle of length %d\n", len(r.Cycle))
+	for _, e := range r.Cycle {
+		hdr := e.From.CurrentHeader()
+		id := uint64(0)
+		if hdr != nil {
+			id = hdr.PacketID
+		}
+		fmt.Fprintf(&b, "  pkt%d at %s.in%d %s\n", id, e.From.Node().Name, e.From.Index(), e.Why)
+	}
+	return b.String()
+}
+
+// Outcome summarizes a watched run.
+type Outcome struct {
+	// Drained is true when every flit left the network.
+	Drained bool
+	// Deadlocked is true when the watchdog fired and the analyzer confirmed a
+	// wait cycle.
+	Deadlocked bool
+	// Stalled is true when the watchdog fired (whether or not a cycle was
+	// confirmed; an unconfirmed stall usually means a dependency through an
+	// endpoint or a bug).
+	Stalled bool
+	// Cycle is the simulation time at which the run ended.
+	Cycle int64
+	// Report carries the analyzer output when Stalled.
+	Report Report
+}
+
+// Run steps the engine until it drains, deadlocks, or maxCycles pass.
+// stallThreshold <= 0 selects DefaultStallThreshold.
+func Run(e *engine.Engine, maxCycles, stallThreshold int64) Outcome {
+	w := NewWatchdog(e, stallThreshold)
+	for i := int64(0); i < maxCycles; i++ {
+		if e.Quiescent() {
+			return Outcome{Drained: true, Cycle: e.Cycle()}
+		}
+		e.Step()
+		if w.Stalled() {
+			rep := Analyze(e)
+			return Outcome{Stalled: true, Deadlocked: rep.Deadlocked, Cycle: e.Cycle(), Report: rep}
+		}
+	}
+	if e.Quiescent() {
+		return Outcome{Drained: true, Cycle: e.Cycle()}
+	}
+	return Outcome{Cycle: e.Cycle()}
+}

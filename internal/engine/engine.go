@@ -1,0 +1,897 @@
+// Package engine is a deterministic, cycle-driven, flit-level simulation
+// kernel for switched interconnection networks.
+//
+// The kernel knows nothing about topology or routing policy: callers build a
+// network out of switches (with a per-switch routing function) and endpoints
+// (which inject and consume packets), connect ports with unidirectional
+// links, and step the clock. The kernel implements the mechanisms the
+// SR2201 paper's phenomena depend on:
+//
+//   - cut-through switching: the header flit claims output ports and the rest
+//     of the packet streams through the opened circuit until the tail passes;
+//   - credit-based flow control with finite per-input buffers, so a blocked
+//     packet holds channels across switches (the wormhole-like regime in
+//     which every deadlock in the paper arises);
+//   - multi-port acquisition for broadcast fan-out, either incremental
+//     (hold-and-wait, as in hardware and paper Fig. 5) or atomic;
+//   - physical-channel multiplexing so several output ports (virtual
+//     channels) can share one link's bandwidth, used by the torus baseline.
+//
+// Everything is iterated in fixed index order with per-resource round-robin
+// arbiters, so simulations are bit-for-bit reproducible.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"sr2201/internal/flit"
+)
+
+// AcquireMode selects how a packet that needs several output ports at one
+// switch (a broadcast fan-out) claims them.
+type AcquireMode uint8
+
+const (
+	// AcquireAtomic grants either all requested ports or none, in order of
+	// header arrival, with the ports of an older unsatisfiable request
+	// reserved against younger ones (no starvation). This models the SR2201
+	// crossbar, whose broadcast replay engages the whole fan simultaneously
+	// ("one-by-one in order of arrival"). Hold-and-wait within one switch is
+	// eliminated — but not across switches, which is where the paper's
+	// deadlocks live (a fan that did start still stalls on downstream
+	// credits while holding every branch).
+	AcquireAtomic AcquireMode = iota
+	// AcquireIncremental grants whatever requested ports are free each cycle
+	// and holds them while waiting for the rest (hold-and-wait inside a
+	// single switch, too). Kept as an ablation: it additionally deadlocks
+	// two broadcast requests meeting at the serialized crossbar itself.
+	AcquireIncremental
+)
+
+// Config collects kernel-wide parameters.
+type Config struct {
+	// BufferDepth is the number of flit slots in each input port buffer.
+	// Depths smaller than the packet size give wormhole-like blocking.
+	BufferDepth int
+	// LinkDelay is the number of cycles a flit spends on a link. Minimum 1.
+	LinkDelay int
+	// Acquire selects fan-out acquisition semantics.
+	Acquire AcquireMode
+	// EjectRate caps the flits an endpoint consumes per cycle; 0 = unlimited.
+	EjectRate int
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// 2-flit buffers (well below the default 8-flit packets, i.e. wormhole-like),
+// single-cycle links, atomic per-switch acquisition, unlimited ejection.
+func DefaultConfig() Config {
+	return Config{BufferDepth: 2, LinkDelay: 1, Acquire: AcquireAtomic}
+}
+
+func (c *Config) normalize() {
+	if c.BufferDepth < 1 {
+		c.BufferDepth = 1
+	}
+	if c.LinkDelay < 1 {
+		c.LinkDelay = 1
+	}
+	if c.EjectRate < 0 {
+		c.EjectRate = 0
+	}
+}
+
+// NodeKind distinguishes switching elements from traffic endpoints.
+type NodeKind uint8
+
+const (
+	// KindSwitch is a routing element (crossbar or relay switch).
+	KindSwitch NodeKind = iota
+	// KindEndpoint is a PE-side network interface: it injects packets and
+	// consumes everything that arrives.
+	KindEndpoint
+)
+
+// Decision is the result of routing one packet header at one switch input.
+type Decision struct {
+	// Outs lists the output ports the packet must acquire. len(Outs) > 1
+	// replicates the packet (broadcast fan-out).
+	Outs []int
+	// Transform, if non-nil, rewrites the header on the copies forwarded out
+	// of this switch (RC-bit transitions). It must return a fresh header and
+	// must not mutate its argument.
+	Transform func(*flit.Header) *flit.Header
+	// Drop discards the packet at this switch (counted, reported via OnDrop).
+	Drop bool
+	// DropReason annotates a drop for diagnostics.
+	DropReason string
+}
+
+// RouteFunc computes the forwarding decision for a packet header arriving on
+// input port in of switch n. It must be deterministic and side-effect free.
+// A returned error drops the packet and surfaces through OnDrop.
+type RouteFunc func(n *Node, in int, h *flit.Header) (Decision, error)
+
+// PortRef names one directed port of one node.
+type PortRef struct {
+	Node *Node
+	Port int
+}
+
+func (p PortRef) String() string {
+	if p.Node == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s.%d", p.Node.Name, p.Port)
+}
+
+// routeState tracks the active packet on one switch input port from header
+// grant until the tail flit leaves.
+type routeState struct {
+	header    *flit.Header
+	outs      []int
+	granted   []bool
+	nGranted  int
+	transform func(*flit.Header) *flit.Header
+	sink      bool // dropping: consume flits until Last without forwarding
+	// since is the cycle the header was routed; atomic allocation serves
+	// requests oldest-first ("in order of arrival").
+	since int64
+}
+
+func (rs *routeState) allGranted() bool { return rs.nGranted == len(rs.outs) }
+
+// InPort is a switch or endpoint input: a FIFO flit buffer fed by one link.
+type InPort struct {
+	node *Node
+	idx  int
+	buf  []*flit.Flit
+	cap  int
+	// upstream is the link that feeds this port (nil if unconnected); used to
+	// return credits when a flit leaves the buffer.
+	upstream *Link
+	// route is the active cut-through state, nil when no packet is mid-flight.
+	route *routeState
+	// recvHeader remembers the header of the packet currently being consumed
+	// by an endpoint (set when the header flit is ejected).
+	recvHeader *flit.Header
+	// BlockedCycles counts cycles in which this port had a routed or routable
+	// packet that failed to advance.
+	BlockedCycles int64
+}
+
+// Buffered reports the number of flits currently queued at the port.
+func (p *InPort) Buffered() int { return len(p.buf) }
+
+// front returns the flit at the head of the buffer, or nil.
+func (p *InPort) front() *flit.Flit {
+	if len(p.buf) == 0 {
+		return nil
+	}
+	return p.buf[0]
+}
+
+func (p *InPort) pop() *flit.Flit {
+	f := p.buf[0]
+	copy(p.buf, p.buf[1:])
+	p.buf = p.buf[:len(p.buf)-1]
+	if p.upstream != nil {
+		p.upstream.from.creditReturn()
+	}
+	return f
+}
+
+// OutPort is a switch or endpoint output: the upstream end of one link, with
+// the credit counter for the downstream buffer and cut-through ownership.
+type OutPort struct {
+	node *Node
+	idx  int
+	link *Link
+	// owner is the input port whose packet currently holds this output, or
+	// nil when the port is free.
+	owner *InPort
+	// credits counts free slots in the downstream input buffer.
+	credits int
+	// phys, when non-nil, is the shared physical channel this port sends on.
+	phys *PhysChannel
+	// arb is the round-robin pointer over requesting input ports.
+	arb int
+	// BusyCycles counts cycles in which a flit crossed this port.
+	BusyCycles int64
+	// ConflictCycles counts allocation cycles in which two or more packets
+	// requested this port simultaneously (the paper's "network conflicts").
+	ConflictCycles int64
+	// lastReqCycle / conflictCounted implement the per-cycle conflict count.
+	lastReqCycle    int64
+	conflictCounted bool
+}
+
+func (o *OutPort) creditReturn() { o.credits++ }
+
+// Owned reports whether the port is currently held by a packet.
+func (o *OutPort) Owned() bool { return o.owner != nil }
+
+// Node is one network element: a switch with a routing function, or an
+// endpoint.
+type Node struct {
+	ID   int
+	Name string
+	Kind NodeKind
+	// Meta carries topology-level payload (coordinates, fault tables, ...)
+	// for the routing function.
+	Meta any
+	// Failed marks a faulty switch: any flit arriving at it is dropped. The
+	// fault-tolerant routing layer must keep traffic away from failed nodes;
+	// drops here indicate a routing bug (or an intentionally unreachable
+	// destination) and are reported via OnDrop.
+	Failed bool
+
+	In    []*InPort
+	Out   []*OutPort
+	route RouteFunc
+
+	eng *Engine
+
+	// Endpoint state.
+	injectQ  []*flit.Flit
+	Injected int64 // packets handed to Inject
+	Sent     int64 // packets whose tail left the endpoint
+	Received int64 // packets fully consumed at this endpoint
+	sendSeq  int   // flits of the current packet already sent
+}
+
+// InjectQueueLen reports the flits waiting in the endpoint's source queue.
+func (n *Node) InjectQueueLen() int { return len(n.injectQ) }
+
+// Link is a unidirectional flit pipeline between an output and an input port.
+type Link struct {
+	from  *OutPort
+	to    *InPort
+	delay int
+	// pipe holds in-flight flits; age counts elapsed cycles.
+	pipe []linkEntry
+}
+
+type linkEntry struct {
+	f   *flit.Flit
+	age int
+}
+
+// PhysChannel is a group of output ports sharing one flit per cycle of
+// physical bandwidth (virtual channels over one wire).
+type PhysChannel struct {
+	members []*OutPort
+	arb     int
+	// grants is rebuilt each cycle: the member allowed to send.
+	granted *OutPort
+}
+
+// Delivery reports one packet consumed at an endpoint.
+type Delivery struct {
+	At     *Node
+	Header *flit.Header
+	Cycle  int64
+}
+
+// Drop reports one packet discarded inside the network.
+type Drop struct {
+	At     *Node
+	Header *flit.Header
+	Cycle  int64
+	Reason string
+}
+
+// Engine owns the network and the clock.
+type Engine struct {
+	cfg   Config
+	nodes []*Node
+	// switchOrder/endpointOrder cache the per-kind iteration sequences.
+	switches  []*Node
+	endpoints []*Node
+	links     []*Link
+	phys      []*PhysChannel
+
+	cycle    int64
+	moves    int64 // cumulative flit movements (link entries + ejections)
+	resident int64 // flits alive in queues, buffers and links
+
+	dropped int64
+
+	// OnDeliver, if non-nil, observes every packet consumption.
+	OnDeliver func(Delivery)
+	// OnDrop, if non-nil, observes every discarded packet.
+	OnDrop func(Drop)
+	// OnForward, if non-nil, observes every header flit leaving a node, for
+	// route tracing. from is the node, out the output port index.
+	OnForward func(from *Node, out int, h *flit.Header, cycle int64)
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Engine {
+	cfg.normalize()
+	return &Engine{cfg: cfg}
+}
+
+// Config returns the engine's (normalized) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// AddSwitch creates a switch with the given number of bidirectional ports and
+// routing function.
+func (e *Engine) AddSwitch(name string, ports int, route RouteFunc, meta any) *Node {
+	if ports < 1 {
+		panic(fmt.Sprintf("engine: switch %q needs at least one port", name))
+	}
+	if route == nil {
+		panic(fmt.Sprintf("engine: switch %q needs a routing function", name))
+	}
+	n := &Node{ID: len(e.nodes), Name: name, Kind: KindSwitch, Meta: meta, route: route, eng: e}
+	for i := 0; i < ports; i++ {
+		n.In = append(n.In, &InPort{node: n, idx: i, cap: e.cfg.BufferDepth})
+		n.Out = append(n.Out, &OutPort{node: n, idx: i, lastReqCycle: -1})
+	}
+	e.nodes = append(e.nodes, n)
+	e.switches = append(e.switches, n)
+	return n
+}
+
+// AddEndpoint creates a single-port traffic endpoint.
+func (e *Engine) AddEndpoint(name string, meta any) *Node {
+	n := &Node{ID: len(e.nodes), Name: name, Kind: KindEndpoint, Meta: meta, eng: e}
+	n.In = append(n.In, &InPort{node: n, idx: 0, cap: e.cfg.BufferDepth})
+	n.Out = append(n.Out, &OutPort{node: n, idx: 0, lastReqCycle: -1})
+	e.nodes = append(e.nodes, n)
+	e.endpoints = append(e.endpoints, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order.
+func (e *Engine) Nodes() []*Node { return e.nodes }
+
+// Endpoints returns all endpoints in creation order.
+func (e *Engine) Endpoints() []*Node { return e.endpoints }
+
+// Switches returns all switches in creation order.
+func (e *Engine) Switches() []*Node { return e.switches }
+
+// ConnectDirected wires a's output port ap to b's input port bp.
+func (e *Engine) ConnectDirected(a *Node, ap int, b *Node, bp int) *Link {
+	out := a.Out[ap]
+	in := b.In[bp]
+	if out.link != nil {
+		panic(fmt.Sprintf("engine: output %s.%d already connected", a.Name, ap))
+	}
+	if in.upstream != nil {
+		panic(fmt.Sprintf("engine: input %s.%d already connected", b.Name, bp))
+	}
+	l := &Link{from: out, to: in, delay: e.cfg.LinkDelay}
+	out.link = l
+	out.credits = in.cap
+	in.upstream = l
+	e.links = append(e.links, l)
+	return l
+}
+
+// Connect wires port ap of a to port bp of b in both directions.
+func (e *Engine) Connect(a *Node, ap int, b *Node, bp int) {
+	e.ConnectDirected(a, ap, b, bp)
+	e.ConnectDirected(b, bp, a, ap)
+}
+
+// SharePhysical groups output ports onto one physical channel with a combined
+// bandwidth of one flit per cycle.
+func (e *Engine) SharePhysical(ports ...*OutPort) *PhysChannel {
+	pc := &PhysChannel{members: ports}
+	for _, p := range ports {
+		if p.phys != nil {
+			panic(fmt.Sprintf("engine: output %s.%d already in a physical channel", p.node.Name, p.idx))
+		}
+		p.phys = pc
+	}
+	e.phys = append(e.phys, pc)
+	return pc
+}
+
+// Inject queues a packet's flits at an endpoint for transmission.
+func (e *Engine) Inject(ep *Node, flits []*flit.Flit) {
+	if ep.Kind != KindEndpoint {
+		panic(fmt.Sprintf("engine: Inject on non-endpoint %q", ep.Name))
+	}
+	if len(flits) == 0 {
+		return
+	}
+	if flits[0].Header == nil {
+		panic("engine: first injected flit must be a header")
+	}
+	flits[0].Header.InjectedAt = e.cycle
+	ep.injectQ = append(ep.injectQ, flits...)
+	ep.Injected++
+	e.resident += int64(len(flits))
+}
+
+// Cycle reports the current simulation time.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Moves reports cumulative flit movements; the deadlock watchdog watches it.
+func (e *Engine) Moves() int64 { return e.moves }
+
+// Resident reports the number of flits alive anywhere in the network.
+func (e *Engine) Resident() int64 { return e.resident }
+
+// Dropped reports the number of packets discarded so far.
+func (e *Engine) Dropped() int64 { return e.dropped }
+
+// Quiescent reports whether the network holds no flits at all.
+func (e *Engine) Quiescent() bool { return e.resident == 0 }
+
+// Step advances the simulation by one cycle. Phase order (fixed): link
+// delivery, ejection, allocation, traversal, injection.
+func (e *Engine) Step() {
+	e.deliverLinks()
+	e.eject()
+	e.allocate()
+	e.traverse()
+	e.inject()
+	e.cycle++
+}
+
+// RunUntilQuiescent steps until the network drains or maxCycles elapse.
+// It returns true if the network drained.
+func (e *Engine) RunUntilQuiescent(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if e.Quiescent() {
+			return true
+		}
+		e.Step()
+	}
+	return e.Quiescent()
+}
+
+// deliverLinks ages in-flight flits and lands the ones whose delay elapsed.
+// Credits guarantee the destination buffer has room.
+func (e *Engine) deliverLinks() {
+	for _, l := range e.links {
+		if len(l.pipe) == 0 {
+			continue
+		}
+		kept := l.pipe[:0]
+		for _, en := range l.pipe {
+			en.age++
+			if en.age >= l.delay {
+				if len(l.to.buf) >= l.to.cap {
+					panic(fmt.Sprintf("engine: buffer overflow at %s.%d (credit accounting bug)", l.to.node.Name, l.to.idx))
+				}
+				l.to.buf = append(l.to.buf, en.f)
+			} else {
+				kept = append(kept, en)
+			}
+		}
+		l.pipe = kept
+	}
+}
+
+// eject consumes arrived flits at endpoints.
+func (e *Engine) eject() {
+	for _, ep := range e.endpoints {
+		in := ep.In[0]
+		budget := e.cfg.EjectRate
+		for len(in.buf) > 0 {
+			if budget == 0 && e.cfg.EjectRate != 0 {
+				break
+			}
+			f := in.pop()
+			e.moves++
+			e.resident--
+			if f.Header != nil {
+				in.recvHeader = f.Header
+			}
+			if f.Last {
+				ep.Received++
+				if e.OnDeliver != nil {
+					e.OnDeliver(Delivery{At: ep, Header: in.recvHeader, Cycle: e.cycle})
+				}
+				in.recvHeader = nil
+			}
+			if e.cfg.EjectRate != 0 {
+				budget--
+			}
+		}
+	}
+}
+
+// request is one input port competing for output ports this cycle.
+type request struct {
+	in *InPort
+}
+
+// allocate routes fresh headers and arbitrates output ports.
+func (e *Engine) allocate() {
+	// Gather requests. A request is an input port whose front flit is an
+	// unserved header, or whose routeState still has ungranted outputs.
+	var requests []request
+	for _, sw := range e.switches {
+		for _, in := range sw.In {
+			if in.route == nil {
+				f := in.front()
+				if f == nil {
+					continue
+				}
+				if f.Header == nil {
+					panic(fmt.Sprintf("engine: mid-packet flit %s at %s.%d with no route state", f, sw.Name, in.idx))
+				}
+				rs, ok := e.routeHeader(sw, in, f.Header)
+				if !ok {
+					continue // dropped
+				}
+				in.route = rs
+			}
+			if in.route.sink {
+				continue
+			}
+			if !in.route.allGranted() {
+				requests = append(requests, request{in: in})
+			}
+		}
+	}
+	if len(requests) == 0 {
+		return
+	}
+
+	// Count requesters per output port for conflict statistics.
+	for _, rq := range requests {
+		rs := rq.in.route
+		for i, o := range rs.outs {
+			if rs.granted[i] {
+				continue
+			}
+			op := rq.in.node.Out[o]
+			if op.owner != nil {
+				continue
+			}
+			op.arbRequests(e.cycle)
+		}
+	}
+
+	switch e.cfg.Acquire {
+	case AcquireAtomic:
+		e.allocateAtomic(requests)
+	default:
+		e.allocateIncremental(requests)
+	}
+}
+
+// arbRequests bumps the conflict statistic bookkeeping; called once per
+// requester per cycle. Two or more calls in one cycle mean a conflict.
+func (o *OutPort) arbRequests(cycle int64) {
+	if o.lastReqCycle == cycle {
+		if !o.conflictCounted {
+			o.ConflictCycles++
+			o.conflictCounted = true
+		}
+		return
+	}
+	o.lastReqCycle = cycle
+	o.conflictCounted = false
+}
+
+// allocateIncremental grants each free requested output to one requester
+// (round-robin), letting fan-outs hold partial sets.
+func (e *Engine) allocateIncremental(requests []request) {
+	// Build per-output requester lists in request order.
+	perOut := map[*OutPort][]*InPort{}
+	var order []*OutPort
+	for _, rq := range requests {
+		rs := rq.in.route
+		for i, o := range rs.outs {
+			if rs.granted[i] {
+				continue
+			}
+			op := rq.in.node.Out[o]
+			if op.owner != nil {
+				continue
+			}
+			if _, seen := perOut[op]; !seen {
+				order = append(order, op)
+			}
+			perOut[op] = append(perOut[op], rq.in)
+		}
+	}
+	for _, op := range order {
+		reqs := perOut[op]
+		winner := reqs[op.arb%len(reqs)]
+		op.arb++
+		op.owner = winner
+		rs := winner.route
+		for i, o := range rs.outs {
+			if winner.node.Out[o] == op {
+				rs.granted[i] = true
+				rs.nGranted++
+			}
+		}
+	}
+}
+
+// allocateAtomic grants a request only when every output it needs is free,
+// serving requests oldest-first ("in order of arrival"). The wanted ports of
+// an unsatisfiable older request are reserved for the rest of the cycle so
+// younger single-port traffic cannot starve a waiting fan-out.
+//
+// Same-cycle ties are broken by a per-switch priority rotation derived from
+// the node ID: independent hardware arbiters do not share a global order, and
+// a globally consistent tie-break would (unrealistically) hand one broadcast
+// every crossbar at once, masking the cyclic-acquisition deadlock of paper
+// Fig. 5.
+func (e *Engine) allocateAtomic(requests []request) {
+	tieKey := func(in *InPort) int {
+		return (in.idx + in.node.ID) % len(in.node.In)
+	}
+	sort.SliceStable(requests, func(i, j int) bool {
+		a, b := requests[i].in, requests[j].in
+		if a.route.since != b.route.since {
+			return a.route.since < b.route.since
+		}
+		if a.node != b.node {
+			return a.node.ID < b.node.ID
+		}
+		return tieKey(a) < tieKey(b)
+	})
+	reserved := map[*OutPort]bool{}
+	for _, rq := range requests {
+		rs := rq.in.route
+		if rs.nGranted > 0 {
+			// An atomic request never holds a partial set, so this cannot
+			// happen unless the mode changed mid-run.
+			continue
+		}
+		ok := true
+		for _, o := range rs.outs {
+			op := rq.in.node.Out[o]
+			if op.owner != nil || reserved[op] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			for _, o := range rs.outs {
+				reserved[rq.in.node.Out[o]] = true
+			}
+			continue
+		}
+		for i, o := range rs.outs {
+			rq.in.node.Out[o].owner = rq.in
+			rs.granted[i] = true
+			rs.nGranted++
+		}
+	}
+}
+
+// routeHeader runs the switch routing function and validates the decision.
+// The bool result is false when the packet is dropped.
+func (e *Engine) routeHeader(sw *Node, in *InPort, h *flit.Header) (*routeState, bool) {
+	if sw.Failed {
+		return e.sinkPacket(sw, in, h, "arrived at failed switch"), true
+	}
+	dec, err := sw.route(sw, in.idx, h)
+	if err != nil {
+		return e.sinkPacket(sw, in, h, err.Error()), true
+	}
+	if dec.Drop {
+		reason := dec.DropReason
+		if reason == "" {
+			reason = "dropped by routing function"
+		}
+		return e.sinkPacket(sw, in, h, reason), true
+	}
+	if len(dec.Outs) == 0 {
+		return e.sinkPacket(sw, in, h, "routing function returned no outputs"), true
+	}
+	seen := map[int]bool{}
+	for _, o := range dec.Outs {
+		if o < 0 || o >= len(sw.Out) {
+			panic(fmt.Sprintf("engine: switch %q routed to invalid port %d", sw.Name, o))
+		}
+		if sw.Out[o].link == nil {
+			panic(fmt.Sprintf("engine: switch %q routed to unconnected port %d", sw.Name, o))
+		}
+		if seen[o] {
+			panic(fmt.Sprintf("engine: switch %q routed to duplicate port %d", sw.Name, o))
+		}
+		seen[o] = true
+	}
+	return &routeState{
+		header:    h,
+		outs:      dec.Outs,
+		granted:   make([]bool, len(dec.Outs)),
+		transform: dec.Transform,
+		since:     e.cycle,
+	}, true
+}
+
+// sinkPacket puts the input port into drop mode for the current packet.
+func (e *Engine) sinkPacket(sw *Node, in *InPort, h *flit.Header, reason string) *routeState {
+	e.dropped++
+	if e.OnDrop != nil {
+		e.OnDrop(Drop{At: sw, Header: h, Cycle: e.cycle, Reason: reason})
+	}
+	return &routeState{header: h, sink: true}
+}
+
+// traverse moves one flit per fully-granted input across its switch.
+func (e *Engine) traverse() {
+	// Phase A: find ready inputs and stage physical-channel requests.
+	type ready struct {
+		in *InPort
+	}
+	var readies []ready
+	for _, pc := range e.phys {
+		pc.granted = nil
+	}
+	physWants := map[*PhysChannel][]*OutPort{}
+	var physOrder []*PhysChannel
+	for _, sw := range e.switches {
+		for _, in := range sw.In {
+			rs := in.route
+			if rs == nil {
+				continue
+			}
+			f := in.front()
+			if rs.sink {
+				// Drain dropped packets at one flit per cycle.
+				if f != nil {
+					e.consumeSunk(in, f)
+				}
+				continue
+			}
+			if !rs.allGranted() {
+				if f != nil {
+					in.BlockedCycles++
+				}
+				continue
+			}
+			if f == nil {
+				continue // waiting for upstream flits; not "blocked" locally
+			}
+			ok := true
+			for _, o := range rs.outs {
+				op := sw.Out[o]
+				if op.credits < 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				in.BlockedCycles++
+				continue
+			}
+			// Stage physical channel requests.
+			for _, o := range rs.outs {
+				op := sw.Out[o]
+				if op.phys != nil {
+					if _, seen := physWants[op.phys]; !seen {
+						physOrder = append(physOrder, op.phys)
+					}
+					physWants[op.phys] = append(physWants[op.phys], op)
+				}
+			}
+			readies = append(readies, ready{in: in})
+		}
+	}
+	// Phase B: physical-channel arbitration, round-robin over member index.
+	for _, pc := range physOrder {
+		wants := physWants[pc]
+		// Pick the requesting member closest after the arb pointer.
+		best := -1
+		bestRank := len(pc.members) + 1
+		for _, op := range wants {
+			mi := pc.memberIndex(op)
+			rank := (mi - pc.arb + len(pc.members)) % len(pc.members)
+			if rank < bestRank {
+				bestRank = rank
+				best = mi
+			}
+		}
+		if best >= 0 {
+			pc.granted = pc.members[best]
+			pc.arb = (best + 1) % len(pc.members)
+		}
+	}
+	// Phase C: move flits for inputs whose outputs all won their channels.
+	for _, r := range readies {
+		in := r.in
+		rs := in.route
+		committed := true
+		for _, o := range rs.outs {
+			op := in.node.Out[o]
+			if op.phys != nil && op.phys.granted != op {
+				committed = false
+				break
+			}
+		}
+		if !committed {
+			in.BlockedCycles++
+			continue
+		}
+		f := in.pop()
+		e.moves++
+		// Fan-out duplicates flits: resident grows by branches-1.
+		e.resident += int64(len(rs.outs) - 1)
+		for _, o := range rs.outs {
+			op := in.node.Out[o]
+			branch := *f
+			if f.Header != nil {
+				h := f.Header
+				if rs.transform != nil {
+					h = rs.transform(h)
+				} else if len(rs.outs) > 1 {
+					h = h.Clone()
+				}
+				branch.Header = h
+				if e.OnForward != nil {
+					e.OnForward(in.node, o, h, e.cycle)
+				}
+			}
+			op.link.pipe = append(op.link.pipe, linkEntry{f: &branch})
+			op.credits--
+			op.BusyCycles++
+		}
+		if f.Last {
+			for _, o := range rs.outs {
+				in.node.Out[o].owner = nil
+			}
+			in.route = nil
+		}
+	}
+}
+
+// consumeSunk drains one flit of a dropped packet.
+func (e *Engine) consumeSunk(in *InPort, f *flit.Flit) {
+	in.pop()
+	e.moves++
+	e.resident--
+	if f.Last {
+		in.route = nil
+	}
+}
+
+// inject moves endpoint source-queue flits onto their links.
+func (e *Engine) inject() {
+	for _, ep := range e.endpoints {
+		if len(ep.injectQ) == 0 {
+			continue
+		}
+		out := ep.Out[0]
+		if out.link == nil {
+			panic(fmt.Sprintf("engine: endpoint %q has no outbound link", ep.Name))
+		}
+		if out.credits < 1 {
+			continue
+		}
+		if out.phys != nil && out.phys.granted != out {
+			// Endpoints on shared channels arbitrate like switches; for
+			// simplicity they send only on otherwise-idle cycles.
+			if out.phys.granted != nil {
+				continue
+			}
+		}
+		f := ep.injectQ[0]
+		ep.injectQ = ep.injectQ[1:]
+		if f.Header != nil && e.OnForward != nil {
+			e.OnForward(ep, 0, f.Header, e.cycle)
+		}
+		out.link.pipe = append(out.link.pipe, linkEntry{f: f})
+		out.credits--
+		out.BusyCycles++
+		e.moves++
+		if f.Last {
+			ep.Sent++
+		}
+	}
+}
+
+func (pc *PhysChannel) memberIndex(op *OutPort) int {
+	for i, m := range pc.members {
+		if m == op {
+			return i
+		}
+	}
+	panic("engine: output port not a member of its physical channel")
+}

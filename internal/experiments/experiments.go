@@ -1,0 +1,113 @@
+// Package experiments regenerates every evaluated artifact of the paper.
+// The paper's evaluation is the sequence of figure-level scenarios
+// (Figs. 5-10) plus the qualitative Section 3 claims; DESIGN.md maps each to
+// an experiment id (E1-E10) and adds ablations (A1-A3). Each experiment
+// produces plain-text tables via internal/stats and a Pass verdict for its
+// "shape" criterion — the qualitative agreement the reproduction targets
+// (who deadlocks, who wins, what scales how), not absolute numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sr2201/internal/stats"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks sweeps for benchmarks and CI; the full runs are the
+	// defaults used to produce EXPERIMENTS.md.
+	Quick bool
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Paper names the artifact reproduced (figure/section).
+	Paper  string
+	Tables []*stats.Table
+	Notes  []string
+	// Pass records whether the shape criterion held.
+	Pass bool
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s (%s) [%s]\n", r.ID, r.Title, r.Paper, verdict)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Run   func(Options) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment, ordered by id (E* before A*).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	rank := func(id string) int {
+		switch id[0] {
+		case 'E':
+			return 0
+		case 'A':
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if rank(a) != rank(b) {
+			return rank(a) < rank(b)
+		}
+		var an, bn int
+		fmt.Sscanf(a[1:], "%d", &an)
+		fmt.Sscanf(b[1:], "%d", &bn)
+		return an < bn
+	})
+	return out
+}
+
+// ByID fetches one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2", "A3", "V1"}
+	if len(all) < len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want at least %d", len(all), len(wantIDs))
+	}
+	for _, id := range wantIDs {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	// Ordering: E-group ascending, then A-group.
+	for i, id := range wantIDs {
+		if all[i].ID != id {
+			t.Errorf("position %d = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, ok := ByID("Z9"); ok {
+		t.Error("bogus id resolved")
+	}
+}
+
+// Every experiment must run in Quick mode, produce at least one table, and
+// meet its shape criterion — these are the reproduction's headline checks.
+func TestAllExperimentsQuickPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range r.Tables {
+				if tb.Rows() == 0 {
+					t.Errorf("%s has an empty table %q", e.ID, tb.Title)
+				}
+			}
+			if !r.Pass {
+				t.Errorf("%s shape criterion failed:\n%s", e.ID, r.String())
+			}
+			s := r.String()
+			if !strings.Contains(s, e.ID) {
+				t.Errorf("%s report missing id:\n%s", e.ID, s)
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+// Package fault models network faults and the SR2201's distributed fault
+// information. Following the paper's Section 4, when a switch is faulty "the
+// information of the switches to which it is connected is set in advance" on
+// its neighbors: routers hold a few bits about the crossbars they attach to,
+// and crossbars hold a few bits about the routers they attach to. The
+// routing policies consult only this neighbor-local information, never a
+// global fault map, mirroring the hardware's minimal-cost design.
+package fault
+
+import (
+	"fmt"
+
+	"sr2201/internal/geom"
+)
+
+// Kind classifies a faulty switch.
+type Kind uint8
+
+const (
+	// KindRouter marks a faulty relay switch (RTC). Its PE is cut off.
+	KindRouter Kind = iota
+	// KindXB marks a faulty crossbar switch.
+	KindXB
+)
+
+// Fault identifies one faulty switch.
+type Fault struct {
+	Kind Kind
+	// Coord locates a faulty router (KindRouter).
+	Coord geom.Coord
+	// Line locates a faulty crossbar (KindXB).
+	Line geom.Line
+}
+
+// RouterFault returns a Fault marking the router at c.
+func RouterFault(c geom.Coord) Fault { return Fault{Kind: KindRouter, Coord: c} }
+
+// XBFault returns a Fault marking the crossbar of line l.
+func XBFault(l geom.Line) Fault { return Fault{Kind: KindXB, Line: l} }
+
+// String renders the fault.
+func (f Fault) String() string {
+	if f.Kind == KindRouter {
+		return "router@" + f.Coord.String()
+	}
+	return "xb@" + f.Line.String()
+}
+
+// Set is the collection of faults present in the network, with the
+// neighbor-information queries the routing hardware would answer from its
+// pre-set bits. The zero value... is not usable; call NewSet.
+type Set struct {
+	shape   geom.Shape
+	routers map[geom.Coord]bool
+	xbs     map[geom.Line]bool
+	list    []Fault
+}
+
+// NewSet creates an empty fault set for a network of the given shape.
+func NewSet(shape geom.Shape) *Set {
+	return &Set{
+		shape:   shape,
+		routers: map[geom.Coord]bool{},
+		xbs:     map[geom.Line]bool{},
+	}
+}
+
+// Add marks a switch faulty. It validates that the fault lies inside the
+// network. The paper's facility is specified for a single faulty point;
+// callers may add more, but the routing guarantees then no longer hold.
+func (s *Set) Add(f Fault) error {
+	switch f.Kind {
+	case KindRouter:
+		if !s.shape.Contains(f.Coord) {
+			return fmt.Errorf("fault: router %v outside shape", f.Coord)
+		}
+		s.routers[f.Coord] = true
+	case KindXB:
+		if f.Line.Dim < 0 || f.Line.Dim >= s.shape.Dims() {
+			return fmt.Errorf("fault: crossbar dimension %d outside shape", f.Line.Dim)
+		}
+		if !s.shape.Contains(f.Line.Point(0)) {
+			return fmt.Errorf("fault: crossbar %v outside shape", f.Line)
+		}
+		s.xbs[f.Line] = true
+	default:
+		return fmt.Errorf("fault: unknown kind %d", f.Kind)
+	}
+	s.list = append(s.list, f)
+	return nil
+}
+
+// Count reports the number of faults.
+func (s *Set) Count() int { return len(s.list) }
+
+// List returns the faults in insertion order.
+func (s *Set) List() []Fault { return append([]Fault(nil), s.list...) }
+
+// RouterFaulty reports whether the router at c is faulty. Policies must call
+// this only for routers adjacent to the querying switch (the neighbor-bits
+// discipline).
+func (s *Set) RouterFaulty(c geom.Coord) bool { return s.routers[c] }
+
+// XBFaulty reports whether the crossbar of line l is faulty. Same adjacency
+// discipline as RouterFaulty.
+func (s *Set) XBFaulty(l geom.Line) bool { return s.xbs[l] }
+
+// LineTouched reports whether the line's crossbar is faulty or any router on
+// the line is faulty. The S-XB substitution rule uses it: "if the XB
+// connected to the S-XB is faulty, another XB ... substitutes for the S-XB".
+func (s *Set) LineTouched(l geom.Line) bool {
+	if s.xbs[l] {
+		return true
+	}
+	for v := 0; v < s.shape[l.Dim]; v++ {
+		if s.routers[l.Point(v)] {
+			return true
+		}
+	}
+	return false
+}
+
+// PEAlive reports whether the PE at c can use the network at all: its relay
+// switch must be healthy.
+func (s *Set) PEAlive(c geom.Coord) bool { return !s.routers[c] }
+
+// DetourPort returns the statically designated detour router port for the
+// dim-0 crossbar of line l: the lowest port whose router is healthy. This is
+// the paper's "specific RTC (the detour RTC) ... determined by the network
+// hardware in advance". The second result is false when every router on the
+// line is faulty (impossible under the single-fault assumption on lines of
+// length ≥ 2).
+func (s *Set) DetourPort(l geom.Line) (int, bool) {
+	for v := 0; v < s.shape[l.Dim]; v++ {
+		if !s.routers[l.Point(v)] {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Shape returns the lattice shape the set was built for.
+func (s *Set) Shape() geom.Shape { return s.shape }

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+
+	"sr2201/internal/geom"
+)
+
+func shape43() geom.Shape { return geom.MustShape(4, 3) }
+
+func TestAddValidation(t *testing.T) {
+	s := NewSet(shape43())
+	if err := s.Add(RouterFault(geom.Coord{1, 1})); err != nil {
+		t.Fatalf("valid router fault rejected: %v", err)
+	}
+	if err := s.Add(RouterFault(geom.Coord{4, 0})); err == nil {
+		t.Error("out-of-range router fault accepted")
+	}
+	if err := s.Add(XBFault(geom.Line{Dim: 0, Fixed: geom.Coord{0, 2}})); err != nil {
+		t.Fatalf("valid crossbar fault rejected: %v", err)
+	}
+	if err := s.Add(XBFault(geom.Line{Dim: 2, Fixed: geom.Coord{}})); err == nil {
+		t.Error("out-of-dims crossbar fault accepted")
+	}
+	if err := s.Add(XBFault(geom.Line{Dim: 0, Fixed: geom.Coord{0, 5}})); err == nil {
+		t.Error("out-of-range crossbar fault accepted")
+	}
+	if err := s.Add(Fault{Kind: Kind(9)}); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if s.Count() != 2 {
+		t.Errorf("count = %d, want 2", s.Count())
+	}
+	if got := len(s.List()); got != 2 {
+		t.Errorf("list = %d entries", got)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	s := NewSet(shape43())
+	r := geom.Coord{2, 1}
+	if err := s.Add(RouterFault(r)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RouterFaulty(r) || s.RouterFaulty(geom.Coord{0, 0}) {
+		t.Error("RouterFaulty wrong")
+	}
+	if s.PEAlive(r) || !s.PEAlive(geom.Coord{0, 0}) {
+		t.Error("PEAlive wrong")
+	}
+	xl := geom.Line{Dim: 1, Fixed: geom.Coord{3, 0}}
+	if err := s.Add(XBFault(xl)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.XBFaulty(xl) || s.XBFaulty(geom.Line{Dim: 1, Fixed: geom.Coord{0, 0}}) {
+		t.Error("XBFaulty wrong")
+	}
+}
+
+func TestLineTouched(t *testing.T) {
+	s := NewSet(shape43())
+	if err := s.Add(RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	// The dim-0 line through (2,1) is touched; the dim-0 line at row 0 isn't.
+	if !s.LineTouched(geom.LineOf(geom.Coord{2, 1}, 0)) {
+		t.Error("row 1 not touched")
+	}
+	if s.LineTouched(geom.LineOf(geom.Coord{0, 0}, 0)) {
+		t.Error("row 0 touched")
+	}
+	// The dim-1 line through (2,1) is also touched.
+	if !s.LineTouched(geom.LineOf(geom.Coord{2, 1}, 1)) {
+		t.Error("column 2 not touched")
+	}
+	// A directly faulty crossbar touches its own line.
+	if err := s.Add(XBFault(geom.LineOf(geom.Coord{0, 2}, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if !s.LineTouched(geom.LineOf(geom.Coord{3, 2}, 0)) {
+		t.Error("faulted crossbar's line not touched")
+	}
+}
+
+func TestDetourPort(t *testing.T) {
+	s := NewSet(shape43())
+	l := geom.LineOf(geom.Coord{0, 1}, 0)
+	if p, ok := s.DetourPort(l); !ok || p != 0 {
+		t.Errorf("no-fault detour = %d,%v", p, ok)
+	}
+	if err := s.Add(RouterFault(geom.Coord{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := s.DetourPort(l); !ok || p != 1 {
+		t.Errorf("detour with port-0 router down = %d,%v", p, ok)
+	}
+	// Kill every router on the line: no detour port remains.
+	for v := 1; v < 4; v++ {
+		if err := s.Add(RouterFault(geom.Coord{v, 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.DetourPort(l); ok {
+		t.Error("detour port found on a fully dead line")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	if got := RouterFault(geom.Coord{1, 2}).String(); got != "router@(1,2)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := XBFault(geom.Line{Dim: 1, Fixed: geom.Coord{3, 0}}).String(); got != "xb@dim1@(3,0)" {
+		t.Errorf("String = %q", got)
+	}
+}

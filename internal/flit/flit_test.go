@@ -1,0 +1,136 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sr2201/internal/geom"
+)
+
+func TestRCString(t *testing.T) {
+	cases := map[RC]string{
+		RCNormal:           "normal",
+		RCBroadcastRequest: "broadcast-request",
+		RCBroadcast:        "broadcast",
+		RCDetour:           "detour",
+		RC(9):              "RC(9)",
+	}
+	for rc, want := range cases {
+		if got := rc.String(); got != want {
+			t.Errorf("RC(%d).String() = %q, want %q", rc, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindHeader: "header",
+		KindBody:   "body",
+		KindTail:   "tail",
+		Kind(9):    "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNewPacketSingleFlit(t *testing.T) {
+	h := &Header{PacketID: 1, Src: geom.Coord{0, 0}, Dst: geom.Coord{1, 1}}
+	fs := NewPacket(h, 1)
+	if len(fs) != 1 {
+		t.Fatalf("got %d flits", len(fs))
+	}
+	f := fs[0]
+	if f.Kind != KindHeader || !f.Last || f.Header != h || f.Seq != 0 {
+		t.Errorf("single flit = %+v", f)
+	}
+	if h.Size != 1 {
+		t.Errorf("header size = %d", h.Size)
+	}
+}
+
+func TestNewPacketStructure(t *testing.T) {
+	h := &Header{PacketID: 42}
+	fs := NewPacket(h, 5)
+	if len(fs) != 5 {
+		t.Fatalf("got %d flits", len(fs))
+	}
+	if fs[0].Kind != KindHeader || fs[0].Last {
+		t.Errorf("flit 0 = %+v", fs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if fs[i].Kind != KindBody || fs[i].Last || fs[i].Header != nil {
+			t.Errorf("flit %d = %+v", i, fs[i])
+		}
+	}
+	if fs[4].Kind != KindTail || !fs[4].Last {
+		t.Errorf("tail = %+v", fs[4])
+	}
+	for i, f := range fs {
+		if f.Seq != i || f.PacketID != 42 {
+			t.Errorf("flit %d: seq=%d id=%d", i, f.Seq, f.PacketID)
+		}
+	}
+}
+
+func TestNewPacketPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPacket(0) did not panic")
+		}
+	}()
+	NewPacket(&Header{}, 0)
+}
+
+func TestHeaderClone(t *testing.T) {
+	h := &Header{PacketID: 3, RC: RCDetour, Dst: geom.Coord{2, 1}}
+	c := h.Clone()
+	if c == h {
+		t.Fatal("Clone returned the receiver")
+	}
+	c.RC = RCNormal
+	if h.RC != RCDetour {
+		t.Error("Clone aliases receiver")
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	h := &Header{PacketID: 7}
+	fs := NewPacket(h, 3)
+	if got := fs[0].String(); got != "pkt7.header" {
+		t.Errorf("header string %q", got)
+	}
+	if got := fs[1].String(); got != "pkt7.body[1]" {
+		t.Errorf("body string %q", got)
+	}
+	if got := fs[2].String(); got != "pkt7.tail[2]" {
+		t.Errorf("tail string %q", got)
+	}
+}
+
+// Property: for any size >= 1, exactly one header, exactly one Last flit, and
+// seq numbers are 0..size-1.
+func TestQuickPacketInvariants(t *testing.T) {
+	f := func(raw uint8) bool {
+		size := int(raw)%32 + 1
+		fs := NewPacket(&Header{PacketID: uint64(raw)}, size)
+		headers, lasts := 0, 0
+		for i, fl := range fs {
+			if fl.Seq != i {
+				return false
+			}
+			if fl.Kind == KindHeader {
+				headers++
+			}
+			if fl.Last {
+				lasts++
+			}
+		}
+		return headers == 1 && lasts == 1 && fs[len(fs)-1].Last
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package mdxb
+
+import (
+	"strings"
+	"testing"
+
+	"sr2201/internal/engine"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+)
+
+func build(t *testing.T, extents ...int) (*Network, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.DefaultConfig())
+	return Build(eng, geom.MustShape(extents...)), eng
+}
+
+// The wiring contract every routing policy relies on: router port k attaches
+// to the dim-k crossbar through its lattice point (entering the crossbar at
+// the port matching its own coordinate), and router port d attaches to the
+// local PE.
+func TestWiringContract(t *testing.T) {
+	for _, extents := range [][]int{{4, 3}, {3, 2, 2}, {5}} {
+		net, _ := build(t, extents...)
+		shape := net.Shape
+		d := shape.Dims()
+		shape.Enumerate(func(c geom.Coord) bool {
+			rtr := net.Router(c)
+			if len(rtr.In) != d+1 || len(rtr.Out) != d+1 {
+				t.Fatalf("%v: router has %d ports, want %d", extents, len(rtr.In), d+1)
+			}
+			for k := 0; k < d; k++ {
+				down := rtr.Out[k].DownstreamIn()
+				if down == nil {
+					t.Fatalf("%v: router %v port %d unconnected", extents, c, k)
+				}
+				wantXB := net.XBThrough(c, k)
+				if down.Node() != wantXB {
+					t.Fatalf("%v: router %v port %d leads to %s, want %s", extents, c, k, down.Node().Name, wantXB.Name)
+				}
+				if down.Index() != c[k] {
+					t.Fatalf("%v: router %v enters %s at port %d, want %d", extents, c, wantXB.Name, down.Index(), c[k])
+				}
+			}
+			pe := rtr.Out[d].DownstreamIn()
+			if pe == nil || pe.Node() != net.PE(c) {
+				t.Fatalf("%v: router %v PE port misconnected", extents, c)
+			}
+			return true
+		})
+		// Crossbar side: port v of the dim-k crossbar of line l reaches the
+		// router at l.Point(v), entering on the router's dim-k port.
+		for k := 0; k < d; k++ {
+			for _, l := range shape.LinesAlong(k) {
+				xb := net.XB(l)
+				if len(xb.In) != shape[k] {
+					t.Fatalf("%v: %s has %d ports, want %d", extents, xb.Name, len(xb.In), shape[k])
+				}
+				for v := 0; v < shape[k]; v++ {
+					down := xb.Out[v].DownstreamIn()
+					if down == nil || down.Node() != net.Router(l.Point(v)) || down.Index() != k {
+						t.Fatalf("%v: %s port %d misconnected", extents, xb.Name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNodeNaming(t *testing.T) {
+	net, _ := build(t, 4, 3)
+	if got := net.PE(geom.Coord{2, 1}).Name; got != "PE(2,1)" {
+		t.Errorf("PE name = %q", got)
+	}
+	if got := net.Router(geom.Coord{2, 1}).Name; got != "RTC(2,1)" {
+		t.Errorf("router name = %q", got)
+	}
+	if got := net.XBThrough(geom.Coord{2, 1}, 0).Name; got != "XB0(0,1)" {
+		t.Errorf("dim-0 crossbar name = %q", got)
+	}
+	if got := net.XBThrough(geom.Coord{2, 1}, 1).Name; got != "XB1(2,0)" {
+		t.Errorf("dim-1 crossbar name = %q", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	net, _ := build(t, 4, 3)
+	r, x := net.SwitchCount()
+	if r != 12 || x != 7 {
+		t.Errorf("switch count = %d, %d", r, x)
+	}
+	// 12 routers x 3 ports + 3 dim-0 crossbars x 4 + 4 dim-1 crossbars x 3.
+	if got := net.PortCount(); got != 12*3+3*4+4*3 {
+		t.Errorf("port count = %d", got)
+	}
+	if net.Dims() != 2 || net.RouterPortPE() != 2 {
+		t.Errorf("dims/PE port = %d/%d", net.Dims(), net.RouterPortPE())
+	}
+	if got := len(net.PEs()); got != 12 {
+		t.Errorf("PEs = %d", got)
+	}
+	if got := len(net.Routers()); got != 12 {
+		t.Errorf("routers = %d", got)
+	}
+	if got := len(net.XBs(0)); got != 3 {
+		t.Errorf("dim-0 crossbars = %d", got)
+	}
+}
+
+// Without a policy, any injected packet is dropped with a clear reason
+// rather than wedging or panicking.
+func TestNoPolicyDrops(t *testing.T) {
+	net, eng := build(t, 2, 2)
+	var reason string
+	eng.OnDrop = func(d engine.Drop) { reason = d.Reason }
+	h := &flit.Header{PacketID: 1, Dst: geom.Coord{1, 1}}
+	eng.Inject(net.PE(geom.Coord{0, 0}), flit.NewPacket(h, 2))
+	if !eng.RunUntilQuiescent(1000) {
+		t.Fatal("did not drain")
+	}
+	if reason == "" {
+		t.Fatal("no drop reported")
+	}
+	if !strings.Contains(reason, "no routing policy") {
+		t.Errorf("drop reason = %q", reason)
+	}
+	if net.Policy() != nil {
+		t.Error("policy non-nil before SetPolicy")
+	}
+}

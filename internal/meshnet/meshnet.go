@@ -1,0 +1,335 @@
+// Package meshnet builds the baseline interconnects the paper's Section 3
+// compares the multi-dimensional crossbar against: a 2D mesh with
+// dimension-order (XY) routing, and a 2D torus with minimal e-cube routing
+// made deadlock-free by two dateline virtual channels per direction (Dally &
+// Seitz), the scheme of the CRAY T3D the paper cites. A deliberately broken
+// TorusNoVC variant demonstrates why the virtual channels are needed.
+//
+// Both run on the same simulation kernel as the crossbar, so latency,
+// throughput and conflict numbers are directly comparable.
+package meshnet
+
+import (
+	"fmt"
+
+	"sr2201/internal/deadlock"
+	"sr2201/internal/engine"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+	"sr2201/internal/stats"
+)
+
+// Kind selects the baseline topology.
+type Kind uint8
+
+const (
+	// Mesh is a 2D mesh with XY routing (deadlock-free).
+	Mesh Kind = iota
+	// Torus is a 2D torus with minimal e-cube routing and dateline virtual
+	// channels (deadlock-free).
+	Torus
+	// TorusNoVC is the torus without virtual channels: minimal e-cube over
+	// single channels, which deadlocks under load (kept as a demonstration).
+	TorusNoVC
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Mesh:
+		return "mesh"
+	case Torus:
+		return "torus"
+	case TorusNoVC:
+		return "torus-novc"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Directions and port numbering. Mesh routers have ports dirE..dirS plus
+// local; torus routers have two virtual-channel ports per direction plus
+// local.
+const (
+	dirE = 0 // +x
+	dirW = 1 // -x
+	dirN = 2 // +y
+	dirS = 3 // -y
+)
+
+// Delivery records one consumed packet.
+type Delivery struct {
+	PacketID uint64
+	Src, At  geom.Coord
+	Cycle    int64
+	Latency  int64
+}
+
+// Net is a built baseline network.
+type Net struct {
+	kind    Kind
+	shape   geom.Shape
+	eng     *engine.Engine
+	pes     []*engine.Node
+	routers []*engine.Node
+
+	nextID         uint64
+	deliveries     []Delivery
+	latency        stats.Latency
+	stallThreshold int64
+}
+
+type routerMeta struct {
+	coord geom.Coord
+	net   *Net
+}
+
+// Config parameterizes a baseline network.
+type Config struct {
+	Kind  Kind
+	Shape geom.Shape // must be 2D
+	// Engine overrides kernel parameters (zero value = engine.DefaultConfig).
+	Engine engine.Config
+	// StallThreshold configures the deadlock watchdog (0 = package default).
+	StallThreshold int64
+}
+
+// New builds the baseline network.
+func New(cfg Config) (*Net, error) {
+	if cfg.Shape.Dims() != 2 {
+		return nil, fmt.Errorf("meshnet: shape must be 2-dimensional, got %d", cfg.Shape.Dims())
+	}
+	if cfg.Kind != Mesh && (cfg.Shape[0] < 3 || cfg.Shape[1] < 3) {
+		return nil, fmt.Errorf("meshnet: torus extents must be at least 3, got %v", cfg.Shape)
+	}
+	ecfg := cfg.Engine
+	if ecfg == (engine.Config{}) {
+		ecfg = engine.DefaultConfig()
+	}
+	n := &Net{kind: cfg.Kind, shape: cfg.Shape, eng: engine.New(ecfg), stallThreshold: cfg.StallThreshold}
+
+	ports := 5 // 4 directions + local
+	route := meshRoute
+	if cfg.Kind == Torus {
+		ports = 9 // 4 directions x 2 VCs + local
+		route = torusVCRoute
+	} else if cfg.Kind == TorusNoVC {
+		route = torusNoVCRoute
+	}
+
+	size := cfg.Shape.Size()
+	n.pes = make([]*engine.Node, size)
+	n.routers = make([]*engine.Node, size)
+	for i := 0; i < size; i++ {
+		c := cfg.Shape.CoordOf(i)
+		n.pes[i] = n.eng.AddEndpoint("PE"+c.In(2), c)
+		n.routers[i] = n.eng.AddSwitch(fmt.Sprintf("%s%s", cfg.Kind, c.In(2)), ports, route, routerMeta{coord: c, net: n})
+		n.eng.Connect(n.pes[i], 0, n.routers[i], ports-1)
+	}
+
+	nx, ny := cfg.Shape[0], cfg.Shape[1]
+	link := func(a, b geom.Coord, dirAB, dirBA int) {
+		ra, rb := n.Router(a), n.Router(b)
+		if cfg.Kind == Torus {
+			for vc := 0; vc < 2; vc++ {
+				n.eng.Connect(ra, dirAB*2+vc, rb, dirBA*2+vc)
+			}
+			n.eng.SharePhysical(ra.Out[dirAB*2], ra.Out[dirAB*2+1])
+			n.eng.SharePhysical(rb.Out[dirBA*2], rb.Out[dirBA*2+1])
+		} else {
+			n.eng.Connect(ra, dirAB, rb, dirBA)
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			c := geom.Coord{x, y}
+			if x+1 < nx {
+				link(c, geom.Coord{x + 1, y}, dirE, dirW)
+			} else if cfg.Kind != Mesh && nx > 2 {
+				link(c, geom.Coord{0, y}, dirE, dirW) // wraparound
+			}
+			if y+1 < ny {
+				link(c, geom.Coord{x, y + 1}, dirN, dirS)
+			} else if cfg.Kind != Mesh && ny > 2 {
+				link(c, geom.Coord{x, 0}, dirN, dirS)
+			}
+		}
+	}
+
+	n.eng.OnDeliver = func(d engine.Delivery) {
+		h := d.Header
+		del := Delivery{
+			PacketID: h.PacketID,
+			Src:      h.Src,
+			At:       d.At.Meta.(geom.Coord),
+			Cycle:    d.Cycle,
+			Latency:  d.Cycle - h.InjectedAt,
+		}
+		n.deliveries = append(n.deliveries, del)
+		n.latency.Add(del.Latency)
+	}
+	return n, nil
+}
+
+// Kind reports the baseline topology kind.
+func (n *Net) Kind() Kind { return n.kind }
+
+// Shape reports the lattice shape.
+func (n *Net) Shape() geom.Shape { return n.shape }
+
+// Router returns the router at c.
+func (n *Net) Router(c geom.Coord) *engine.Node { return n.routers[n.shape.Index(c)] }
+
+// PE returns the endpoint at c.
+func (n *Net) PE(c geom.Coord) *engine.Node { return n.pes[n.shape.Index(c)] }
+
+// Engine exposes the simulation kernel.
+func (n *Net) Engine() *engine.Engine { return n.eng }
+
+// Alive always reports true: the baselines model no faults.
+func (n *Net) Alive(geom.Coord) bool { return true }
+
+// Send queues a point-to-point packet.
+func (n *Net) Send(src, dst geom.Coord, size int) (uint64, error) {
+	if !n.shape.Contains(src) || !n.shape.Contains(dst) {
+		return 0, fmt.Errorf("meshnet: src %v or dst %v outside shape", src, dst)
+	}
+	if size <= 0 {
+		size = 8
+	}
+	n.nextID++
+	h := &flit.Header{PacketID: n.nextID, Src: src, Dst: dst}
+	n.eng.Inject(n.PE(src), flit.NewPacket(h, size))
+	return n.nextID, nil
+}
+
+// Broadcast is unsupported on the baselines (the paper's comparison systems
+// broadcast in software).
+func (n *Net) Broadcast(geom.Coord, int) (uint64, int, error) {
+	return 0, 0, fmt.Errorf("meshnet: %s has no hardware broadcast", n.kind)
+}
+
+// Step advances one cycle.
+func (n *Net) Step() { n.eng.Step() }
+
+// Run steps until drain, deadlock, or budget exhaustion.
+func (n *Net) Run(maxCycles int64) deadlock.Outcome {
+	return deadlock.Run(n.eng, maxCycles, n.stallThreshold)
+}
+
+// Deliveries returns recorded deliveries.
+func (n *Net) Deliveries() []Delivery { return n.deliveries }
+
+// ResetStats clears recorded deliveries and latencies.
+func (n *Net) ResetStats() {
+	n.deliveries = nil
+	n.latency = stats.Latency{}
+}
+
+// Latency returns the point-to-point latency distribution.
+func (n *Net) Latency() *stats.Latency { return &n.latency }
+
+// BroadcastLatency returns an empty distribution (no hardware broadcast).
+func (n *Net) BroadcastLatency() *stats.Latency { return new(stats.Latency) }
+
+// meshRoute is dimension-order XY routing on the mesh.
+func meshRoute(nd *engine.Node, in int, h *flit.Header) (engine.Decision, error) {
+	c := nd.Meta.(routerMeta).coord
+	switch {
+	case h.Dst[0] > c[0]:
+		return engine.Decision{Outs: []int{dirE}}, nil
+	case h.Dst[0] < c[0]:
+		return engine.Decision{Outs: []int{dirW}}, nil
+	case h.Dst[1] > c[1]:
+		return engine.Decision{Outs: []int{dirN}}, nil
+	case h.Dst[1] < c[1]:
+		return engine.Decision{Outs: []int{dirS}}, nil
+	default:
+		return engine.Decision{Outs: []int{4}}, nil
+	}
+}
+
+// torusDir picks the minimal direction and distance along one dimension of a
+// torus (ties go the positive way).
+func torusDir(from, to, extent int) (dir, dist int) {
+	if from == to {
+		return -1, 0
+	}
+	fwd := ((to - from) + extent) % extent
+	bwd := extent - fwd
+	if fwd <= bwd {
+		return +1, fwd
+	}
+	return -1, bwd
+}
+
+// torusVCRoute is minimal e-cube routing with dateline virtual channels:
+// VC0 until the packet crosses the wraparound edge of the current dimension,
+// VC1 from the wrap hop on (sticky: a packet arriving on VC1 stays on VC1
+// within the dimension).
+func torusVCRoute(nd *engine.Node, in int, h *flit.Header) (engine.Decision, error) {
+	meta := nd.Meta.(routerMeta)
+	c := meta.coord
+	shape := meta.net.shape
+	for dim := 0; dim < 2; dim++ {
+		if c[dim] == h.Dst[dim] {
+			continue
+		}
+		sign, _ := torusDir(c[dim], h.Dst[dim], shape[dim])
+		dir := dirE
+		wraps := false
+		if dim == 0 {
+			if sign > 0 {
+				dir = dirE
+				wraps = c[0] == shape[0]-1
+			} else {
+				dir = dirW
+				wraps = c[0] == 0
+			}
+		} else {
+			if sign > 0 {
+				dir = dirN
+				wraps = c[1] == shape[1]-1
+			} else {
+				dir = dirS
+				wraps = c[1] == 0
+			}
+		}
+		vc := 0
+		// Sticky VC1: a packet continuing in direction dir arrived on the
+		// opposite side's input port (E/W and N/S pair up as dir^1).
+		if in == (dir^1)*2+1 {
+			vc = 1
+		}
+		if wraps {
+			vc = 1
+		}
+		return engine.Decision{Outs: []int{dir*2 + vc}}, nil
+	}
+	return engine.Decision{Outs: []int{8}}, nil
+}
+
+// torusNoVCRoute is minimal e-cube over single channels — the deadlock-prone
+// variant kept for demonstration.
+func torusNoVCRoute(nd *engine.Node, in int, h *flit.Header) (engine.Decision, error) {
+	meta := nd.Meta.(routerMeta)
+	c := meta.coord
+	shape := meta.net.shape
+	for dim := 0; dim < 2; dim++ {
+		if c[dim] == h.Dst[dim] {
+			continue
+		}
+		sign, _ := torusDir(c[dim], h.Dst[dim], shape[dim])
+		if dim == 0 {
+			if sign > 0 {
+				return engine.Decision{Outs: []int{dirE}}, nil
+			}
+			return engine.Decision{Outs: []int{dirW}}, nil
+		}
+		if sign > 0 {
+			return engine.Decision{Outs: []int{dirN}}, nil
+		}
+		return engine.Decision{Outs: []int{dirS}}, nil
+	}
+	return engine.Decision{Outs: []int{4}}, nil
+}

@@ -1,0 +1,250 @@
+package meshnet
+
+import (
+	"testing"
+
+	"sr2201/internal/engine"
+	"sr2201/internal/geom"
+	"sr2201/internal/traffic"
+)
+
+var _ traffic.Target = (*Net)(nil)
+
+func mustNet(t *testing.T, kind Kind, shape geom.Shape) *Net {
+	t.Helper()
+	n, err := New(Config{Kind: kind, Shape: shape, StallThreshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Kind: Mesh, Shape: geom.MustShape(4)}); err == nil {
+		t.Error("1D shape accepted")
+	}
+	if _, err := New(Config{Kind: Torus, Shape: geom.MustShape(2, 4)}); err == nil {
+		t.Error("extent-2 torus accepted")
+	}
+	if _, err := New(Config{Kind: Mesh, Shape: geom.MustShape(2, 2)}); err != nil {
+		t.Errorf("2x2 mesh rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Mesh.String() != "mesh" || Torus.String() != "torus" || TorusNoVC.String() != "torus-novc" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestMeshAllPairs(t *testing.T) {
+	n := mustNet(t, Mesh, geom.MustShape(4, 4))
+	shape := n.Shape()
+	count := 0
+	shape.Enumerate(func(src geom.Coord) bool {
+		shape.Enumerate(func(dst geom.Coord) bool {
+			if src == dst {
+				return true
+			}
+			if _, err := n.Send(src, dst, 3); err != nil {
+				t.Fatal(err)
+			}
+			count++
+			return true
+		})
+		return true
+	})
+	out := n.Run(200_000)
+	if !out.Drained {
+		t.Fatalf("outcome %+v\n%s", out, out.Report.Describe())
+	}
+	if len(n.Deliveries()) != count {
+		t.Fatalf("delivered %d/%d", len(n.Deliveries()), count)
+	}
+	for _, d := range n.Deliveries() {
+		if d.Latency <= 0 {
+			t.Errorf("latency %d", d.Latency)
+		}
+	}
+}
+
+func TestTorusAllPairs(t *testing.T) {
+	n := mustNet(t, Torus, geom.MustShape(4, 4))
+	shape := n.Shape()
+	count := 0
+	shape.Enumerate(func(src geom.Coord) bool {
+		shape.Enumerate(func(dst geom.Coord) bool {
+			if src == dst {
+				return true
+			}
+			if _, err := n.Send(src, dst, 3); err != nil {
+				t.Fatal(err)
+			}
+			count++
+			return true
+		})
+		return true
+	})
+	out := n.Run(500_000)
+	if !out.Drained {
+		t.Fatalf("outcome %+v\n%s", out, out.Report.Describe())
+	}
+	if len(n.Deliveries()) != count {
+		t.Fatalf("delivered %d/%d", len(n.Deliveries()), count)
+	}
+}
+
+// Minimal torus routing must beat the mesh on wrap pairs: corner to corner
+// on a 5x5 is 8 mesh hops but only 2 torus hops.
+func TestTorusUsesWraparound(t *testing.T) {
+	hops := func(kind Kind) int64 {
+		n := mustNet(t, kind, geom.MustShape(5, 5))
+		if _, err := n.Send(geom.Coord{0, 0}, geom.Coord{4, 4}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if out := n.Run(10_000); !out.Drained {
+			t.Fatalf("%v did not drain", kind)
+		}
+		return n.Deliveries()[0].Latency
+	}
+	mesh, torus := hops(Mesh), hops(Torus)
+	if torus >= mesh {
+		t.Errorf("torus latency %d not below mesh %d", torus, mesh)
+	}
+}
+
+// The dateline virtual channels keep the torus deadlock-free under traffic
+// that saturates the rings; the same traffic wedges the no-VC torus.
+func TestTorusVCPreventsDeadlock(t *testing.T) {
+	load := func(kind Kind) (drained, deadlocked bool) {
+		n := mustNet(t, kind, geom.MustShape(4, 4))
+		shape := n.Shape()
+		// All-to-all ring pressure: every PE sends a long packet halfway
+		// around its row, all simultaneously, then the same down columns.
+		shape.Enumerate(func(src geom.Coord) bool {
+			dst := geom.Coord{(src[0] + 2) % 4, src[1]}
+			if _, err := n.Send(src, dst, 24); err != nil {
+				t.Fatal(err)
+			}
+			dst2 := geom.Coord{src[0], (src[1] + 2) % 4}
+			if _, err := n.Send(src, dst2, 24); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		out := n.Run(500_000)
+		return out.Drained, out.Deadlocked
+	}
+	drained, deadlocked := load(Torus)
+	if !drained || deadlocked {
+		t.Errorf("VC torus: drained=%v deadlocked=%v", drained, deadlocked)
+	}
+	drained, deadlocked = load(TorusNoVC)
+	if drained || !deadlocked {
+		t.Errorf("no-VC torus: drained=%v deadlocked=%v (want deadlock)", drained, deadlocked)
+	}
+}
+
+func TestBroadcastUnsupported(t *testing.T) {
+	n := mustNet(t, Mesh, geom.MustShape(3, 3))
+	if _, _, err := n.Broadcast(geom.Coord{0, 0}, 4); err == nil {
+		t.Error("mesh broadcast accepted")
+	}
+	if n.BroadcastLatency().Count() != 0 {
+		t.Error("non-empty broadcast latency")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := mustNet(t, Mesh, geom.MustShape(3, 3))
+	if _, err := n.Send(geom.Coord{0, 0}, geom.Coord{5, 5}, 1); err == nil {
+		t.Error("out-of-shape send accepted")
+	}
+	if !n.Alive(geom.Coord{1, 1}) {
+		t.Error("baseline PE not alive")
+	}
+}
+
+func TestDriverOnMesh(t *testing.T) {
+	n := mustNet(t, Mesh, geom.MustShape(4, 4))
+	d := traffic.Driver{
+		M:       n,
+		Pattern: traffic.Uniform{Shape: n.Shape()},
+		Rate:    0.02,
+		Size:    4,
+		Seed:    11,
+		Warmup:  200,
+		Measure: 1000,
+	}
+	res := d.Run()
+	if res.Delivered == 0 || !res.Drained || res.Deadlocked {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestResetStatsAndAccessors(t *testing.T) {
+	n := mustNet(t, Mesh, geom.MustShape(3, 3))
+	if _, err := n.Send(geom.Coord{0, 0}, geom.Coord{2, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10_000)
+	if n.Latency().Count() != 1 {
+		t.Fatal("precondition")
+	}
+	n.ResetStats()
+	if n.Latency().Count() != 0 || len(n.Deliveries()) != 0 {
+		t.Error("stats not reset")
+	}
+	if n.Kind() != Mesh || n.Engine() == nil {
+		t.Error("accessors wrong")
+	}
+	if n.Router(geom.Coord{1, 2}) == nil || n.PE(geom.Coord{1, 2}) == nil {
+		t.Error("node lookup failed")
+	}
+}
+
+func TestTorusPhysicalChannelSharing(t *testing.T) {
+	// Each torus direction pair must share one physical channel: count the
+	// channels by checking a router's VC out ports are grouped. Indirect
+	// check: two parallel streams on the two VCs of one link cannot exceed
+	// one flit/cycle combined, so a single long stream and the same stream
+	// split across VCs finish in comparable time. Here we just assert the
+	// network functions with both VCs exercised (wrap + non-wrap traffic).
+	n := mustNet(t, Torus, geom.MustShape(4, 4))
+	if _, err := n.Send(geom.Coord{1, 0}, geom.Coord{2, 0}, 8); err != nil { // VC0 only
+		t.Fatal(err)
+	}
+	if _, err := n.Send(geom.Coord{3, 0}, geom.Coord{0, 0}, 8); err != nil { // wrap: VC1
+		t.Fatal(err)
+	}
+	out := n.Run(10_000)
+	if !out.Drained {
+		t.Fatalf("outcome %+v", out)
+	}
+	if len(n.Deliveries()) != 2 {
+		t.Errorf("delivered %d", len(n.Deliveries()))
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		n, err := New(Config{Kind: Mesh, Shape: geom.MustShape(4, 4), Engine: engine.Config{BufferDepth: 1, LinkDelay: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := n.Shape()
+		shape.Enumerate(func(src geom.Coord) bool {
+			if _, err := n.Send(src, geom.Coord{3 - src[0], 3 - src[1]}, 6); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		n.Run(100_000)
+		return n.Engine().Cycle(), n.Engine().Moves()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", c1, m1, c2, m2)
+	}
+}

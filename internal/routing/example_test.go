@@ -1,0 +1,43 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/routing"
+)
+
+// ExamplePolicy_UnicastPath walks the paper's Fig. 8 detour statically.
+func ExamplePolicy_UnicastPath() {
+	shape := geom.MustShape(4, 3)
+	faults := fault.NewSet(shape)
+	_ = faults.Add(fault.RouterFault(geom.Coord{2, 0})) // the turn router dies
+
+	p, _ := routing.New(routing.Config{Shape: shape, SXB: geom.Coord{0, 1}, Faults: faults})
+	path, _ := p.UnicastPath(geom.Coord{0, 0}, geom.Coord{2, 2})
+	for _, h := range path {
+		fmt.Println(h)
+	}
+	// Output:
+	// RTC(0,0)[normal]->0
+	// XB0(0,0)[normal]->0
+	// RTC(0,0)[detour]->1
+	// XB1(0,0)[detour]->1
+	// RTC(0,1)[detour]->0
+	// XB0(0,1)[detour]->2
+	// RTC(2,1)[normal]->1
+	// XB1(2,0)[normal]->2
+	// RTC(2,2)[normal]->2
+	// PE(2,2)
+}
+
+// ExamplePolicy_BroadcastTree shows the serialized broadcast's coverage.
+func ExamplePolicy_BroadcastTree() {
+	shape := geom.MustShape(4, 3)
+	p, _ := routing.New(routing.Config{Shape: shape})
+	tree, _ := p.BroadcastTree(geom.Coord{3, 2})
+	fmt.Printf("PEs covered: %d, depth: %d\n", len(tree.Delivered), tree.Depth)
+	// Output:
+	// PEs covered: 12, depth: 6
+}

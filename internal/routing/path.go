@@ -1,0 +1,316 @@
+package routing
+
+import (
+	"fmt"
+
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+)
+
+// This file provides static path walkers: they replay the exact switch
+// decisions of the Policy without running the simulator. They serve three
+// purposes: reachability prechecks at the send API (the NIA refusing
+// transmission to unreachable PEs), route verification in tests (the
+// simulated path must match the static path hop for hop), and the
+// figure-level walkthrough tool (cmd/mdxtrace).
+
+// HopKind classifies a path element.
+type HopKind uint8
+
+const (
+	// HopRouter is a relay switch (RTC).
+	HopRouter HopKind = iota
+	// HopXB is a crossbar switch.
+	HopXB
+	// HopPE is the final delivery into a processing element.
+	HopPE
+)
+
+// String names the hop kind.
+func (k HopKind) String() string {
+	switch k {
+	case HopRouter:
+		return "RTC"
+	case HopXB:
+		return "XB"
+	case HopPE:
+		return "PE"
+	default:
+		return fmt.Sprintf("HopKind(%d)", uint8(k))
+	}
+}
+
+// Hop is one element on a packet's path.
+type Hop struct {
+	Kind HopKind
+	// Coord locates a router or PE hop.
+	Coord geom.Coord
+	// Line identifies a crossbar hop.
+	Line geom.Line
+	// RC is the packet's route-change bit on arrival at this element.
+	RC flit.RC
+	// Out is the output port chosen (-1 at the final PE).
+	Out int
+}
+
+// String renders the hop, e.g. "RTC(1,2)[detour]->0".
+func (h Hop) String() string {
+	var where string
+	switch h.Kind {
+	case HopRouter:
+		where = "RTC" + h.Coord.String()
+	case HopXB:
+		where = fmt.Sprintf("XB%d%s", h.Line.Dim, h.Line.Fixed.String())
+	case HopPE:
+		return "PE" + h.Coord.String()
+	}
+	return fmt.Sprintf("%s[%s]->%d", where, h.RC, h.Out)
+}
+
+// maxWalkHops bounds path walks against routing-loop bugs.
+func (p *Policy) maxWalkHops() int { return 8*p.dims + 16 }
+
+// UnicastPath statically computes the full element path of a point-to-point
+// packet from src to dst, including any detour. It returns ErrUnreachable
+// (wrapped) when the present faults make delivery impossible, mirroring the
+// hardware "stops transmission" behavior.
+func (p *Policy) UnicastPath(src, dst geom.Coord) ([]Hop, error) {
+	if !p.shape.Contains(src) || !p.shape.Contains(dst) {
+		return nil, fmt.Errorf("routing: src %v or dst %v outside shape", src, dst)
+	}
+	return p.walkHeader(src, &flit.Header{Src: src, Dst: dst, RC: flit.RCNormal})
+}
+
+// walkHeader replays the policy decisions for one unicast header injected at
+// src, following RC and two-phase transforms, until PE delivery.
+func (p *Policy) walkHeader(src geom.Coord, h *flit.Header) ([]Hop, error) {
+	if p.faults.RouterFaulty(src) {
+		return nil, fmt.Errorf("%w: source router %v faulty", ErrUnreachable, src)
+	}
+	var hops []Hop
+	atRouter := true
+	coord := src
+	var line geom.Line
+	in := p.dims // from PE
+	for steps := 0; steps < p.maxWalkHops(); steps++ {
+		if atRouter {
+			dec, err := p.RouteRouter(nil, coord, in, h)
+			if err != nil {
+				return hops, err
+			}
+			if len(dec.Outs) != 1 {
+				return hops, fmt.Errorf("routing: unicast fan-out at router %v", coord)
+			}
+			out := dec.Outs[0]
+			hops = append(hops, Hop{Kind: HopRouter, Coord: coord, RC: h.RC, Out: out})
+			if dec.Transform != nil {
+				h = dec.Transform(h)
+			}
+			if out == p.dims {
+				hops = append(hops, Hop{Kind: HopPE, Coord: coord, RC: h.RC, Out: -1})
+				if coord != h.Dst {
+					return hops, fmt.Errorf("routing: delivered to %v, wanted %v", coord, h.Dst)
+				}
+				return hops, nil
+			}
+			line = geom.LineOf(coord, out)
+			in = coord[out]
+			atRouter = false
+		} else {
+			dec, err := p.RouteXB(nil, line, in, h)
+			if err != nil {
+				return hops, err
+			}
+			if len(dec.Outs) != 1 {
+				return hops, fmt.Errorf("routing: unicast fan-out at crossbar %v", line)
+			}
+			out := dec.Outs[0]
+			hops = append(hops, Hop{Kind: HopXB, Line: line, RC: h.RC, Out: out})
+			if dec.Transform != nil {
+				h = dec.Transform(h)
+			}
+			coord = line.Point(out)
+			in = line.Dim
+			atRouter = true
+		}
+	}
+	return hops, fmt.Errorf("routing: path from %v exceeded %d hops (routing loop?)", src, p.maxWalkHops())
+}
+
+// PivotEnabled reports whether the two-phase pivot extension is configured.
+func (p *Policy) PivotEnabled() bool { return p.cfg.PivotLastDim }
+
+// PivotIntermediate selects the intermediate router for a two-phase pivot
+// send to dst: a healthy router on dst's dim-0 line whose own last-dimension
+// crossbar is healthy. It applies only on 2D networks when dst sits behind a
+// faulty last-dimension crossbar; ok is false otherwise.
+func (p *Policy) PivotIntermediate(src, dst geom.Coord) (geom.Coord, bool) {
+	if !p.cfg.PivotLastDim || p.dims != 2 {
+		return geom.Coord{}, false
+	}
+	if !p.faults.XBFaulty(geom.LineOf(dst, 1)) || p.faults.RouterFaulty(dst) {
+		return geom.Coord{}, false
+	}
+	if src[1] == dst[1] {
+		return geom.Coord{}, false // plain dim-0 route works already
+	}
+	// The final leg rides dst's dim-0 crossbar; it must be healthy.
+	if p.faults.XBFaulty(geom.LineOf(dst, 0)) {
+		return geom.Coord{}, false
+	}
+	for v := 0; v < p.shape[0]; v++ {
+		if v == dst[0] {
+			continue
+		}
+		cand := dst.WithDim(0, v)
+		if p.faults.RouterFaulty(cand) || p.faults.XBFaulty(geom.LineOf(cand, 1)) {
+			continue
+		}
+		return cand, true
+	}
+	return geom.Coord{}, false
+}
+
+// PivotPath computes the two-phase route src -> intermediate -> dst, or
+// ErrUnreachable when no valid intermediate exists.
+func (p *Policy) PivotPath(src, dst geom.Coord) ([]Hop, error) {
+	mid, ok := p.PivotIntermediate(src, dst)
+	if !ok {
+		return nil, fmt.Errorf("%w: no pivot intermediate for %v -> %v", ErrUnreachable, src, dst)
+	}
+	h := &flit.Header{Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal}
+	return p.walkHeader(src, h)
+}
+
+// Reachable reports whether a point-to-point send from src to dst would be
+// delivered under the present faults.
+func (p *Policy) Reachable(src, dst geom.Coord) error {
+	_, err := p.UnicastPath(src, dst)
+	return err
+}
+
+// CrossbarHops counts the crossbar traversals on the path (the paper's hop
+// metric: "any two PEs communicate with a maximum of d hops").
+func CrossbarHops(path []Hop) int {
+	n := 0
+	for _, h := range path {
+		if h.Kind == HopXB {
+			n++
+		}
+	}
+	return n
+}
+
+// DetourLength counts the hops traveled with RC=detour.
+func DetourLength(path []Hop) int {
+	n := 0
+	for _, h := range path {
+		if h.RC == flit.RCDetour {
+			n++
+		}
+	}
+	return n
+}
+
+// BroadcastResult summarizes the static fan-out tree of one broadcast.
+type BroadcastResult struct {
+	// Delivered counts copies received per PE coordinate. The correctness
+	// invariant is exactly one copy per healthy PE (faulty-router PEs are
+	// cut off, and PEs behind a faulty crossbar may be unreachable).
+	Delivered map[geom.Coord]int
+	// Elements is the total number of switch traversals in the tree.
+	Elements int
+	// Depth is the longest element chain from the source to any PE.
+	Depth int
+	// DeadBranches counts fan branches that ended in a routing error
+	// (possible only in over-faulted networks).
+	DeadBranches int
+}
+
+// BroadcastTree statically expands the broadcast of one packet from src:
+// through the S-XB in the serialized scheme, or the source-rooted tree in
+// naive mode. It returns ErrUnreachable when the source cannot reach the
+// serialization point at all.
+func (p *Policy) BroadcastTree(src geom.Coord) (BroadcastResult, error) {
+	res := BroadcastResult{Delivered: map[geom.Coord]int{}}
+	if !p.shape.Contains(src) {
+		return res, fmt.Errorf("routing: src %v outside shape", src)
+	}
+	if p.faults.RouterFaulty(src) {
+		return res, fmt.Errorf("%w: source router %v faulty", ErrUnreachable, src)
+	}
+
+	rc := flit.RCBroadcastRequest
+	if p.cfg.NaiveBroadcast {
+		rc = flit.RCBroadcast
+	}
+
+	type node struct {
+		atRouter bool
+		coord    geom.Coord
+		line     geom.Line
+		in       int
+		h        *flit.Header
+		depth    int
+	}
+	queue := []node{{atRouter: true, coord: src, in: p.dims, h: &flit.Header{Src: src, BroadcastOrigin: src, RC: rc}}}
+	limit := p.shape.Size()*(p.dims+2)*4 + 64
+	first := true
+	for len(queue) > 0 {
+		if res.Elements > limit {
+			return res, fmt.Errorf("routing: broadcast tree from %v exceeded %d elements (routing loop?)", src, limit)
+		}
+		nd := queue[0]
+		queue = queue[1:]
+		res.Elements++
+		if nd.depth > res.Depth {
+			res.Depth = nd.depth
+		}
+		var outs []int
+		var transform func(*flit.Header) *flit.Header
+		var err error
+		if nd.atRouter {
+			var dec, derr = p.RouteRouter(nil, nd.coord, nd.in, nd.h)
+			outs, transform, err = dec.Outs, dec.Transform, derr
+		} else {
+			var dec, derr = p.RouteXB(nil, nd.line, nd.in, nd.h)
+			outs, transform, err = dec.Outs, dec.Transform, derr
+		}
+		if err != nil {
+			if first {
+				// The request leg itself failed: the broadcast cannot start.
+				return res, err
+			}
+			res.DeadBranches++
+			continue
+		}
+		first = false
+		for _, out := range outs {
+			h := nd.h
+			if transform != nil {
+				h = transform(h)
+			}
+			if nd.atRouter {
+				if out == p.dims {
+					res.Delivered[nd.coord]++
+					continue
+				}
+				queue = append(queue, node{
+					line:  geom.LineOf(nd.coord, out),
+					in:    nd.coord[out],
+					h:     h,
+					depth: nd.depth + 1,
+				})
+			} else {
+				queue = append(queue, node{
+					atRouter: true,
+					coord:    nd.line.Point(out),
+					in:       nd.line.Dim,
+					h:        h,
+					depth:    nd.depth + 1,
+				})
+			}
+		}
+	}
+	return res, nil
+}

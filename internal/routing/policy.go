@@ -1,0 +1,491 @@
+// Package routing implements the paper's routing schemes for the
+// multi-dimensional crossbar network:
+//
+//   - dimension-order ("X-Y") routing for point-to-point packets (RC=0);
+//   - the hardware broadcast facility that serializes broadcasts at the
+//     designated S-XB (RC=1 requests, RC=2 fan-out), Section 3.2;
+//   - the naive tree broadcast without serialization, reproducing the
+//     deadlock of paper Fig. 5;
+//   - the hardware detour path selection facility for a single network
+//     fault (RC=3), Section 4, with a configurable detour crossbar D-XB;
+//   - the paper's deadlock-free combined scheme, Section 5, obtained by
+//     configuring D-XB = S-XB.
+//
+// The Policy consults fault information only about switches adjacent to the
+// deciding switch, mirroring the paper's "each switch has only the
+// information of the switches that they are physically connected to".
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"sr2201/internal/engine"
+	"sr2201/internal/fault"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+	"sr2201/internal/mdxb"
+)
+
+// ErrUnreachable reports a destination the detour facility cannot serve
+// under the present fault (e.g. a destination behind a faulty last-dimension
+// crossbar, or a faulty destination router).
+var ErrUnreachable = errors.New("routing: destination unreachable under present faults")
+
+// Config parameterizes a Policy.
+type Config struct {
+	// Shape is the lattice shape of the network.
+	Shape geom.Shape
+	// SXB gives the fixed coordinates (dimensions 1..d-1) of the serialized
+	// crossbar: the dim-0 crossbar through which all broadcasts are replayed.
+	// Dimension 0 of the coordinate is ignored.
+	SXB geom.Coord
+	// DXB gives the fixed coordinates of the detour crossbar. The paper's
+	// deadlock-free scheme requires DXB == SXB; setting them apart reproduces
+	// the Fig. 9 deadlock.
+	DXB geom.Coord
+	// Faults is the network's fault set; nil means fault-free.
+	Faults *fault.Set
+	// NaiveBroadcast disables S-XB serialization: broadcasts fan out directly
+	// from the source (paper Fig. 5's deadlock-prone scheme).
+	NaiveBroadcast bool
+	// PivotLastDim enables the two-phase pivot extension (DESIGN.md A3,
+	// beyond the paper, 2D only): destinations behind a faulty
+	// last-dimension crossbar are reached by routing to an intermediate
+	// router on the destination's dim-0 line first. CAUTION: the pivot's
+	// second dimension-0 leg is a Y->X turn away from the serialized
+	// crossbar, and the channel dependency graph (internal/cdg) shows it
+	// closes real multi-packet cycles with ordinary traffic — the extension
+	// trades the paper's deadlock-freedom guarantee for reachability, which
+	// is exactly why the paper confines non-dimension-order turns to the
+	// S-XB. Experiment A3 documents the trade-off.
+	PivotLastDim bool
+}
+
+// Policy implements mdxb.Policy with the paper's routing rules.
+type Policy struct {
+	cfg    Config
+	shape  geom.Shape
+	dims   int
+	faults *fault.Set
+	// sEff/dEff are the fixed coordinates of the effective S-XB and D-XB
+	// lines after fault substitution ("if the XB connected to the S-XB is
+	// faulty, another XB ... substitutes for the S-XB").
+	sEff geom.Coord
+	dEff geom.Coord
+}
+
+var _ mdxb.Policy = (*Policy)(nil)
+
+// New validates the configuration and resolves the effective S-XB and D-XB
+// under the configured faults.
+func New(cfg Config) (*Policy, error) {
+	if cfg.Shape.Dims() < 1 {
+		return nil, fmt.Errorf("routing: config needs a shape")
+	}
+	p := &Policy{cfg: cfg, shape: cfg.Shape, dims: cfg.Shape.Dims(), faults: cfg.Faults}
+	if p.faults == nil {
+		p.faults = fault.NewSet(cfg.Shape)
+	}
+	sLine, err := p.normalizeLine(cfg.SXB, "SXB")
+	if err != nil {
+		return nil, err
+	}
+	dLine, err := p.normalizeLine(cfg.DXB, "DXB")
+	if err != nil {
+		return nil, err
+	}
+	p.sEff = p.substitute(sLine)
+	p.dEff = p.substitute(dLine)
+	return p, nil
+}
+
+// normalizeLine checks that fixed coordinates identify a dim-0 line inside
+// the shape and zeroes dimension 0.
+func (p *Policy) normalizeLine(fixed geom.Coord, what string) (geom.Coord, error) {
+	fixed[0] = 0
+	if !p.shape.Contains(fixed) {
+		return geom.Coord{}, fmt.Errorf("routing: %s fixed coordinates %v outside shape", what, fixed)
+	}
+	return fixed, nil
+}
+
+// substitute relocates a designated dim-0 line away from faults: if the line
+// or any router on it is faulty, the next untouched dim-0 line (scanning the
+// reduced lattice cyclically) substitutes for it. With no healthy candidate
+// the original is kept (an over-faulted network; the routing will drop).
+func (p *Policy) substitute(fixed geom.Coord) geom.Coord {
+	l := geom.Line{Dim: 0, Fixed: fixed}
+	if !p.faults.LineTouched(l) {
+		return fixed
+	}
+	// Scan all dim-0 lines starting just after the configured one.
+	reduced := reducedShape(p.shape, 0)
+	count := reduced.Size()
+	start := p.shape.LineIndex(l)
+	for i := 1; i < count; i++ {
+		cand := lineFromReducedIndex(p.shape, 0, (start+i)%count)
+		if !p.faults.LineTouched(cand) {
+			return cand.Fixed
+		}
+	}
+	return fixed
+}
+
+// reducedShape collapses dimension dim out of the shape (the lattice of
+// dim-`dim` lines).
+func reducedShape(s geom.Shape, dim int) geom.Shape {
+	r := make(geom.Shape, 0, s.Dims())
+	for i, e := range s {
+		if i == dim {
+			continue
+		}
+		r = append(r, e)
+	}
+	if len(r) == 0 {
+		r = geom.Shape{1}
+	}
+	return r
+}
+
+// lineFromReducedIndex inverts geom.Shape.LineIndex.
+func lineFromReducedIndex(s geom.Shape, dim, idx int) geom.Line {
+	reduced := reducedShape(s, dim)
+	rc := reduced.CoordOf(idx)
+	var fixed geom.Coord
+	j := 0
+	for i := 0; i < s.Dims(); i++ {
+		if i == dim {
+			continue
+		}
+		fixed[i] = rc[j]
+		j++
+	}
+	return geom.Line{Dim: dim, Fixed: fixed}
+}
+
+// EffectiveSXB returns the serialized crossbar line in force (after fault
+// substitution).
+func (p *Policy) EffectiveSXB() geom.Line { return geom.Line{Dim: 0, Fixed: p.sEff} }
+
+// EffectiveDXB returns the detour crossbar line in force.
+func (p *Policy) EffectiveDXB() geom.Line { return geom.Line{Dim: 0, Fixed: p.dEff} }
+
+// onLine reports whether coordinate c lies on the dim-0 line with the given
+// fixed coordinates.
+func (p *Policy) onLine(c, fixed geom.Coord) bool {
+	for j := 1; j < p.dims; j++ {
+		if c[j] != fixed[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstFixedDiff returns the lowest dimension >= 1 in which c differs from
+// fixed, or -1.
+func (p *Policy) firstFixedDiff(c, fixed geom.Coord) int {
+	for j := 1; j < p.dims; j++ {
+		if c[j] != fixed[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// setRC returns a header transform that rewrites the RC bit, bumping the
+// detour-hop accounting when entering detour mode.
+func setRC(rc flit.RC) func(*flit.Header) *flit.Header {
+	return func(h *flit.Header) *flit.Header {
+		c := h.Clone()
+		c.RC = rc
+		return c
+	}
+}
+
+// bumpDetour returns a transform that keeps RC=detour and counts the hop.
+func bumpDetour() func(*flit.Header) *flit.Header {
+	return func(h *flit.Header) *flit.Header {
+		c := h.Clone()
+		c.DetourHops++
+		return c
+	}
+}
+
+// RouteRouter implements mdxb.Policy. See the package comment for the rule
+// summary; each case cites the paper section it models.
+func (p *Policy) RouteRouter(net *mdxb.Network, c geom.Coord, in int, h *flit.Header) (engine.Decision, error) {
+	pePort := p.dims
+	switch h.RC {
+	case flit.RCNormal:
+		return p.routerNormal(c, h)
+
+	case flit.RCBroadcastRequest:
+		// Section 3.2 step 1: ride dimensions 1..d-1 (in order) to the S-XB
+		// line, then enter the S-XB on port 0.
+		if p.onLine(c, p.sEff) {
+			if p.faults.XBFaulty(geom.LineOf(c, 0)) {
+				// Only possible when substitution had no healthy candidate.
+				return engine.Decision{}, fmt.Errorf("%w: serialized crossbar faulty", ErrUnreachable)
+			}
+			return engine.Decision{Outs: []int{0}}, nil
+		}
+		j := p.firstFixedDiff(c, p.sEff)
+		if p.faults.XBFaulty(geom.LineOf(c, j)) {
+			return engine.Decision{}, fmt.Errorf("%w: dim-%d crossbar toward S-XB faulty", ErrUnreachable, j)
+		}
+		return engine.Decision{Outs: []int{j}}, nil
+
+	case flit.RCBroadcast:
+		// Fan rule: a router receiving a broadcast from dimension k forwards
+		// to its PE and to every higher-dimension crossbar (Section 3.2
+		// steps 2-4, generalized to d dimensions). A naive broadcast
+		// arriving from the PE fans to every dimension.
+		startDim := 0
+		if in < p.dims {
+			startDim = in + 1
+		} else if !p.cfg.NaiveBroadcast {
+			return engine.Decision{}, fmt.Errorf("routing: broadcast packet from PE at %v without naive mode", c)
+		}
+		outs := []int{pePort}
+		for j := startDim; j < p.dims; j++ {
+			if p.faults.XBFaulty(geom.LineOf(c, j)) {
+				continue // stop transmission toward the faulty crossbar
+			}
+			outs = append(outs, j)
+		}
+		return engine.Decision{Outs: outs}, nil
+
+	case flit.RCDetour:
+		// Section 4: ride dimensions 1..d-1 (in order) to the D-XB line,
+		// then enter the D-XB on port 0, where RC resets to normal.
+		if p.onLine(c, p.dEff) {
+			if p.faults.XBFaulty(geom.LineOf(c, 0)) {
+				return engine.Decision{}, fmt.Errorf("%w: detour crossbar faulty", ErrUnreachable)
+			}
+			return engine.Decision{Outs: []int{0}, Transform: bumpDetour()}, nil
+		}
+		j := p.firstFixedDiff(c, p.dEff)
+		if p.faults.XBFaulty(geom.LineOf(c, j)) {
+			return engine.Decision{}, fmt.Errorf("%w: dim-%d crossbar toward D-XB faulty", ErrUnreachable, j)
+		}
+		return engine.Decision{Outs: []int{j}, Transform: bumpDetour()}, nil
+	}
+	return engine.Decision{}, fmt.Errorf("routing: router %v cannot handle RC %v", c, h.RC)
+}
+
+// routerNormal is dimension-order routing with the router-side fault checks
+// (a router knows which of its own crossbars are faulty).
+func (p *Policy) routerNormal(c geom.Coord, h *flit.Header) (engine.Decision, error) {
+	pePort := p.dims
+	k := c.FirstDiff(h.Dst, p.dims)
+	if k == -1 {
+		if h.TwoPhase {
+			// Pivot extension: this router is the intermediate; rewrite the
+			// header for the final leg and route toward the true destination.
+			h2 := h.Clone()
+			h2.Dst = h.FinalDst
+			h2.TwoPhase = false
+			dec, err := p.routerNormal(c, h2)
+			if err != nil {
+				return dec, err
+			}
+			inner := dec.Transform
+			dec.Transform = func(orig *flit.Header) *flit.Header {
+				n := orig.Clone()
+				n.Dst = orig.FinalDst
+				n.TwoPhase = false
+				if inner != nil {
+					n = inner(n)
+				}
+				return n
+			}
+			return dec, nil
+		}
+		return engine.Decision{Outs: []int{pePort}}, nil
+	}
+	if !p.faults.XBFaulty(geom.LineOf(c, k)) {
+		return engine.Decision{Outs: []int{k}}, nil
+	}
+	// The crossbar this packet needs next is faulty: enter detour mode if
+	// the detour route avoids it, else the destination is unreachable
+	// (paper-scope limitation; see DESIGN.md). The router checks only the
+	// identity of its own faulty crossbar — the neighbor-bits discipline.
+	if p.detourUsesLine(geom.LineOf(c, k), c, h.Dst) {
+		return engine.Decision{}, fmt.Errorf("%w: dim-%d crossbar %v faulty and the detour needs it", ErrUnreachable, k, geom.LineOf(c, k))
+	}
+	// The first detour leg must itself be healthy. Under the paper's
+	// single-fault assumption it always is; with additional faults present
+	// (beyond the guarantee) this refusal keeps packets out of dead
+	// crossbars instead of silently routing into them.
+	j := 0
+	if !p.onLine(c, p.dEff) {
+		j = p.firstFixedDiff(c, p.dEff)
+	}
+	if p.faults.XBFaulty(geom.LineOf(c, j)) {
+		return engine.Decision{}, fmt.Errorf("%w: detour leg dim-%d crossbar %v also faulty", ErrUnreachable, j, geom.LineOf(c, j))
+	}
+	return engine.Decision{Outs: []int{j}, Transform: setRC(flit.RCDetour)}, nil
+}
+
+// detourWalk replays the element sequence of a detour that starts at router
+// `start` and resumes dimension order after the D-XB, calling visitRouter on
+// every later router and visitLine on every crossbar used. Either callback
+// may stop the walk by returning true; detourWalk reports whether one did.
+//
+// The sequence is: ride dimensions 1..d-1 in increasing order to the D line,
+// cross the D-XB (dim 0 to dst[0]), then resume dimension order to dst.
+func (p *Policy) detourWalk(start, dst geom.Coord, visitRouter func(geom.Coord) bool, visitLine func(geom.Line) bool) bool {
+	pos := start
+	step := func(dim, to int) bool {
+		if pos[dim] == to {
+			return false
+		}
+		if visitLine != nil && visitLine(geom.LineOf(pos, dim)) {
+			return true
+		}
+		pos[dim] = to
+		return visitRouter != nil && visitRouter(pos)
+	}
+	for j := 1; j < p.dims; j++ {
+		if step(j, p.dEff[j]) {
+			return true
+		}
+	}
+	// The D-XB crossing happens even when pos[0] == dst[0] (the packet still
+	// enters the D-XB to have its RC bit reset; the crossbar may reflect it
+	// back to the same router).
+	if visitLine != nil && visitLine(geom.LineOf(pos, 0)) {
+		return true
+	}
+	pos[0] = dst[0]
+	if visitRouter != nil && visitRouter(pos) {
+		return true
+	}
+	for j := 1; j < p.dims; j++ {
+		if step(j, dst[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// detourUsesLine reports whether a detour starting at router `start` would
+// ride the given (faulty) crossbar.
+func (p *Policy) detourUsesLine(bad geom.Line, start, dst geom.Coord) bool {
+	return p.detourWalk(start, dst, nil, func(l geom.Line) bool { return l == bad })
+}
+
+// detourVisitsRouter reports whether a detour starting at router `start`
+// would pass through the given (faulty) router.
+func (p *Policy) detourVisitsRouter(bad, start, dst geom.Coord) bool {
+	if start == bad {
+		return true
+	}
+	return p.detourWalk(start, dst, func(c geom.Coord) bool { return c == bad }, nil)
+}
+
+// RouteXB implements mdxb.Policy for crossbar switches.
+func (p *Policy) RouteXB(net *mdxb.Network, l geom.Line, in int, h *flit.Header) (engine.Decision, error) {
+	switch h.RC {
+	case flit.RCNormal:
+		return p.xbNormal(l, h)
+
+	case flit.RCBroadcastRequest:
+		if l.Dim == 0 && p.onLine(l.Point(in), p.sEff) {
+			// This is the S-XB: serialize (the kernel's output allocation
+			// does the one-at-a-time replay) and fan to every attached
+			// router, faulty ones excepted (Section 3.2 step 2).
+			return engine.Decision{Outs: p.fanPorts(l, -1), Transform: setRC(flit.RCBroadcast)}, nil
+		}
+		// En route to the S line along a higher dimension.
+		if l.Dim == 0 {
+			return engine.Decision{}, fmt.Errorf("routing: broadcast request entered non-serialized dim-0 crossbar %v", l)
+		}
+		return p.xbStep(l, p.sEff[l.Dim], nil)
+
+	case flit.RCBroadcast:
+		// Fan to every attached router except the sender and faulty routers
+		// (Section 3.2 steps 3-4).
+		outs := p.fanPorts(l, in)
+		if len(outs) == 0 {
+			return engine.Decision{}, fmt.Errorf("%w: broadcast fan at %v has no healthy routers", ErrUnreachable, l)
+		}
+		return engine.Decision{Outs: outs}, nil
+
+	case flit.RCDetour:
+		if l.Dim == 0 {
+			// Arrival at the D-XB: reset RC to normal and resume dimension
+			// order (Section 4, "the D-XB changes the RC bit from 'detour'
+			// to 'normal'").
+			if !p.onLine(l.Point(in), p.dEff) {
+				return engine.Decision{}, fmt.Errorf("routing: detour packet entered non-detour dim-0 crossbar %v", l)
+			}
+			target := h.Dst[0]
+			if p.faults.RouterFaulty(l.Point(target)) {
+				// Substitution keeps faults off the D line; reaching this
+				// means the network is over-faulted.
+				return engine.Decision{}, fmt.Errorf("%w: router %v on detour crossbar faulty", ErrUnreachable, l.Point(target))
+			}
+			return engine.Decision{Outs: []int{target}, Transform: setRC(flit.RCNormal)}, nil
+		}
+		return p.xbStep(l, p.dEff[l.Dim], bumpDetour())
+	}
+	return engine.Decision{}, fmt.Errorf("routing: crossbar %v cannot handle RC %v", l, h.RC)
+}
+
+// xbStep forwards to one port of the crossbar, failing if the attached
+// router is faulty.
+func (p *Policy) xbStep(l geom.Line, port int, transform func(*flit.Header) *flit.Header) (engine.Decision, error) {
+	if p.faults.RouterFaulty(l.Point(port)) {
+		return engine.Decision{}, fmt.Errorf("%w: router %v faulty", ErrUnreachable, l.Point(port))
+	}
+	return engine.Decision{Outs: []int{port}, Transform: transform}, nil
+}
+
+// xbNormal is the dimension-order step across a crossbar, with the
+// crossbar-side fault handling (a crossbar knows which of its routers are
+// faulty): if the exit router is faulty and is not the destination's own
+// router, the crossbar sets the RC bit to 'detour' and forwards to the
+// designated detour router (Section 4, Fig. 8 step 2).
+func (p *Policy) xbNormal(l geom.Line, h *flit.Header) (engine.Decision, error) {
+	target := h.Dst[l.Dim]
+	exit := l.Point(target)
+	if !p.faults.RouterFaulty(exit) {
+		return engine.Decision{Outs: []int{target}}, nil
+	}
+	if exit == h.Dst {
+		// "If an RTC is faulty, the network hardware stops transmission of
+		// packets to the faulty PE."
+		return engine.Decision{}, fmt.Errorf("%w: destination router %v faulty", ErrUnreachable, exit)
+	}
+	dp, ok := p.faults.DetourPort(l)
+	if !ok {
+		return engine.Decision{}, fmt.Errorf("%w: no healthy detour router on %v", ErrUnreachable, l)
+	}
+	// Would the detour — riding from the designated detour router to the D
+	// line, across the D-XB, and back down dimension order — pass through
+	// this faulty router again? The crossbar checks only its own neighbor's
+	// coordinate: the neighbor-bits discipline.
+	if p.detourVisitsRouter(exit, l.Point(dp), h.Dst) {
+		return engine.Decision{}, fmt.Errorf("%w: router %v faulty and the detour re-enters it", ErrUnreachable, exit)
+	}
+	return engine.Decision{Outs: []int{dp}, Transform: setRC(flit.RCDetour)}, nil
+}
+
+// fanPorts lists the crossbar ports whose routers are healthy, excluding
+// port `except` (pass -1 to include all).
+func (p *Policy) fanPorts(l geom.Line, except int) []int {
+	n := p.shape[l.Dim]
+	outs := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if v == except {
+			continue
+		}
+		if p.faults.RouterFaulty(l.Point(v)) {
+			continue
+		}
+		outs = append(outs, v)
+	}
+	return outs
+}

@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"fmt"
+
+	"sr2201/internal/engine"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+	"sr2201/internal/mdxb"
+)
+
+// TablePolicy is a compiled, lookup-table implementation of a routing
+// Policy — the way such routing is realized in hardware (compare the CRAY
+// T3D's "routing tag look-up table" the paper discusses): every decision a
+// switch can face is precomputed into dense tables indexed by the packet's
+// RC class, destination and input port. Compile verifies nothing at
+// runtime; the tables replay exactly what the algorithmic policy decided at
+// compile time, including RC-bit transitions and refusals.
+//
+// The two-phase pivot extension is not table-compilable (its decisions
+// depend on two addresses) and is rejected by Compile — a faithful
+// restriction: the hardware had no such header bits either.
+type TablePolicy struct {
+	shape  geom.Shape
+	dims   int
+	netCap int // number of PEs / destination indices
+
+	// routers[idx] holds the per-router tables.
+	routers []routerTable
+	// xbs[dim][lineIdx] holds the per-crossbar tables.
+	xbs [][]xbTable
+}
+
+var _ mdxb.Policy = (*TablePolicy)(nil)
+
+// entry is one precomputed decision.
+type entry struct {
+	outs []int
+	// rcTo >= 0 rewrites the RC bit on forwarded copies; bump increments the
+	// detour hop counter.
+	rcTo int8
+	bump bool
+	err  error
+}
+
+func (e entry) decision() (engine.Decision, error) {
+	if e.err != nil {
+		return engine.Decision{}, e.err
+	}
+	d := engine.Decision{Outs: e.outs}
+	if e.rcTo >= 0 || e.bump {
+		rcTo, bump := e.rcTo, e.bump
+		d.Transform = func(h *flit.Header) *flit.Header {
+			n := h.Clone()
+			if rcTo >= 0 {
+				n.RC = flit.RC(rcTo)
+			}
+			if bump {
+				n.DetourHops++
+			}
+			return n
+		}
+	}
+	return d, nil
+}
+
+type routerTable struct {
+	// normal[dstIdx] and detour (destination-independent), request
+	// (destination-independent), bcast[in].
+	normal  []entry
+	detour  entry
+	request entry
+	bcast   []entry
+}
+
+type xbTable struct {
+	// normal[dstIdx], detour[dstIdx] (the D-XB resets and routes by dst),
+	// request (destination-independent), bcast[in].
+	normal  []entry
+	detour  []entry
+	request entry
+	bcast   []entry
+}
+
+// compileEntry captures one policy decision as a table entry, classifying
+// its transform by probing it.
+func compileEntry(dec engine.Decision, err error, probe *flit.Header) entry {
+	if err != nil {
+		return entry{err: err}
+	}
+	e := entry{outs: dec.Outs, rcTo: -1}
+	if dec.Transform != nil {
+		out := dec.Transform(probe)
+		if out.RC != probe.RC {
+			e.rcTo = int8(out.RC)
+		}
+		if out.DetourHops != probe.DetourHops {
+			e.bump = true
+		}
+	}
+	return e
+}
+
+// Compile builds the lookup tables for every switch decision of p.
+func Compile(p *Policy) (*TablePolicy, error) {
+	if p.PivotEnabled() {
+		return nil, fmt.Errorf("routing: the pivot extension is not table-compilable")
+	}
+	shape := p.shape
+	d := p.dims
+	n := shape.Size()
+	tp := &TablePolicy{shape: shape, dims: d, netCap: n}
+
+	// Router tables.
+	tp.routers = make([]routerTable, n)
+	for idx := 0; idx < n; idx++ {
+		c := shape.CoordOf(idx)
+		rt := routerTable{
+			normal: make([]entry, n),
+			bcast:  make([]entry, d+1),
+		}
+		for di := 0; di < n; di++ {
+			h := &flit.Header{RC: flit.RCNormal, Dst: shape.CoordOf(di)}
+			dec, err := p.RouteRouter(nil, c, d, h)
+			rt.normal[di] = compileEntry(dec, err, h)
+		}
+		{
+			h := &flit.Header{RC: flit.RCDetour}
+			dec, err := p.RouteRouter(nil, c, 0, h)
+			rt.detour = compileEntry(dec, err, h)
+		}
+		{
+			h := &flit.Header{RC: flit.RCBroadcastRequest}
+			dec, err := p.RouteRouter(nil, c, d, h)
+			rt.request = compileEntry(dec, err, h)
+		}
+		for in := 0; in <= d; in++ {
+			h := &flit.Header{RC: flit.RCBroadcast}
+			dec, err := p.RouteRouter(nil, c, in, h)
+			rt.bcast[in] = compileEntry(dec, err, h)
+		}
+		tp.routers[idx] = rt
+	}
+
+	// Crossbar tables.
+	tp.xbs = make([][]xbTable, d)
+	for dim := 0; dim < d; dim++ {
+		lines := shape.LinesAlong(dim)
+		tp.xbs[dim] = make([]xbTable, len(lines))
+		for _, l := range lines {
+			ports := shape[dim]
+			xt := xbTable{
+				normal: make([]entry, n),
+				detour: make([]entry, n),
+				bcast:  make([]entry, ports),
+			}
+			for di := 0; di < n; di++ {
+				hN := &flit.Header{RC: flit.RCNormal, Dst: shape.CoordOf(di)}
+				dec, err := p.RouteXB(nil, l, 0, hN)
+				xt.normal[di] = compileEntry(dec, err, hN)
+				hD := &flit.Header{RC: flit.RCDetour, Dst: shape.CoordOf(di)}
+				dec, err = p.RouteXB(nil, l, 0, hD)
+				xt.detour[di] = compileEntry(dec, err, hD)
+			}
+			{
+				h := &flit.Header{RC: flit.RCBroadcastRequest}
+				dec, err := p.RouteXB(nil, l, 0, h)
+				xt.request = compileEntry(dec, err, h)
+			}
+			for in := 0; in < ports; in++ {
+				h := &flit.Header{RC: flit.RCBroadcast}
+				dec, err := p.RouteXB(nil, l, in, h)
+				xt.bcast[in] = compileEntry(dec, err, h)
+			}
+			tp.xbs[dim][shape.LineIndex(l)] = xt
+		}
+	}
+	return tp, nil
+}
+
+// RouteRouter implements mdxb.Policy by table lookup.
+func (tp *TablePolicy) RouteRouter(net *mdxb.Network, c geom.Coord, in int, h *flit.Header) (engine.Decision, error) {
+	if h.TwoPhase {
+		return engine.Decision{}, fmt.Errorf("routing: table policy cannot route two-phase headers")
+	}
+	rt := &tp.routers[tp.shape.Index(c)]
+	switch h.RC {
+	case flit.RCNormal:
+		return rt.normal[tp.shape.Index(h.Dst)].decision()
+	case flit.RCDetour:
+		return rt.detour.decision()
+	case flit.RCBroadcastRequest:
+		return rt.request.decision()
+	case flit.RCBroadcast:
+		return rt.bcast[in].decision()
+	}
+	return engine.Decision{}, fmt.Errorf("routing: table policy cannot handle RC %v", h.RC)
+}
+
+// RouteXB implements mdxb.Policy by table lookup.
+func (tp *TablePolicy) RouteXB(net *mdxb.Network, l geom.Line, in int, h *flit.Header) (engine.Decision, error) {
+	xt := &tp.xbs[l.Dim][tp.shape.LineIndex(l)]
+	switch h.RC {
+	case flit.RCNormal:
+		return xt.normal[tp.shape.Index(h.Dst)].decision()
+	case flit.RCDetour:
+		return xt.detour[tp.shape.Index(h.Dst)].decision()
+	case flit.RCBroadcastRequest:
+		return xt.request.decision()
+	case flit.RCBroadcast:
+		return xt.bcast[in].decision()
+	}
+	return engine.Decision{}, fmt.Errorf("routing: table policy cannot handle RC %v", h.RC)
+}
+
+// Entries reports the total number of table entries — the "routing table
+// size" hardware cost the paper's minimal-information design avoids.
+func (tp *TablePolicy) Entries() int {
+	total := 0
+	for _, rt := range tp.routers {
+		total += len(rt.normal) + len(rt.bcast) + 2
+	}
+	for _, xs := range tp.xbs {
+		for _, xt := range xs {
+			total += len(xt.normal) + len(xt.detour) + len(xt.bcast) + 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+)
+
+// equivalentDecisions compares an algorithmic and a table decision for one
+// (switch, input, header) triple.
+func equivalentDecisions(t *testing.T, what string, h *flit.Header,
+	dA []int, tA func(*flit.Header) *flit.Header, eA error,
+	dB []int, tB func(*flit.Header) *flit.Header, eB error) {
+	t.Helper()
+	if (eA != nil) != (eB != nil) {
+		t.Fatalf("%s: error mismatch: %v vs %v", what, eA, eB)
+	}
+	if eA != nil {
+		return
+	}
+	if len(dA) != len(dB) {
+		t.Fatalf("%s: outs %v vs %v", what, dA, dB)
+	}
+	for i := range dA {
+		if dA[i] != dB[i] {
+			t.Fatalf("%s: outs %v vs %v", what, dA, dB)
+		}
+	}
+	applied := func(tr func(*flit.Header) *flit.Header) (flit.RC, int) {
+		if tr == nil {
+			return h.RC, h.DetourHops
+		}
+		n := tr(h)
+		return n.RC, n.DetourHops
+	}
+	rcA, hopsA := applied(tA)
+	rcB, hopsB := applied(tB)
+	if rcA != rcB || hopsA != hopsB {
+		t.Fatalf("%s: transform mismatch rc %v/%v hops %d/%d", what, rcA, rcB, hopsA, hopsB)
+	}
+}
+
+// The compiled tables must reproduce every algorithmic decision exactly:
+// every switch, every input, every RC class, every destination — across
+// fault-free and faulted configurations.
+func TestTableEquivalenceExhaustive(t *testing.T) {
+	shape := geom.MustShape(4, 3)
+	configs := []*Policy{
+		mustPolicy(t, Config{Shape: shape}),
+		withFaults(t, shape, Config{}, fault.RouterFault(geom.Coord{2, 0})),
+		withFaults(t, shape, Config{}, fault.XBFault(geom.Line{Dim: 0, Fixed: geom.Coord{0, 1}})),
+		withFaults(t, shape, Config{SXB: geom.Coord{0, 1}, DXB: geom.Coord{0, 2}}, fault.RouterFault(geom.Coord{1, 1})),
+		withFaults(t, shape, Config{}, fault.XBFault(geom.Line{Dim: 1, Fixed: geom.Coord{2, 0}})),
+	}
+	for ci, p := range configs {
+		tp, err := Compile(p)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		if tp.Entries() == 0 {
+			t.Fatalf("config %d: empty tables", ci)
+		}
+		d := shape.Dims()
+		headers := func(dst geom.Coord) []*flit.Header {
+			return []*flit.Header{
+				{RC: flit.RCNormal, Dst: dst},
+				{RC: flit.RCDetour, Dst: dst},
+				{RC: flit.RCBroadcastRequest},
+				{RC: flit.RCBroadcast},
+			}
+		}
+		shape.Enumerate(func(c geom.Coord) bool {
+			shape.Enumerate(func(dst geom.Coord) bool {
+				for _, h := range headers(dst) {
+					for in := 0; in <= d; in++ {
+						da, err1 := p.RouteRouter(nil, c, in, h)
+						db, err2 := tp.RouteRouter(nil, c, in, h)
+						equivalentDecisions(t, "router", h, da.Outs, da.Transform, err1, db.Outs, db.Transform, err2)
+					}
+					for dim := 0; dim < d; dim++ {
+						l := geom.LineOf(c, dim)
+						for in := 0; in < shape[dim]; in++ {
+							da, err1 := p.RouteXB(nil, l, in, h)
+							db, err2 := tp.RouteXB(nil, l, in, h)
+							equivalentDecisions(t, "crossbar", h, da.Outs, da.Transform, err1, db.Outs, db.Transform, err2)
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func TestCompileRejectsPivot(t *testing.T) {
+	p := mustPolicy(t, Config{Shape: geom.MustShape(4, 3), PivotLastDim: true})
+	if _, err := Compile(p); err == nil {
+		t.Fatal("pivot policy compiled")
+	}
+}
+
+func TestTableRejectsTwoPhaseHeaders(t *testing.T) {
+	p := mustPolicy(t, Config{Shape: geom.MustShape(4, 3)})
+	tp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &flit.Header{TwoPhase: true, Dst: geom.Coord{1, 1}}
+	if _, err := tp.RouteRouter(nil, geom.Coord{0, 0}, 2, h); err == nil {
+		t.Fatal("two-phase header routed by table")
+	}
+	bad := &flit.Header{RC: flit.RC(7)}
+	if _, err := tp.RouteRouter(nil, geom.Coord{0, 0}, 2, bad); err == nil {
+		t.Fatal("unknown RC routed by table")
+	}
+	if _, err := tp.RouteXB(nil, geom.LineOf(geom.Coord{0, 0}, 0), 0, bad); err == nil {
+		t.Fatal("unknown RC routed by table at crossbar")
+	}
+}
+
+// Unreachable refusals survive compilation (the stored error keeps its
+// ErrUnreachable identity).
+func TestTablePreservesUnreachable(t *testing.T) {
+	shape := geom.MustShape(4, 3)
+	p := withFaults(t, shape, Config{}, fault.XBFault(geom.Line{Dim: 1, Fixed: geom.Coord{2, 0}}))
+	tp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The turn router for (0,0)->(2,2) refuses: Y-XB col 2 is dead.
+	h := &flit.Header{RC: flit.RCNormal, Dst: geom.Coord{2, 2}}
+	_, errA := p.RouteRouter(nil, geom.Coord{2, 0}, 0, h)
+	_, errB := tp.RouteRouter(nil, geom.Coord{2, 0}, 0, h)
+	if !errors.Is(errA, ErrUnreachable) || !errors.Is(errB, ErrUnreachable) {
+		t.Fatalf("errors = %v / %v", errA, errB)
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sr2201/internal/core"
+	"sr2201/internal/engine"
+	"sr2201/internal/fault"
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+)
+
+func TestRecorderUnicast(t *testing.T) {
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(4, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Attach(m.Engine())
+	id, err := m.Send(geom.Coord{0, 0}, geom.Coord{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(10_000); !out.Drained {
+		t.Fatal("did not drain")
+	}
+	evs := rec.Events(id)
+	// PE, RTC, XB0, RTC, XB1, RTC = 6 forwards.
+	if len(evs) != 6 {
+		t.Fatalf("events = %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Error("events out of order")
+		}
+	}
+	if rcs := rec.RCTransitions(id); len(rcs) != 1 || rcs[0] != flit.RCNormal {
+		t.Errorf("RC transitions = %v", rcs)
+	}
+	s := rec.Format(id)
+	for _, want := range []string{"packet", "RTC(0,0)", "XB0(0,0)", "XB1(2,0)", "normal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format missing %q:\n%s", want, s)
+		}
+	}
+	if ids := rec.Packets(); len(ids) != 1 || ids[0] != id {
+		t.Errorf("packets = %v", ids)
+	}
+}
+
+func TestRecorderDetourTransitions(t *testing.T) {
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(4, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFault(fault.RouterFault(geom.Coord{2, 0})); err != nil {
+		t.Fatal(err)
+	}
+	rec := Attach(m.Engine())
+	id, err := m.Send(geom.Coord{0, 0}, geom.Coord{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(10_000); !out.Drained {
+		t.Fatal("did not drain")
+	}
+	rcs := rec.RCTransitions(id)
+	want := []flit.RC{flit.RCNormal, flit.RCDetour, flit.RCNormal}
+	if len(rcs) != len(want) {
+		t.Fatalf("RC transitions = %v, want %v", rcs, want)
+	}
+	for i := range want {
+		if rcs[i] != want[i] {
+			t.Fatalf("RC transitions = %v, want %v", rcs, want)
+		}
+	}
+}
+
+func TestRecorderBroadcastFanOut(t *testing.T) {
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Attach(m.Engine())
+	id, _, err := m.Broadcast(geom.Coord{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(10_000); !out.Drained {
+		t.Fatal("did not drain")
+	}
+	evs := rec.Events(id)
+	if len(evs) < 9 {
+		t.Fatalf("broadcast recorded only %d events", len(evs))
+	}
+	// The request leg is present, and broadcast-RC hops follow.
+	rcs := rec.RCTransitions(id)
+	if rcs[0] != flit.RCBroadcastRequest {
+		t.Errorf("first RC = %v", rcs[0])
+	}
+	sawBroadcast := false
+	for _, rc := range rcs {
+		if rc == flit.RCBroadcast {
+			sawBroadcast = true
+		}
+	}
+	if !sawBroadcast {
+		t.Errorf("no broadcast-RC hops: %v", rcs)
+	}
+}
+
+func TestRecorderEmptyAndChaining(t *testing.T) {
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-installed OnForward must keep firing after Attach.
+	called := 0
+	m.Engine().OnForward = func(from *engine.Node, out int, h *flit.Header, cycle int64) { called++ }
+	rec := Attach(m.Engine())
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(1_000); !out.Drained {
+		t.Fatal("did not drain")
+	}
+	if called == 0 {
+		t.Error("chained callback not invoked")
+	}
+	// Unknown packet id formats gracefully.
+	if s := rec.Format(999); !strings.Contains(s, "no recorded hops") {
+		t.Errorf("format = %q", s)
+	}
+}

@@ -1,0 +1,234 @@
+// Package traffic provides workload generators for the experiments: the
+// classic synthetic patterns (uniform random, transpose, bit-reverse,
+// shuffle, hotspot), the embedded-topology neighbor patterns behind the
+// paper's "conflict-free remapping" claim (ring, mesh, hypercube, tree), and
+// an open-loop Bernoulli injection driver with warmup/measure phases.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sr2201/internal/geom"
+)
+
+// Pattern maps a source PE to the destination of its next packet.
+type Pattern interface {
+	// Dest returns the destination for a packet from src. ok=false means src
+	// does not transmit under this pattern.
+	Dest(src geom.Coord, rng *rand.Rand) (dst geom.Coord, ok bool)
+	// Name identifies the pattern in result tables.
+	Name() string
+}
+
+// Uniform sends each packet to a destination chosen uniformly at random
+// among all other PEs.
+type Uniform struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src geom.Coord, rng *rand.Rand) (geom.Coord, bool) {
+	n := u.Shape.Size()
+	if n < 2 {
+		return geom.Coord{}, false
+	}
+	for {
+		d := u.Shape.CoordOf(rng.Intn(n))
+		if d != src {
+			return d, true
+		}
+	}
+}
+
+// Transpose reverses the coordinate vector: (x1,...,xd) -> (xd,...,x1).
+// It requires a shape symmetric under reversal (e.g. square 2D).
+type Transpose struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	d := t.Shape.Dims()
+	var dst geom.Coord
+	for i := 0; i < d; i++ {
+		dst[i] = src[d-1-i]
+	}
+	if !t.Shape.Contains(dst) || dst == src {
+		return geom.Coord{}, false
+	}
+	return dst, true
+}
+
+// BitReverse sends PE i to the PE whose linear index is the bit-reversal of
+// i. The shape's size must be a power of two.
+type BitReverse struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (b BitReverse) Name() string { return "bitreverse" }
+
+// Dest implements Pattern.
+func (b BitReverse) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	n := b.Shape.Size()
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if 1<<bits != n {
+		return geom.Coord{}, false
+	}
+	i := b.Shape.Index(src)
+	rev := 0
+	for k := 0; k < bits; k++ {
+		if i&(1<<k) != 0 {
+			rev |= 1 << (bits - 1 - k)
+		}
+	}
+	if rev == i {
+		return geom.Coord{}, false
+	}
+	return b.Shape.CoordOf(rev), true
+}
+
+// Shuffle sends PE i to PE (2i mod n-1) (perfect shuffle on linear indices;
+// index n-1 maps to itself and stays silent).
+type Shuffle struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (s Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (s Shuffle) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	n := s.Shape.Size()
+	if n < 3 {
+		return geom.Coord{}, false
+	}
+	i := s.Shape.Index(src)
+	if i == n-1 {
+		return geom.Coord{}, false
+	}
+	j := (2 * i) % (n - 1)
+	if j == i {
+		return geom.Coord{}, false
+	}
+	return s.Shape.CoordOf(j), true
+}
+
+// Hotspot sends a fraction of traffic to one hot PE and the rest uniformly.
+type Hotspot struct {
+	Shape geom.Shape
+	Hot   geom.Coord
+	// Fraction in [0,1] of packets addressed to Hot.
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot%.0f%%", h.Fraction*100) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src geom.Coord, rng *rand.Rand) (geom.Coord, bool) {
+	if rng.Float64() < h.Fraction && src != h.Hot {
+		return h.Hot, true
+	}
+	return Uniform{Shape: h.Shape}.Dest(src, rng)
+}
+
+// RingNeighbor embeds a ring over the linear index order: PE i sends to
+// PE (i+1) mod n. Under the MD crossbar's index order, consecutive indices
+// differ in one coordinate (with wrap hops at line ends), so the embedded
+// ring maps onto dedicated crossbar ports.
+type RingNeighbor struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (r RingNeighbor) Name() string { return "ring" }
+
+// Dest implements Pattern.
+func (r RingNeighbor) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	n := r.Shape.Size()
+	if n < 2 {
+		return geom.Coord{}, false
+	}
+	return r.Shape.CoordOf((r.Shape.Index(src) + 1) % n), true
+}
+
+// MeshNeighbor sends to the +1 neighbor along a chosen dimension (the
+// canonical nearest-neighbor sweep of a mesh-structured computation); PEs on
+// the upper boundary stay silent.
+type MeshNeighbor struct {
+	Shape geom.Shape
+	Dim   int
+}
+
+// Name implements Pattern.
+func (m MeshNeighbor) Name() string { return fmt.Sprintf("mesh+d%d", m.Dim) }
+
+// Dest implements Pattern.
+func (m MeshNeighbor) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	if src[m.Dim]+1 >= m.Shape[m.Dim] {
+		return geom.Coord{}, false
+	}
+	return src.WithDim(m.Dim, src[m.Dim]+1), true
+}
+
+// HypercubeNeighbor is the dimension-exchange step of hypercube algorithms:
+// PE i sends to PE i XOR 2^Bit on linear indices. Size must be a power of
+// two.
+type HypercubeNeighbor struct {
+	Shape geom.Shape
+	Bit   int
+}
+
+// Name implements Pattern.
+func (h HypercubeNeighbor) Name() string { return fmt.Sprintf("hcube^b%d", h.Bit) }
+
+// Dest implements Pattern.
+func (h HypercubeNeighbor) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	n := h.Shape.Size()
+	if n&(n-1) != 0 {
+		return geom.Coord{}, false
+	}
+	j := h.Shape.Index(src) ^ (1 << h.Bit)
+	if j >= n {
+		return geom.Coord{}, false
+	}
+	return h.Shape.CoordOf(j), true
+}
+
+// TreeParent embeds a binary tree over linear indices: PE i sends to its
+// parent (i-1)/2 (the reduction step of tree-structured collectives). The
+// root stays silent.
+type TreeParent struct{ Shape geom.Shape }
+
+// Name implements Pattern.
+func (t TreeParent) Name() string { return "tree" }
+
+// Dest implements Pattern.
+func (t TreeParent) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	i := t.Shape.Index(src)
+	if i == 0 {
+		return geom.Coord{}, false
+	}
+	return t.Shape.CoordOf((i - 1) / 2), true
+}
+
+// Fixed always returns the same destination map (an explicit permutation).
+type Fixed struct {
+	Map   map[geom.Coord]geom.Coord
+	Label string
+}
+
+// Name implements Pattern.
+func (f Fixed) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fixed"
+}
+
+// Dest implements Pattern.
+func (f Fixed) Dest(src geom.Coord, _ *rand.Rand) (geom.Coord, bool) {
+	d, ok := f.Map[src]
+	return d, ok
+}

@@ -1,0 +1,265 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sr2201/internal/core"
+	"sr2201/internal/geom"
+)
+
+func shape44() geom.Shape { return geom.MustShape(4, 4) }
+
+func TestUniformProperties(t *testing.T) {
+	shape := shape44()
+	u := Uniform{Shape: shape}
+	rng := rand.New(rand.NewSource(1))
+	src := geom.Coord{2, 1}
+	seen := map[geom.Coord]bool{}
+	for i := 0; i < 2000; i++ {
+		d, ok := u.Dest(src, rng)
+		if !ok {
+			t.Fatal("uniform refused to send")
+		}
+		if d == src {
+			t.Fatal("uniform chose self")
+		}
+		if !shape.Contains(d) {
+			t.Fatalf("uniform chose %v outside shape", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != shape.Size()-1 {
+		t.Errorf("uniform covered %d destinations, want %d", len(seen), shape.Size()-1)
+	}
+	// A 1-PE network cannot send.
+	if _, ok := (Uniform{Shape: geom.MustShape(1)}).Dest(geom.Coord{}, rng); ok {
+		t.Error("1-PE uniform sent")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tr := Transpose{Shape: shape44()}
+	d, ok := tr.Dest(geom.Coord{3, 1}, nil)
+	if !ok || d != (geom.Coord{1, 3}) {
+		t.Errorf("transpose = %v, %v", d, ok)
+	}
+	// Diagonal PEs stay silent.
+	if _, ok := tr.Dest(geom.Coord{2, 2}, nil); ok {
+		t.Error("diagonal transposed")
+	}
+}
+
+func TestBitReverseIsPermutation(t *testing.T) {
+	shape := shape44() // 16 PEs, power of two
+	b := BitReverse{Shape: shape}
+	hit := map[geom.Coord]int{}
+	senders := 0
+	shape.Enumerate(func(src geom.Coord) bool {
+		if d, ok := b.Dest(src, nil); ok {
+			senders++
+			hit[d]++
+			// Bit reversal is an involution: dest of dest is src.
+			back, ok2 := b.Dest(d, nil)
+			if !ok2 || back != src {
+				t.Errorf("bitreverse not involutive at %v", src)
+			}
+		}
+		return true
+	})
+	if senders == 0 {
+		t.Fatal("nobody sends")
+	}
+	for d, n := range hit {
+		if n != 1 {
+			t.Errorf("destination %v hit %d times", d, n)
+		}
+	}
+	// Non-power-of-two: silent.
+	nb := BitReverse{Shape: geom.MustShape(3, 4)}
+	if _, ok := nb.Dest(geom.Coord{1, 1}, nil); ok {
+		t.Error("bitreverse sent on non-power-of-two size")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := Shuffle{Shape: shape44()}
+	shape := shape44()
+	shape.Enumerate(func(src geom.Coord) bool {
+		if d, ok := s.Dest(src, nil); ok {
+			i, j := shape.Index(src), shape.Index(d)
+			if j != (2*i)%(shape.Size()-1) {
+				t.Errorf("shuffle(%d) = %d", i, j)
+			}
+		}
+		return true
+	})
+}
+
+func TestHotspot(t *testing.T) {
+	h := Hotspot{Shape: shape44(), Hot: geom.Coord{0, 0}, Fraction: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	hot := 0
+	for i := 0; i < 2000; i++ {
+		d, ok := h.Dest(geom.Coord{3, 3}, rng)
+		if !ok {
+			t.Fatal("hotspot refused")
+		}
+		if d == (geom.Coord{0, 0}) {
+			hot++
+		}
+	}
+	// Half directed plus uniform spill: expect well above 50%-ish hits.
+	if hot < 800 || hot > 1400 {
+		t.Errorf("hot hits = %d of 2000", hot)
+	}
+	if h.Name() != "hotspot50%" {
+		t.Errorf("name = %q", h.Name())
+	}
+}
+
+func TestEmbeddedPatterns(t *testing.T) {
+	shape := shape44()
+	// Ring covers everyone exactly once.
+	r := RingNeighbor{Shape: shape}
+	hit := map[geom.Coord]int{}
+	shape.Enumerate(func(src geom.Coord) bool {
+		d, ok := r.Dest(src, nil)
+		if !ok {
+			t.Fatalf("ring silent at %v", src)
+		}
+		hit[d]++
+		return true
+	})
+	if len(hit) != shape.Size() {
+		t.Errorf("ring covered %d", len(hit))
+	}
+	// Mesh neighbor along dim 0: boundary silent, others +1.
+	mp := MeshNeighbor{Shape: shape, Dim: 0}
+	if _, ok := mp.Dest(geom.Coord{3, 1}, nil); ok {
+		t.Error("mesh boundary sent")
+	}
+	if d, _ := mp.Dest(geom.Coord{1, 1}, nil); d != (geom.Coord{2, 1}) {
+		t.Errorf("mesh dest = %v", d)
+	}
+	// Hypercube exchange bit 2.
+	hc := HypercubeNeighbor{Shape: shape, Bit: 2}
+	d, ok := hc.Dest(geom.Coord{0, 0}, nil)
+	if !ok || shape.Index(d) != 4 {
+		t.Errorf("hypercube dest = %v, %v", d, ok)
+	}
+	// Tree: root silent, others to parent.
+	tp := TreeParent{Shape: shape}
+	if _, ok := tp.Dest(geom.Coord{0, 0}, nil); ok {
+		t.Error("root sent")
+	}
+	if d, _ := tp.Dest(shape.CoordOf(5), nil); shape.Index(d) != 2 {
+		t.Errorf("tree parent of 5 = %v", d)
+	}
+}
+
+func TestFixedPattern(t *testing.T) {
+	f := Fixed{Map: map[geom.Coord]geom.Coord{{0, 0}: {1, 1}}, Label: "pairs"}
+	if d, ok := f.Dest(geom.Coord{0, 0}, nil); !ok || d != (geom.Coord{1, 1}) {
+		t.Errorf("fixed = %v, %v", d, ok)
+	}
+	if _, ok := f.Dest(geom.Coord{2, 2}, nil); ok {
+		t.Error("unmapped source sent")
+	}
+	if f.Name() != "pairs" || (Fixed{}).Name() != "fixed" {
+		t.Error("names wrong")
+	}
+}
+
+func newMachine(t *testing.T) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{Shape: shape44(), StallThreshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDriverLowLoadDelivers(t *testing.T) {
+	d := Driver{
+		M:       newMachine(t),
+		Pattern: Uniform{Shape: shape44()},
+		Rate:    0.02,
+		Size:    4,
+		Seed:    42,
+		Warmup:  200,
+		Measure: 1000,
+	}
+	res := d.Run()
+	if res.Offered == 0 || res.Delivered == 0 {
+		t.Fatalf("result: %v", res)
+	}
+	if !res.Drained || res.Deadlocked {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Latency.Count() < int(res.Delivered) {
+		t.Errorf("latency samples %d < delivered %d", res.Latency.Count(), res.Delivered)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestDriverDeterministic(t *testing.T) {
+	run := func() string {
+		d := Driver{
+			M:       newMachine(t),
+			Pattern: Uniform{Shape: shape44()},
+			Rate:    0.05,
+			Size:    6,
+			Seed:    99,
+			Warmup:  100,
+			Measure: 500,
+		}
+		return d.Run().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic driver:\n%s\n%s", a, b)
+	}
+}
+
+func TestDriverWithBroadcasts(t *testing.T) {
+	d := Driver{
+		M:             newMachine(t),
+		Pattern:       Uniform{Shape: shape44()},
+		Rate:          0.01,
+		BroadcastRate: 0.002,
+		Size:          4,
+		Seed:          7,
+		Warmup:        100,
+		Measure:       2000,
+	}
+	res := d.Run()
+	if res.BroadcastCopies == 0 {
+		t.Fatalf("no broadcast copies: %+v", res)
+	}
+	if !res.Drained || res.Deadlocked {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestDriverSaturationBacklog(t *testing.T) {
+	// Absurd offered load must leave a backlog (saturation signal).
+	d := Driver{
+		M:       newMachine(t),
+		Pattern: Uniform{Shape: shape44()},
+		Rate:    0.9,
+		Size:    8,
+		Seed:    3,
+		Warmup:  100,
+		Measure: 500,
+		Drain:   20000,
+	}
+	res := d.Run()
+	if res.Backlog == 0 {
+		t.Errorf("no backlog at 0.9 load: %+v", res)
+	}
+	if res.Deadlocked {
+		t.Errorf("deadlock under load with the deadlock-free scheme: %+v", res)
+	}
+}

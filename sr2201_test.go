@@ -1,0 +1,105 @@
+package sr2201_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sr2201"
+)
+
+// Example exercises the documented quickstart flow through the public API.
+func Example() {
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: sr2201.MustShape(4, 3)})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Send(sr2201.Coord{0, 0}, sr2201.Coord{3, 2}, 0); err != nil {
+		panic(err)
+	}
+	if _, covered, err := m.Broadcast(sr2201.Coord{1, 1}, 0); err != nil {
+		panic(err)
+	} else {
+		fmt.Println("broadcast covers", covered, "PEs")
+	}
+	out := m.Run(100_000)
+	fmt.Println("drained:", out.Drained, "deliveries:", len(m.Deliveries()))
+	// Output:
+	// broadcast covers 12 PEs
+	// drained: true deliveries: 13
+}
+
+func TestPublicAPIFaultFlow(t *testing.T) {
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: sr2201.MustShape(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sr2201.Coord{2, 1}
+	if err := m.AddFault(sr2201.RouterFault(bad)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Send(sr2201.Coord{0, 0}, bad, 0); !errors.Is(err, sr2201.ErrUnreachable) {
+		t.Errorf("dead-PE send error = %v", err)
+	}
+	if _, err := m.Send(sr2201.Coord{0, 1}, sr2201.Coord{2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(100_000); !out.Drained {
+		t.Fatalf("outcome %+v", out)
+	}
+	ds := m.Deliveries()
+	if len(ds) != 1 || !ds[0].Detoured {
+		t.Errorf("deliveries = %+v", ds)
+	}
+}
+
+func TestPublicAPIXBFault(t *testing.T) {
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: sr2201.MustShape(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := sr2201.LineOf(sr2201.Coord{1, 2}, 0)
+	if err := m.AddFault(sr2201.XBFault(l)); err != nil {
+		t.Fatal(err)
+	}
+	// Sources on the broken dim-0 line still reach everything via detour.
+	if _, err := m.Send(sr2201.Coord{1, 2}, sr2201.Coord{3, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Run(100_000); !out.Drained {
+		t.Fatalf("outcome %+v", out)
+	}
+	if len(m.Deliveries()) != 1 {
+		t.Fatalf("deliveries = %d", len(m.Deliveries()))
+	}
+}
+
+// The real SR2201 scaled to 2048 PEs in a 3D 8x16x16 arrangement; the public
+// API must handle the full machine. (Kept modest in cycles; the structural
+// experiment E10 covers scaling claims.)
+func TestFullMachineScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2048-PE machine build")
+	}
+	shape := sr2201.MustShape(8, 16, 16)
+	m, err := sr2201.NewMachine(sr2201.Config{Shape: shape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corner-to-corner send (3 crossbar hops) and a broadcast to all 2048.
+	if _, err := m.Send(sr2201.Coord{0, 0, 0}, sr2201.Coord{7, 15, 15}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, covered, err := m.Broadcast(sr2201.Coord{4, 8, 8}, 0); err != nil {
+		t.Fatal(err)
+	} else if covered != 2048 {
+		t.Fatalf("broadcast covers %d", covered)
+	}
+	out := m.Run(500_000)
+	if !out.Drained {
+		t.Fatalf("outcome %+v", out)
+	}
+	if len(m.Deliveries()) != 2049 {
+		t.Errorf("deliveries = %d", len(m.Deliveries()))
+	}
+}
