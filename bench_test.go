@@ -6,11 +6,18 @@
 package sr2201_test
 
 import (
+	"flag"
 	"testing"
 
 	"sr2201"
 	"sr2201/internal/experiments"
+	"sr2201/internal/sweep"
 )
+
+// -parallel caps the sweep worker pool the experiment benchmarks use
+// (sweep cells within an experiment, and whole experiments in
+// BenchmarkFullSuite). 1 forces serial runs; the default uses every CPU.
+var parallelFlag = flag.Int("parallel", sweep.DefaultParallel(), "worker-pool width for experiment sweeps")
 
 // benchExperiment runs one registered experiment per iteration and fails the
 // benchmark if the experiment errors or its shape criterion fails.
@@ -21,12 +28,34 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %s not registered", id)
 	}
 	for i := 0; i < b.N; i++ {
-		r, err := e.Run(experiments.Options{Quick: true})
+		r, err := e.Run(experiments.Options{Quick: true, Parallel: *parallelFlag})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if !r.Pass {
 			b.Fatalf("%s shape criterion failed", id)
+		}
+	}
+}
+
+// BenchmarkFullSuite runs every registered experiment (Quick scale) per
+// iteration, sharded across the -parallel worker pool — the same shape as
+// `mdxbench -quick -parallel=N`.
+func BenchmarkFullSuite(b *testing.B) {
+	all := experiments.All()
+	for i := 0; i < b.N; i++ {
+		reports := sweep.Do(len(all), *parallelFlag, func(j int) *experiments.Report {
+			r, err := all[j].Run(experiments.Options{Quick: true, Parallel: *parallelFlag})
+			if err != nil {
+				b.Errorf("%s: %v", all[j].ID, err)
+				return nil
+			}
+			return r
+		})
+		for j, r := range reports {
+			if r != nil && !r.Pass {
+				b.Errorf("%s shape criterion failed", all[j].ID)
+			}
 		}
 	}
 }

@@ -6,25 +6,34 @@
 //
 // Usage:
 //
-//	mdxbench            # run everything at full scale
-//	mdxbench -quick     # reduced sweeps (CI scale)
-//	mdxbench -exp E6    # one experiment
-//	mdxbench -list      # list experiment ids
+//	mdxbench              # run everything at full scale
+//	mdxbench -quick       # reduced sweeps (CI scale)
+//	mdxbench -exp E6      # one experiment
+//	mdxbench -parallel 4  # worker-pool width (default GOMAXPROCS)
+//	mdxbench -list        # list experiment ids
+//
+// Experiments and their sweep cells run on a worker pool, but reports are
+// printed in experiment-id order and every sweep merges its cells by index,
+// so stdout is byte-identical at every -parallel level (timings go to
+// stderr).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sr2201/internal/experiments"
+	"sr2201/internal/sweep"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id to run (e.g. E4), or 'all'")
-		quick = flag.Bool("quick", false, "reduced sweep sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment id to run (e.g. E4), or 'all'")
+		quick    = flag.Bool("quick", false, "reduced sweep sizes")
+		parallel = flag.Int("parallel", sweep.DefaultParallel(), "worker-pool width for experiments and their sweep cells (1 = serial)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -35,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		toRun = experiments.All()
@@ -48,16 +57,27 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	type outcome struct {
+		report *experiments.Report
+		err    error
+	}
+	start := time.Now()
+	results := sweep.Do(len(toRun), *parallel, func(i int) outcome {
+		r, err := toRun[i].Run(opts)
+		return outcome{r, err}
+	})
+	fmt.Fprintf(os.Stderr, "mdxbench: %d experiment(s) in %v (parallel=%d)\n",
+		len(toRun), time.Since(start).Round(time.Millisecond), *parallel)
+
 	failed := 0
-	for _, e := range toRun {
-		r, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdxbench: %s: %v\n", e.ID, err)
+	for i, o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "mdxbench: %s: %v\n", toRun[i].ID, o.err)
 			failed++
 			continue
 		}
-		fmt.Println(r.String())
-		if !r.Pass {
+		fmt.Println(o.report.String())
+		if !o.report.Pass {
 			failed++
 		}
 	}

@@ -247,7 +247,7 @@ func (m *Machine) sendPivot(src, dst geom.Coord, size int) (uint64, error) {
 	}
 	m.nextID++
 	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal}
-	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	m.eng.InjectPacket(m.net.PE(src), h, size)
 	return m.nextID, nil
 }
 
@@ -266,7 +266,7 @@ func (m *Machine) send(src, dst geom.Coord, size int) (uint64, error) {
 	}
 	m.nextID++
 	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: dst, RC: flit.RCNormal}
-	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	m.eng.InjectPacket(m.net.PE(src), h, size)
 	return m.nextID, nil
 }
 
@@ -288,7 +288,7 @@ func (m *Machine) Broadcast(src geom.Coord, size int) (uint64, int, error) {
 		rc = flit.RCBroadcast
 	}
 	h := &flit.Header{PacketID: m.nextID, Src: src, BroadcastOrigin: src, RC: rc}
-	m.eng.Inject(m.net.PE(src), flit.NewPacket(h, size))
+	m.eng.InjectPacket(m.net.PE(src), h, size)
 	return m.nextID, len(tree.Delivered), nil
 }
 

@@ -18,12 +18,16 @@
 //     channels) can share one link's bandwidth, used by the torus baseline.
 //
 // Everything is iterated in fixed index order with per-resource round-robin
-// arbiters, so simulations are bit-for-bit reproducible.
+// arbiters, so simulations are bit-for-bit reproducible. The hot path visits
+// only active elements each cycle (see scheduler.go); the active sets are
+// exact predicates of each phase's no-op conditions and are kept in index
+// order, so skipping idle elements cannot change any outcome.
 package engine
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sr2201/internal/flit"
 )
@@ -60,6 +64,12 @@ type Config struct {
 	Acquire AcquireMode
 	// EjectRate caps the flits an endpoint consumes per cycle; 0 = unlimited.
 	EjectRate int
+	// DisableActiveSet forces the kernel to scan every link, port and
+	// endpoint each cycle instead of visiting only active elements. The two
+	// modes are bit-for-bit equivalent (asserted by the differential tests);
+	// the full scan exists as the reference implementation and for
+	// debugging, not for production runs.
+	DisableActiveSet bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -95,7 +105,8 @@ const (
 // Decision is the result of routing one packet header at one switch input.
 type Decision struct {
 	// Outs lists the output ports the packet must acquire. len(Outs) > 1
-	// replicates the packet (broadcast fan-out).
+	// replicates the packet (broadcast fan-out). The kernel copies the
+	// slice, so routing functions may reuse its backing array.
 	Outs []int
 	// Transform, if non-nil, rewrites the header on the copies forwarded out
 	// of this switch (RC-bit transitions). It must return a fresh header and
@@ -126,7 +137,8 @@ func (p PortRef) String() string {
 }
 
 // routeState tracks the active packet on one switch input port from header
-// grant until the tail flit leaves.
+// grant until the tail flit leaves. States are pooled per engine; the outs
+// and granted slices are reused across packets.
 type routeState struct {
 	header    *flit.Header
 	outs      []int
@@ -142,10 +154,12 @@ type routeState struct {
 func (rs *routeState) allGranted() bool { return rs.nGranted == len(rs.outs) }
 
 // InPort is a switch or endpoint input: a FIFO flit buffer fed by one link.
+// Flits are stored by value: they are copied as they move, so the steady
+// state allocates nothing per hop.
 type InPort struct {
 	node *Node
 	idx  int
-	buf  []*flit.Flit
+	buf  []flit.Flit
 	cap  int
 	// upstream is the link that feeds this port (nil if unconnected); used to
 	// return credits when a flit leaves the buffer.
@@ -155,6 +169,13 @@ type InPort struct {
 	// recvHeader remembers the header of the packet currently being consumed
 	// by an endpoint (set when the header flit is ejected).
 	recvHeader *flit.Header
+	// active marks membership in the engine's active input-port list (switch
+	// inports only); idle counts consecutive workless visits (eviction
+	// hysteresis); ordKey fixes the list's iteration order to match the
+	// full switch/port scan.
+	active bool
+	idle   uint8
+	ordKey int64
 	// BlockedCycles counts cycles in which this port had a routed or routable
 	// packet that failed to advance.
 	BlockedCycles int64
@@ -163,15 +184,16 @@ type InPort struct {
 // Buffered reports the number of flits currently queued at the port.
 func (p *InPort) Buffered() int { return len(p.buf) }
 
-// front returns the flit at the head of the buffer, or nil.
+// front returns the flit at the head of the buffer, or nil. The pointer
+// aliases the buffer slot: it must not be retained across pops or appends.
 func (p *InPort) front() *flit.Flit {
 	if len(p.buf) == 0 {
 		return nil
 	}
-	return p.buf[0]
+	return &p.buf[0]
 }
 
-func (p *InPort) pop() *flit.Flit {
+func (p *InPort) pop() flit.Flit {
 	f := p.buf[0]
 	copy(p.buf, p.buf[1:])
 	p.buf = p.buf[:len(p.buf)-1]
@@ -196,6 +218,14 @@ type OutPort struct {
 	phys *PhysChannel
 	// arb is the round-robin pointer over requesting input ports.
 	arb int
+	// reservedCycle implements atomic allocation's anti-starvation
+	// reservation without a per-cycle map: the port counts as reserved when
+	// reservedCycle equals the current cycle.
+	reservedCycle int64
+	// pendStamp/pend gather this cycle's incremental-mode requesters without
+	// a per-cycle map; pend's backing array is reused across cycles.
+	pendStamp int64
+	pend      []*InPort
 	// BusyCycles counts cycles in which a flit crossed this port.
 	BusyCycles int64
 	// ConflictCycles counts allocation cycles in which two or more packets
@@ -232,28 +262,42 @@ type Node struct {
 
 	eng *Engine
 
-	// Endpoint state.
-	injectQ  []*flit.Flit
-	Injected int64 // packets handed to Inject
-	Sent     int64 // packets whose tail left the endpoint
-	Received int64 // packets fully consumed at this endpoint
-	sendSeq  int   // flits of the current packet already sent
+	// Endpoint state. The source queue is injectQ[injectHead:]; consuming
+	// advances the head and the buffer is rewound once empty, so steady
+	// traffic reuses one allocation instead of leaking front capacity.
+	injectQ      []flit.Flit
+	injectHead   int
+	ejectActive  bool  // membership in the active ejection list
+	injectActive bool  // membership in the active injection list
+	ejectIdle    uint8 // eviction hysteresis for the ejection list
+	injectIdle   uint8 // eviction hysteresis for the injection list
+	Injected     int64 // packets handed to Inject
+	Sent         int64 // packets whose tail left the endpoint
+	Received     int64 // packets fully consumed at this endpoint
 }
 
 // InjectQueueLen reports the flits waiting in the endpoint's source queue.
-func (n *Node) InjectQueueLen() int { return len(n.injectQ) }
+func (n *Node) InjectQueueLen() int { return len(n.injectQ) - n.injectHead }
+
+// pendingInject is the live region of the endpoint's source queue.
+func (n *Node) pendingInject() []flit.Flit { return n.injectQ[n.injectHead:] }
 
 // Link is a unidirectional flit pipeline between an output and an input port.
 type Link struct {
+	id    int
 	from  *OutPort
 	to    *InPort
 	delay int
 	// pipe holds in-flight flits; age counts elapsed cycles.
 	pipe []linkEntry
+	// active marks membership in the engine's active link list; idle counts
+	// consecutive empty visits (eviction hysteresis, see scheduler.go).
+	active bool
+	idle   uint8
 }
 
 type linkEntry struct {
-	f   *flit.Flit
+	f   flit.Flit
 	age int
 }
 
@@ -262,8 +306,14 @@ type linkEntry struct {
 type PhysChannel struct {
 	members []*OutPort
 	arb     int
-	// grants is rebuilt each cycle: the member allowed to send.
-	granted *OutPort
+	// granted is the member allowed to send, valid only when grantedCycle is
+	// the current cycle (so idle channels need no per-cycle reset).
+	granted      *OutPort
+	grantedCycle int64
+	// wantStamp/wants gather this cycle's requesting members without a
+	// per-cycle map.
+	wantStamp int64
+	wants     []*OutPort
 }
 
 // Delivery reports one packet consumed at an endpoint.
@@ -290,12 +340,41 @@ type Engine struct {
 	endpoints []*Node
 	links     []*Link
 	phys      []*PhysChannel
+	nSwitchIn int // total switch input ports, for the visit counters
+	// fullIn lists every switch input port in full-scan order, for the
+	// DisableActiveSet reference mode.
+	fullIn []*InPort
 
 	cycle    int64
 	moves    int64 // cumulative flit movements (link entries + ejections)
 	resident int64 // flits alive in queues, buffers and links
 
 	dropped int64
+
+	// Active sets (scheduler.go): the subsets of links, switch input ports
+	// and endpoints that can possibly do work this cycle, each kept sorted
+	// in full-scan iteration order.
+	activeLinks  []*Link
+	activeAlloc  []*InPort
+	activeEject  []*Node
+	activeInject []*Node
+	// pend* buffer fresh activations until the owning phase merges them
+	// (one sort + linear merge per phase per cycle instead of a sorted
+	// insert per activation).
+	pendLinks  []*Link
+	pendAlloc  []*InPort
+	pendEject  []*Node
+	pendInject []*Node
+
+	// Scratch slices reused across cycles so the steady-state allocate and
+	// traverse phases allocate nothing.
+	reqScratch   []*InPort
+	readyScratch []*InPort
+	outScratch   []*OutPort
+	physScratch  []*PhysChannel
+	rsFree       []*routeState
+
+	ctr Counters
 
 	// OnDeliver, if non-nil, observes every packet consumption.
 	OnDeliver func(Delivery)
@@ -326,19 +405,21 @@ func (e *Engine) AddSwitch(name string, ports int, route RouteFunc, meta any) *N
 	}
 	n := &Node{ID: len(e.nodes), Name: name, Kind: KindSwitch, Meta: meta, route: route, eng: e}
 	for i := 0; i < ports; i++ {
-		n.In = append(n.In, &InPort{node: n, idx: i, cap: e.cfg.BufferDepth})
-		n.Out = append(n.Out, &OutPort{node: n, idx: i, lastReqCycle: -1})
+		n.In = append(n.In, &InPort{node: n, idx: i, cap: e.cfg.BufferDepth, ordKey: int64(n.ID)<<32 | int64(i)})
+		n.Out = append(n.Out, &OutPort{node: n, idx: i, lastReqCycle: -1, reservedCycle: -1, pendStamp: -1})
 	}
 	e.nodes = append(e.nodes, n)
 	e.switches = append(e.switches, n)
+	e.nSwitchIn += ports
+	e.fullIn = append(e.fullIn, n.In...)
 	return n
 }
 
 // AddEndpoint creates a single-port traffic endpoint.
 func (e *Engine) AddEndpoint(name string, meta any) *Node {
 	n := &Node{ID: len(e.nodes), Name: name, Kind: KindEndpoint, Meta: meta, eng: e}
-	n.In = append(n.In, &InPort{node: n, idx: 0, cap: e.cfg.BufferDepth})
-	n.Out = append(n.Out, &OutPort{node: n, idx: 0, lastReqCycle: -1})
+	n.In = append(n.In, &InPort{node: n, idx: 0, cap: e.cfg.BufferDepth, ordKey: int64(n.ID) << 32})
+	n.Out = append(n.Out, &OutPort{node: n, idx: 0, lastReqCycle: -1, reservedCycle: -1, pendStamp: -1})
 	e.nodes = append(e.nodes, n)
 	e.endpoints = append(e.endpoints, n)
 	return n
@@ -363,7 +444,7 @@ func (e *Engine) ConnectDirected(a *Node, ap int, b *Node, bp int) *Link {
 	if in.upstream != nil {
 		panic(fmt.Sprintf("engine: input %s.%d already connected", b.Name, bp))
 	}
-	l := &Link{from: out, to: in, delay: e.cfg.LinkDelay}
+	l := &Link{id: len(e.links), from: out, to: in, delay: e.cfg.LinkDelay}
 	out.link = l
 	out.credits = in.cap
 	in.upstream = l
@@ -380,7 +461,7 @@ func (e *Engine) Connect(a *Node, ap int, b *Node, bp int) {
 // SharePhysical groups output ports onto one physical channel with a combined
 // bandwidth of one flit per cycle.
 func (e *Engine) SharePhysical(ports ...*OutPort) *PhysChannel {
-	pc := &PhysChannel{members: ports}
+	pc := &PhysChannel{members: ports, grantedCycle: -1, wantStamp: -1}
 	for _, p := range ports {
 		if p.phys != nil {
 			panic(fmt.Sprintf("engine: output %s.%d already in a physical channel", p.node.Name, p.idx))
@@ -391,7 +472,23 @@ func (e *Engine) SharePhysical(ports ...*OutPort) *PhysChannel {
 	return pc
 }
 
-// Inject queues a packet's flits at an endpoint for transmission.
+// Inject queues a packet's flits at an endpoint for transmission. The flits
+// are copied into the endpoint's queue; the caller keeps ownership of the
+// slice and the Flit structs.
+// InjectPacket queues a size-flit packet headed by h at the endpoint. It is
+// equivalent to Inject(ep, flit.NewPacket(h, size)) but builds the flits
+// in place in the endpoint's source queue, allocating nothing.
+func (e *Engine) InjectPacket(ep *Node, h *flit.Header, size int) {
+	if ep.Kind != KindEndpoint {
+		panic(fmt.Sprintf("engine: Inject on non-endpoint %q", ep.Name))
+	}
+	h.InjectedAt = e.cycle
+	ep.injectQ = flit.AppendPacket(ep.injectQ, h, size)
+	ep.Injected++
+	e.resident += int64(size)
+	e.activateInject(ep)
+}
+
 func (e *Engine) Inject(ep *Node, flits []*flit.Flit) {
 	if ep.Kind != KindEndpoint {
 		panic(fmt.Sprintf("engine: Inject on non-endpoint %q", ep.Name))
@@ -403,9 +500,12 @@ func (e *Engine) Inject(ep *Node, flits []*flit.Flit) {
 		panic("engine: first injected flit must be a header")
 	}
 	flits[0].Header.InjectedAt = e.cycle
-	ep.injectQ = append(ep.injectQ, flits...)
+	for _, f := range flits {
+		ep.injectQ = append(ep.injectQ, *f)
+	}
 	ep.Injected++
 	e.resident += int64(len(flits))
+	e.activateInject(ep)
 }
 
 // Cycle reports the current simulation time.
@@ -432,6 +532,7 @@ func (e *Engine) Step() {
 	e.traverse()
 	e.inject()
 	e.cycle++
+	e.ctr.Cycles++
 }
 
 // RunUntilQuiescent steps until the network drains or maxCycles elapse.
@@ -449,101 +550,166 @@ func (e *Engine) RunUntilQuiescent(maxCycles int64) bool {
 // deliverLinks ages in-flight flits and lands the ones whose delay elapsed.
 // Credits guarantee the destination buffer has room.
 func (e *Engine) deliverLinks() {
-	for _, l := range e.links {
-		if len(l.pipe) == 0 {
-			continue
+	e.mergeLinks()
+	if e.cfg.DisableActiveSet {
+		for _, l := range e.links {
+			e.deliverLink(l)
 		}
-		kept := l.pipe[:0]
-		for _, en := range l.pipe {
-			en.age++
-			if en.age >= l.delay {
-				if len(l.to.buf) >= l.to.cap {
-					panic(fmt.Sprintf("engine: buffer overflow at %s.%d (credit accounting bug)", l.to.node.Name, l.to.idx))
-				}
-				l.to.buf = append(l.to.buf, en.f)
-			} else {
-				kept = append(kept, en)
+		e.ctr.LinkVisits += int64(len(e.links))
+		return
+	}
+	kept := e.activeLinks[:0]
+	for _, l := range e.activeLinks {
+		e.deliverLink(l)
+		if len(l.pipe) > 0 {
+			l.idle = 0
+			kept = append(kept, l)
+		} else if l.idle < idleEvictAfter {
+			l.idle++
+			kept = append(kept, l)
+		} else {
+			l.idle = 0
+			l.active = false
+		}
+	}
+	e.ctr.LinkVisits += int64(len(e.activeLinks))
+	e.ctr.LinkVisitsSkipped += int64(len(e.links) - len(e.activeLinks))
+	e.activeLinks = kept
+}
+
+func (e *Engine) deliverLink(l *Link) {
+	if len(l.pipe) == 0 {
+		return
+	}
+	kept := l.pipe[:0]
+	landed := false
+	for i := range l.pipe {
+		en := l.pipe[i]
+		en.age++
+		if en.age >= l.delay {
+			if len(l.to.buf) >= l.to.cap {
+				panic(fmt.Sprintf("engine: buffer overflow at %s.%d (credit accounting bug)", l.to.node.Name, l.to.idx))
 			}
+			l.to.buf = append(l.to.buf, en.f)
+			landed = true
+		} else {
+			kept = append(kept, en)
 		}
-		l.pipe = kept
+	}
+	l.pipe = kept
+	if landed {
+		if l.to.node.Kind == KindSwitch {
+			e.activateAlloc(l.to)
+		} else {
+			e.activateEject(l.to.node)
+		}
 	}
 }
 
 // eject consumes arrived flits at endpoints.
 func (e *Engine) eject() {
-	for _, ep := range e.endpoints {
-		in := ep.In[0]
-		budget := e.cfg.EjectRate
-		for len(in.buf) > 0 {
-			if budget == 0 && e.cfg.EjectRate != 0 {
-				break
-			}
-			f := in.pop()
-			e.moves++
-			e.resident--
-			if f.Header != nil {
-				in.recvHeader = f.Header
-			}
-			if f.Last {
-				ep.Received++
-				if e.OnDeliver != nil {
-					e.OnDeliver(Delivery{At: ep, Header: in.recvHeader, Cycle: e.cycle})
-				}
-				in.recvHeader = nil
-			}
-			if e.cfg.EjectRate != 0 {
-				budget--
-			}
+	e.mergeEject()
+	if e.cfg.DisableActiveSet {
+		for _, ep := range e.endpoints {
+			e.ejectAt(ep)
+		}
+		e.ctr.EjectVisits += int64(len(e.endpoints))
+		return
+	}
+	kept := e.activeEject[:0]
+	for _, ep := range e.activeEject {
+		e.ejectAt(ep)
+		if len(ep.In[0].buf) > 0 {
+			ep.ejectIdle = 0
+			kept = append(kept, ep)
+		} else if ep.ejectIdle < idleEvictAfter {
+			ep.ejectIdle++
+			kept = append(kept, ep)
+		} else {
+			ep.ejectIdle = 0
+			ep.ejectActive = false
 		}
 	}
+	e.ctr.EjectVisits += int64(len(e.activeEject))
+	e.ctr.EjectVisitsSkipped += int64(len(e.endpoints) - len(e.activeEject))
+	e.activeEject = kept
 }
 
-// request is one input port competing for output ports this cycle.
-type request struct {
-	in *InPort
+func (e *Engine) ejectAt(ep *Node) {
+	in := ep.In[0]
+	budget := e.cfg.EjectRate
+	for len(in.buf) > 0 {
+		if budget == 0 && e.cfg.EjectRate != 0 {
+			break
+		}
+		f := in.pop()
+		e.moves++
+		e.resident--
+		if f.Header != nil {
+			in.recvHeader = f.Header
+		}
+		if f.Last {
+			ep.Received++
+			if e.OnDeliver != nil {
+				e.OnDeliver(Delivery{At: ep, Header: in.recvHeader, Cycle: e.cycle})
+			}
+			in.recvHeader = nil
+		}
+		if e.cfg.EjectRate != 0 {
+			budget--
+		}
+	}
 }
 
 // allocate routes fresh headers and arbitrates output ports.
 func (e *Engine) allocate() {
+	e.mergeAlloc()
 	// Gather requests. A request is an input port whose front flit is an
 	// unserved header, or whose routeState still has ungranted outputs.
-	var requests []request
-	for _, sw := range e.switches {
-		for _, in := range sw.In {
-			if in.route == nil {
-				f := in.front()
-				if f == nil {
-					continue
-				}
-				if f.Header == nil {
-					panic(fmt.Sprintf("engine: mid-packet flit %s at %s.%d with no route state", f, sw.Name, in.idx))
-				}
-				rs, ok := e.routeHeader(sw, in, f.Header)
-				if !ok {
-					continue // dropped
-				}
-				in.route = rs
-			}
-			if in.route.sink {
-				continue
-			}
-			if !in.route.allGranted() {
-				requests = append(requests, request{in: in})
+	requests := e.reqScratch[:0]
+	if e.cfg.DisableActiveSet {
+		for _, in := range e.fullIn {
+			_, wants := e.allocPrep(in)
+			if wants {
+				requests = append(requests, in)
 			}
 		}
+		e.ctr.SwitchPortVisits += int64(e.nSwitchIn)
+	} else {
+		kept := e.activeAlloc[:0]
+		for _, in := range e.activeAlloc {
+			live, wants := e.allocPrep(in)
+			if live {
+				in.idle = 0
+				kept = append(kept, in)
+			} else if in.idle < idleEvictAfter {
+				in.idle++
+				kept = append(kept, in)
+			} else {
+				in.idle = 0
+				in.active = false
+			}
+			if wants {
+				requests = append(requests, in)
+			}
+		}
+		e.ctr.SwitchPortVisits += int64(len(e.activeAlloc))
+		e.ctr.SwitchPortVisitsSkipped += int64(e.nSwitchIn - len(e.activeAlloc))
+		e.activeAlloc = kept
 	}
+	e.reqScratch = requests
 	if len(requests) == 0 {
 		return
 	}
 
 	// Count requesters per output port for conflict statistics.
-	for _, rq := range requests {
-		rs := rq.in.route
+	for _, in := range requests {
+		rs := in.route
 		for i, o := range rs.outs {
 			if rs.granted[i] {
 				continue
 			}
-			op := rq.in.node.Out[o]
+			op := in.node.Out[o]
 			if op.owner != nil {
 				continue
 			}
@@ -557,6 +723,28 @@ func (e *Engine) allocate() {
 	default:
 		e.allocateIncremental(requests)
 	}
+}
+
+// allocPrep routes the buffered header of an idle port, then reports whether
+// the port remains live (holds route state or flits) and whether it competes
+// for output ports this cycle.
+func (e *Engine) allocPrep(in *InPort) (live, wants bool) {
+	if in.route == nil {
+		f := in.front()
+		if f == nil {
+			return false, false
+		}
+		if f.Header == nil {
+			panic(fmt.Sprintf("engine: mid-packet flit %s at %s.%d with no route state", f, in.node.Name, in.idx))
+		}
+		in.route = e.routeHeader(in.node, in, f.Header)
+		// Keep the active-set invariant (route state ⇒ listed) even when
+		// this prep ran from a full scan, so the modes can be toggled
+		// mid-run. A no-op when the port is already listed.
+		e.activateAlloc(in)
+	}
+	rs := in.route
+	return true, !rs.sink && !rs.allGranted()
 }
 
 // arbRequests bumps the conflict statistic bookkeeping; called once per
@@ -575,29 +763,29 @@ func (o *OutPort) arbRequests(cycle int64) {
 
 // allocateIncremental grants each free requested output to one requester
 // (round-robin), letting fan-outs hold partial sets.
-func (e *Engine) allocateIncremental(requests []request) {
+func (e *Engine) allocateIncremental(requests []*InPort) {
 	// Build per-output requester lists in request order.
-	perOut := map[*OutPort][]*InPort{}
-	var order []*OutPort
-	for _, rq := range requests {
-		rs := rq.in.route
+	order := e.outScratch[:0]
+	for _, in := range requests {
+		rs := in.route
 		for i, o := range rs.outs {
 			if rs.granted[i] {
 				continue
 			}
-			op := rq.in.node.Out[o]
+			op := in.node.Out[o]
 			if op.owner != nil {
 				continue
 			}
-			if _, seen := perOut[op]; !seen {
+			if op.pendStamp != e.cycle {
+				op.pendStamp = e.cycle
+				op.pend = op.pend[:0]
 				order = append(order, op)
 			}
-			perOut[op] = append(perOut[op], rq.in)
+			op.pend = append(op.pend, in)
 		}
 	}
 	for _, op := range order {
-		reqs := perOut[op]
-		winner := reqs[op.arb%len(reqs)]
+		winner := op.pend[op.arb%len(op.pend)]
 		op.arb++
 		op.owner = winner
 		rs := winner.route
@@ -608,6 +796,7 @@ func (e *Engine) allocateIncremental(requests []request) {
 			}
 		}
 	}
+	e.outScratch = order[:0]
 }
 
 // allocateAtomic grants a request only when every output it needs is free,
@@ -620,23 +809,21 @@ func (e *Engine) allocateIncremental(requests []request) {
 // a globally consistent tie-break would (unrealistically) hand one broadcast
 // every crossbar at once, masking the cyclic-acquisition deadlock of paper
 // Fig. 5.
-func (e *Engine) allocateAtomic(requests []request) {
+func (e *Engine) allocateAtomic(requests []*InPort) {
 	tieKey := func(in *InPort) int {
 		return (in.idx + in.node.ID) % len(in.node.In)
 	}
-	sort.SliceStable(requests, func(i, j int) bool {
-		a, b := requests[i].in, requests[j].in
+	slices.SortStableFunc(requests, func(a, b *InPort) int {
 		if a.route.since != b.route.since {
-			return a.route.since < b.route.since
+			return cmp.Compare(a.route.since, b.route.since)
 		}
 		if a.node != b.node {
-			return a.node.ID < b.node.ID
+			return cmp.Compare(a.node.ID, b.node.ID)
 		}
-		return tieKey(a) < tieKey(b)
+		return cmp.Compare(tieKey(a), tieKey(b))
 	})
-	reserved := map[*OutPort]bool{}
-	for _, rq := range requests {
-		rs := rq.in.route
+	for _, in := range requests {
+		rs := in.route
 		if rs.nGranted > 0 {
 			// An atomic request never holds a partial set, so this cannot
 			// happen unless the mode changed mid-run.
@@ -644,66 +831,69 @@ func (e *Engine) allocateAtomic(requests []request) {
 		}
 		ok := true
 		for _, o := range rs.outs {
-			op := rq.in.node.Out[o]
-			if op.owner != nil || reserved[op] {
+			op := in.node.Out[o]
+			if op.owner != nil || op.reservedCycle == e.cycle {
 				ok = false
 				break
 			}
 		}
 		if !ok {
 			for _, o := range rs.outs {
-				reserved[rq.in.node.Out[o]] = true
+				in.node.Out[o].reservedCycle = e.cycle
 			}
 			continue
 		}
 		for i, o := range rs.outs {
-			rq.in.node.Out[o].owner = rq.in
+			in.node.Out[o].owner = in
 			rs.granted[i] = true
 			rs.nGranted++
 		}
 	}
 }
 
-// routeHeader runs the switch routing function and validates the decision.
-// The bool result is false when the packet is dropped.
-func (e *Engine) routeHeader(sw *Node, in *InPort, h *flit.Header) (*routeState, bool) {
+// routeHeader runs the switch routing function and validates the decision,
+// returning the port's new cut-through state (a sink state when the packet
+// is dropped).
+func (e *Engine) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState {
 	if sw.Failed {
-		return e.sinkPacket(sw, in, h, "arrived at failed switch"), true
+		return e.sinkPacket(sw, in, h, "arrived at failed switch")
 	}
 	dec, err := sw.route(sw, in.idx, h)
 	if err != nil {
-		return e.sinkPacket(sw, in, h, err.Error()), true
+		return e.sinkPacket(sw, in, h, err.Error())
 	}
 	if dec.Drop {
 		reason := dec.DropReason
 		if reason == "" {
 			reason = "dropped by routing function"
 		}
-		return e.sinkPacket(sw, in, h, reason), true
+		return e.sinkPacket(sw, in, h, reason)
 	}
 	if len(dec.Outs) == 0 {
-		return e.sinkPacket(sw, in, h, "routing function returned no outputs"), true
+		return e.sinkPacket(sw, in, h, "routing function returned no outputs")
 	}
-	seen := map[int]bool{}
-	for _, o := range dec.Outs {
+	for i, o := range dec.Outs {
 		if o < 0 || o >= len(sw.Out) {
 			panic(fmt.Sprintf("engine: switch %q routed to invalid port %d", sw.Name, o))
 		}
 		if sw.Out[o].link == nil {
 			panic(fmt.Sprintf("engine: switch %q routed to unconnected port %d", sw.Name, o))
 		}
-		if seen[o] {
-			panic(fmt.Sprintf("engine: switch %q routed to duplicate port %d", sw.Name, o))
+		for _, prev := range dec.Outs[:i] {
+			if prev == o {
+				panic(fmt.Sprintf("engine: switch %q routed to duplicate port %d", sw.Name, o))
+			}
 		}
-		seen[o] = true
 	}
-	return &routeState{
-		header:    h,
-		outs:      dec.Outs,
-		granted:   make([]bool, len(dec.Outs)),
-		transform: dec.Transform,
-		since:     e.cycle,
-	}, true
+	rs := e.newRouteState()
+	rs.header = h
+	rs.outs = append(rs.outs, dec.Outs...)
+	for range dec.Outs {
+		rs.granted = append(rs.granted, false)
+	}
+	rs.transform = dec.Transform
+	rs.since = e.cycle
+	return rs
 }
 
 // sinkPacket puts the input port into drop mode for the current packet.
@@ -712,76 +902,99 @@ func (e *Engine) sinkPacket(sw *Node, in *InPort, h *flit.Header, reason string)
 	if e.OnDrop != nil {
 		e.OnDrop(Drop{At: sw, Header: h, Cycle: e.cycle, Reason: reason})
 	}
-	return &routeState{header: h, sink: true}
+	rs := e.newRouteState()
+	rs.header = h
+	rs.sink = true
+	return rs
+}
+
+// newRouteState takes a state from the pool (or allocates the pool's first).
+func (e *Engine) newRouteState() *routeState {
+	if n := len(e.rsFree); n > 0 {
+		rs := e.rsFree[n-1]
+		e.rsFree = e.rsFree[:n-1]
+		e.ctr.RouteStatesReused++
+		return rs
+	}
+	e.ctr.RouteStatesAllocated++
+	return &routeState{}
+}
+
+// freeRouteState clears a completed state and returns it to the pool.
+func (e *Engine) freeRouteState(rs *routeState) {
+	rs.header = nil
+	rs.transform = nil
+	rs.outs = rs.outs[:0]
+	rs.granted = rs.granted[:0]
+	rs.nGranted = 0
+	rs.sink = false
+	rs.since = 0
+	e.rsFree = append(e.rsFree, rs)
 }
 
 // traverse moves one flit per fully-granted input across its switch.
 func (e *Engine) traverse() {
 	// Phase A: find ready inputs and stage physical-channel requests.
-	type ready struct {
-		in *InPort
+	readies := e.readyScratch[:0]
+	physOrder := e.physScratch[:0]
+	ports := e.activeAlloc
+	if e.cfg.DisableActiveSet {
+		ports = e.fullIn
 	}
-	var readies []ready
-	for _, pc := range e.phys {
-		pc.granted = nil
-	}
-	physWants := map[*PhysChannel][]*OutPort{}
-	var physOrder []*PhysChannel
-	for _, sw := range e.switches {
-		for _, in := range sw.In {
-			rs := in.route
-			if rs == nil {
-				continue
-			}
-			f := in.front()
-			if rs.sink {
-				// Drain dropped packets at one flit per cycle.
-				if f != nil {
-					e.consumeSunk(in, f)
-				}
-				continue
-			}
-			if !rs.allGranted() {
-				if f != nil {
-					in.BlockedCycles++
-				}
-				continue
-			}
-			if f == nil {
-				continue // waiting for upstream flits; not "blocked" locally
-			}
-			ok := true
-			for _, o := range rs.outs {
-				op := sw.Out[o]
-				if op.credits < 1 {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				in.BlockedCycles++
-				continue
-			}
-			// Stage physical channel requests.
-			for _, o := range rs.outs {
-				op := sw.Out[o]
-				if op.phys != nil {
-					if _, seen := physWants[op.phys]; !seen {
-						physOrder = append(physOrder, op.phys)
-					}
-					physWants[op.phys] = append(physWants[op.phys], op)
-				}
-			}
-			readies = append(readies, ready{in: in})
+	for _, in := range ports {
+		rs := in.route
+		if rs == nil {
+			continue
 		}
+		f := in.front()
+		if rs.sink {
+			// Drain dropped packets at one flit per cycle.
+			if f != nil {
+				e.consumeSunk(in, *f)
+			}
+			continue
+		}
+		if !rs.allGranted() {
+			if f != nil {
+				in.BlockedCycles++
+			}
+			continue
+		}
+		if f == nil {
+			continue // waiting for upstream flits; not "blocked" locally
+		}
+		ok := true
+		for _, o := range rs.outs {
+			op := in.node.Out[o]
+			if op.credits < 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			in.BlockedCycles++
+			continue
+		}
+		// Stage physical channel requests.
+		for _, o := range rs.outs {
+			op := in.node.Out[o]
+			if pc := op.phys; pc != nil {
+				if pc.wantStamp != e.cycle {
+					pc.wantStamp = e.cycle
+					pc.wants = pc.wants[:0]
+					physOrder = append(physOrder, pc)
+				}
+				pc.wants = append(pc.wants, op)
+			}
+		}
+		readies = append(readies, in)
 	}
 	// Phase B: physical-channel arbitration, round-robin over member index.
 	for _, pc := range physOrder {
-		wants := physWants[pc]
 		// Pick the requesting member closest after the arb pointer.
 		best := -1
 		bestRank := len(pc.members) + 1
-		for _, op := range wants {
+		for _, op := range pc.wants {
 			mi := pc.memberIndex(op)
 			rank := (mi - pc.arb + len(pc.members)) % len(pc.members)
 			if rank < bestRank {
@@ -791,17 +1004,17 @@ func (e *Engine) traverse() {
 		}
 		if best >= 0 {
 			pc.granted = pc.members[best]
+			pc.grantedCycle = e.cycle
 			pc.arb = (best + 1) % len(pc.members)
 		}
 	}
 	// Phase C: move flits for inputs whose outputs all won their channels.
-	for _, r := range readies {
-		in := r.in
+	for _, in := range readies {
 		rs := in.route
 		committed := true
 		for _, o := range rs.outs {
 			op := in.node.Out[o]
-			if op.phys != nil && op.phys.granted != op {
+			if op.phys != nil && !op.phys.grants(op, e.cycle) {
 				committed = false
 				break
 			}
@@ -816,7 +1029,7 @@ func (e *Engine) traverse() {
 		e.resident += int64(len(rs.outs) - 1)
 		for _, o := range rs.outs {
 			op := in.node.Out[o]
-			branch := *f
+			branch := f
 			if f.Header != nil {
 				h := f.Header
 				if rs.transform != nil {
@@ -829,7 +1042,8 @@ func (e *Engine) traverse() {
 					e.OnForward(in.node, o, h, e.cycle)
 				}
 			}
-			op.link.pipe = append(op.link.pipe, linkEntry{f: &branch})
+			op.link.pipe = append(op.link.pipe, linkEntry{f: branch})
+			e.activateLink(op.link)
 			op.credits--
 			op.BusyCycles++
 		}
@@ -837,53 +1051,93 @@ func (e *Engine) traverse() {
 			for _, o := range rs.outs {
 				in.node.Out[o].owner = nil
 			}
+			e.freeRouteState(rs)
 			in.route = nil
 		}
 	}
+	e.readyScratch = readies[:0]
+	e.physScratch = physOrder[:0]
+}
+
+// grants reports whether the channel granted this port in the given cycle.
+func (pc *PhysChannel) grants(op *OutPort, cycle int64) bool {
+	return pc.granted == op && pc.grantedCycle == cycle
 }
 
 // consumeSunk drains one flit of a dropped packet.
-func (e *Engine) consumeSunk(in *InPort, f *flit.Flit) {
+func (e *Engine) consumeSunk(in *InPort, f flit.Flit) {
 	in.pop()
 	e.moves++
 	e.resident--
 	if f.Last {
+		e.freeRouteState(in.route)
 		in.route = nil
 	}
 }
 
 // inject moves endpoint source-queue flits onto their links.
 func (e *Engine) inject() {
-	for _, ep := range e.endpoints {
-		if len(ep.injectQ) == 0 {
-			continue
+	e.mergeInject()
+	if e.cfg.DisableActiveSet {
+		for _, ep := range e.endpoints {
+			e.injectAt(ep)
 		}
-		out := ep.Out[0]
-		if out.link == nil {
-			panic(fmt.Sprintf("engine: endpoint %q has no outbound link", ep.Name))
+		e.ctr.InjectVisits += int64(len(e.endpoints))
+		return
+	}
+	kept := e.activeInject[:0]
+	for _, ep := range e.activeInject {
+		e.injectAt(ep)
+		if ep.InjectQueueLen() > 0 {
+			ep.injectIdle = 0
+			kept = append(kept, ep)
+		} else if ep.injectIdle < idleEvictAfter {
+			ep.injectIdle++
+			kept = append(kept, ep)
+		} else {
+			ep.injectIdle = 0
+			ep.injectActive = false
 		}
-		if out.credits < 1 {
-			continue
+	}
+	e.ctr.InjectVisits += int64(len(e.activeInject))
+	e.ctr.InjectVisitsSkipped += int64(len(e.endpoints) - len(e.activeInject))
+	e.activeInject = kept
+}
+
+func (e *Engine) injectAt(ep *Node) {
+	if ep.injectHead >= len(ep.injectQ) {
+		return
+	}
+	out := ep.Out[0]
+	if out.link == nil {
+		panic(fmt.Sprintf("engine: endpoint %q has no outbound link", ep.Name))
+	}
+	if out.credits < 1 {
+		return
+	}
+	if pc := out.phys; pc != nil && !pc.grants(out, e.cycle) {
+		// Endpoints on shared channels arbitrate like switches; for
+		// simplicity they send only on otherwise-idle cycles.
+		if pc.grantedCycle == e.cycle && pc.granted != nil {
+			return
 		}
-		if out.phys != nil && out.phys.granted != out {
-			// Endpoints on shared channels arbitrate like switches; for
-			// simplicity they send only on otherwise-idle cycles.
-			if out.phys.granted != nil {
-				continue
-			}
-		}
-		f := ep.injectQ[0]
-		ep.injectQ = ep.injectQ[1:]
-		if f.Header != nil && e.OnForward != nil {
-			e.OnForward(ep, 0, f.Header, e.cycle)
-		}
-		out.link.pipe = append(out.link.pipe, linkEntry{f: f})
-		out.credits--
-		out.BusyCycles++
-		e.moves++
-		if f.Last {
-			ep.Sent++
-		}
+	}
+	f := ep.injectQ[ep.injectHead]
+	ep.injectHead++
+	if ep.injectHead == len(ep.injectQ) {
+		ep.injectQ = ep.injectQ[:0]
+		ep.injectHead = 0
+	}
+	if f.Header != nil && e.OnForward != nil {
+		e.OnForward(ep, 0, f.Header, e.cycle)
+	}
+	out.link.pipe = append(out.link.pipe, linkEntry{f: f})
+	e.activateLink(out.link)
+	out.credits--
+	out.BusyCycles++
+	e.moves++
+	if f.Last {
+		ep.Sent++
 	}
 }
 

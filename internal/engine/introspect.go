@@ -130,7 +130,7 @@ func (e *Engine) BlockedPorts() []WaitInfo {
 func (e *Engine) StalledEndpoints() []*Node {
 	var out []*Node
 	for _, ep := range e.endpoints {
-		if len(ep.injectQ) > 0 && ep.Out[0].credits < 1 {
+		if ep.InjectQueueLen() > 0 && ep.Out[0].credits < 1 {
 			out = append(out, ep)
 		}
 	}

@@ -19,7 +19,7 @@ import "fmt"
 func (e *Engine) CheckInvariants() error {
 	var counted int64
 	for _, n := range e.nodes {
-		counted += int64(len(n.injectQ))
+		counted += int64(n.InjectQueueLen())
 		for _, in := range n.In {
 			counted += int64(len(in.buf))
 		}

@@ -8,6 +8,7 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
 )
 
 func init() {
@@ -293,28 +294,40 @@ func runE5(opt Options) (*Report, error) {
 			faults = append(faults, fault.XBFault(l))
 		}
 		for _, kindName := range []string{"router", "crossbar"} {
-			scen, drained, dl := 0, 0, 0
+			// Flatten the fault x offset grid into independent cells and
+			// fan them out; aggregation below walks the results in cell
+			// order, so the table is identical at every parallelism level.
+			type cell struct {
+				f   fault.Fault
+				off int
+			}
+			var cells []cell
 			for _, f := range faults {
 				if (f.Kind == fault.KindRouter) != (kindName == "router") {
 					continue
 				}
 				for _, off := range offsets {
-					o, err := e5Scenario(shape, f, off)
-					if err != nil {
-						return nil, err
-					}
-					scen++
-					if o.Drained {
-						drained++
-					}
-					if o.Deadlocked {
-						dl++
-						totalDeadlocks++
-					}
+					cells = append(cells, cell{f, off})
 				}
 			}
-			tbl.AddRow(shape.String(), kindName, scen, drained, dl)
-			if drained != scen {
+			outs, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (deadlock.Outcome, error) {
+				return e5Scenario(shape, cells[i].f, cells[i].off)
+			})
+			if err != nil {
+				return nil, err
+			}
+			drained, dl := 0, 0
+			for _, o := range outs {
+				if o.Drained {
+					drained++
+				}
+				if o.Deadlocked {
+					dl++
+					totalDeadlocks++
+				}
+			}
+			tbl.AddRow(shape.String(), kindName, len(cells), drained, dl)
+			if drained != len(cells) {
 				allDrained = false
 			}
 		}

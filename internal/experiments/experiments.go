@@ -20,6 +20,12 @@ type Options struct {
 	// Quick shrinks sweeps for benchmarks and CI; the full runs are the
 	// defaults used to produce EXPERIMENTS.md.
 	Quick bool
+	// Parallel caps the worker pool used for independent sweep cells
+	// (<= 0 means sweep.DefaultParallel(), 1 forces serial execution).
+	// Every cell builds its own machine and rand source, and results are
+	// merged by cell index, so reports are byte-identical at every
+	// parallelism level — the golden tests pin this.
+	Parallel int
 }
 
 // Report is one experiment's output.

@@ -9,6 +9,7 @@ import (
 	"sr2201/internal/geom"
 	"sr2201/internal/meshnet"
 	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
 	"sr2201/internal/traffic"
 )
 
@@ -74,23 +75,40 @@ func runE6(opt Options) (*Report, error) {
 		pat := mkPat()
 		tbl := stats.NewTable(fmt.Sprintf("E6 %s on %s: offered load vs accepted throughput and latency", pat.Name(), shape),
 			"load", "topology", "throughput", "mean lat", "p95 lat", "backlog", "conflicts")
+		// Each load x topology cell is an independent machine + driver run;
+		// fan them out and assemble rows in cell order.
+		type cell struct {
+			load float64
+			tp   topo
+		}
+		var cells []cell
 		for _, load := range loads {
 			for _, tp := range topos {
-				t, err := tp.build()
-				if err != nil {
-					return nil, err
-				}
-				res := drive(t, pat, load, 8, warmup, measure, 1234)
-				if res.Deadlocked {
-					return nil, fmt.Errorf("E6: %s deadlocked at load %.2f", tp.name, load)
-				}
-				tbl.AddRow(load, tp.name, res.Throughput, res.Latency.Mean(), res.Latency.Percentile(95), res.Backlog, res.Conflicts)
-				if res.Throughput > peak[tp.name] {
-					peak[tp.name] = res.Throughput
-				}
-				if load == loads[0] && pat.Name() == "uniform" {
-					lowLat[tp.name] = res.Latency.Mean()
-				}
+				cells = append(cells, cell{load, tp})
+			}
+		}
+		results, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (traffic.Result, error) {
+			t, err := cells[i].tp.build()
+			if err != nil {
+				return traffic.Result{}, err
+			}
+			res := drive(t, pat, cells[i].load, 8, warmup, measure, 1234)
+			if res.Deadlocked {
+				return traffic.Result{}, fmt.Errorf("E6: %s deadlocked at load %.2f", cells[i].tp.name, cells[i].load)
+			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			load, name := cells[i].load, cells[i].tp.name
+			tbl.AddRow(load, name, res.Throughput, res.Latency.Mean(), res.Latency.Percentile(95), res.Backlog, res.Conflicts)
+			if res.Throughput > peak[name] {
+				peak[name] = res.Throughput
+			}
+			if load == loads[0] && pat.Name() == "uniform" {
+				lowLat[name] = res.Latency.Mean()
 			}
 		}
 		r.Tables = append(r.Tables, tbl)
@@ -124,31 +142,51 @@ func runE7(opt Options) (*Report, error) {
 	tbl := stats.NewTable(fmt.Sprintf("E7 detour overhead on %s, faulty router %v", shape, bad),
 		"load", "config", "throughput", "mean lat", "p95 lat", "detoured", "detoured mean lat")
 	ok := true
+	type cell struct {
+		load      float64
+		withFault bool
+	}
+	type outcome struct {
+		res    traffic.Result
+		detLat stats.Latency
+	}
+	var cells []cell
 	for _, load := range loads {
 		for _, withFault := range []bool{false, true} {
-			m, err := newCrossbar(shape)
-			if err != nil {
+			cells = append(cells, cell{load, withFault})
+		}
+	}
+	results, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (*outcome, error) {
+		m, err := newCrossbar(shape)
+		if err != nil {
+			return nil, err
+		}
+		if cells[i].withFault {
+			if err := m.AddFault(fault.RouterFault(bad)); err != nil {
 				return nil, err
 			}
-			name := "fault-free"
-			if withFault {
-				name = "one faulty RTC"
-				if err := m.AddFault(fault.RouterFault(bad)); err != nil {
-					return nil, err
-				}
-			}
-			var detLat stats.Latency
-			m.OnDeliver = func(d core.Delivery) {
-				if d.Detoured {
-					detLat.Add(d.Latency)
-				}
-			}
-			res := drive(m, traffic.Uniform{Shape: shape}, load, 8, warmup, measure, 99)
-			if res.Deadlocked {
-				ok = false
-			}
-			tbl.AddRow(load, name, res.Throughput, res.Latency.Mean(), res.Latency.Percentile(95), detLat.Count(), detLat.Mean())
 		}
+		var o outcome
+		m.OnDeliver = func(d core.Delivery) {
+			if d.Detoured {
+				o.detLat.Add(d.Latency)
+			}
+		}
+		o.res = drive(m, traffic.Uniform{Shape: shape}, cells[i].load, 8, warmup, measure, 99)
+		return &o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range results {
+		name := "fault-free"
+		if cells[i].withFault {
+			name = "one faulty RTC"
+		}
+		if o.res.Deadlocked {
+			ok = false
+		}
+		tbl.AddRow(cells[i].load, name, o.res.Throughput, o.res.Latency.Mean(), o.res.Latency.Percentile(95), o.detLat.Count(), o.detLat.Mean())
 	}
 	r.Tables = append(r.Tables, tbl)
 	r.Pass = ok
@@ -169,29 +207,41 @@ func runE8(opt Options) (*Report, error) {
 	}
 	tbl := stats.NewTable(fmt.Sprintf("E8 k simultaneous broadcasts on %s (8-flit packets)", shape),
 		"k", "completion cycles", "increment", "copies")
-	var prev int64
-	var increments []int64
-	for k := 1; k <= maxK; k++ {
+	type e8Result struct {
+		cycle  int64
+		copies int
+	}
+	results, err := sweep.DoErr(maxK, opt.Parallel, func(i int) (e8Result, error) {
+		k := i + 1
 		m, err := newCrossbar(shape)
 		if err != nil {
-			return nil, err
+			return e8Result{}, err
 		}
-		for i := 0; i < k; i++ {
-			src := shape.CoordOf((i * 7) % shape.Size())
+		for j := 0; j < k; j++ {
+			src := shape.CoordOf((j * 7) % shape.Size())
 			if _, _, err := m.Broadcast(src, 8); err != nil {
-				return nil, err
+				return e8Result{}, err
 			}
 		}
 		out := m.Run(runBudget)
 		if !out.Drained {
-			return nil, fmt.Errorf("E8: k=%d did not drain", k)
+			return e8Result{}, fmt.Errorf("E8: k=%d did not drain", k)
 		}
-		inc := out.Cycle - prev
+		return e8Result{out.Cycle, len(m.Deliveries())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var prev int64
+	var increments []int64
+	for i, res := range results {
+		k := i + 1
+		inc := res.cycle - prev
 		if k > 1 {
 			increments = append(increments, inc)
 		}
-		tbl.AddRow(k, out.Cycle, inc, len(m.Deliveries()))
-		prev = out.Cycle
+		tbl.AddRow(k, res.cycle, inc, res.copies)
+		prev = res.cycle
 	}
 	r.Tables = append(r.Tables, tbl)
 	// Linearity: increments positive and within 3x of each other.
@@ -268,24 +318,37 @@ func runE9(opt Options) (*Report, error) {
 		"pattern", "xbar conflicts", "xbar blocked", "xbar cycles", "mesh conflicts", "mesh blocked", "mesh cycles")
 	pass := true
 	meshContends := false
-	for _, p := range patterns {
+	type e9Result struct {
+		cx, bx, tx int64
+		cm, bm, tm int64
+	}
+	results, err := sweep.DoErr(len(patterns), opt.Parallel, func(i int) (e9Result, error) {
+		p := patterns[i]
 		mx, err := newCrossbar(shape)
 		if err != nil {
-			return nil, err
+			return e9Result{}, err
 		}
 		cx, bx, tx, err := oneShot(mx, p)
 		if err != nil {
-			return nil, err
+			return e9Result{}, err
 		}
 		mm, err := meshnet.New(meshnet.Config{Kind: meshnet.Mesh, Shape: shape, StallThreshold: 512})
 		if err != nil {
-			return nil, err
+			return e9Result{}, err
 		}
 		cm, bm, tm, err := oneShot(mm, p)
 		if err != nil {
-			return nil, err
+			return e9Result{}, err
 		}
-		tbl.AddRow(p.Name(), cx, bx, tx, cm, bm, tm)
+		return e9Result{cx, bx, tx, cm, bm, tm}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		p := patterns[i]
+		cx, bx, cm, bm := res.cx, res.bx, res.cm, res.bm
+		tbl.AddRow(p.Name(), res.cx, res.bx, res.tx, res.cm, res.bm, res.tm)
 		switch p.(type) {
 		case traffic.RingNeighbor, traffic.MeshNeighbor, traffic.HypercubeNeighbor:
 			if cx != 0 || bx != 0 {
@@ -432,17 +495,23 @@ func runA2(opt Options) (*Report, error) {
 	}
 	tbl := stats.NewTable("A2 buffer depth sweep, 8-flit packets, uniform load 0.1 on 6x6",
 		"depth", "regime", "throughput", "mean lat", "p95 lat")
-	var first, last traffic.Result
-	for i, depth := range depths {
+	results, err := sweep.DoErr(len(depths), opt.Parallel, func(i int) (traffic.Result, error) {
 		m, err := core.NewMachine(core.Config{
 			Shape:          shape,
-			Engine:         engine.Config{BufferDepth: depth, LinkDelay: 1},
+			Engine:         engine.Config{BufferDepth: depths[i], LinkDelay: 1},
 			StallThreshold: 512,
 		})
 		if err != nil {
-			return nil, err
+			return traffic.Result{}, err
 		}
-		res := drive(m, traffic.Uniform{Shape: shape}, 0.1, 8, warmup, measure, 7)
+		return drive(m, traffic.Uniform{Shape: shape}, 0.1, 8, warmup, measure, 7), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var first, last traffic.Result
+	for i, res := range results {
+		depth := depths[i]
 		regime := "wormhole-like"
 		if depth >= 8 {
 			regime = "virtual cut-through"

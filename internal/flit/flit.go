@@ -131,6 +131,26 @@ type Flit struct {
 
 // NewPacket builds the flit sequence for one packet with the given header.
 // size must be >= 1 (a lone header flit); the header's Size field is set.
+// AppendPacket appends the flits of a size-flit packet headed by h to dst
+// and returns the grown slice. It is the allocation-free counterpart of
+// NewPacket for callers that store flits by value (the engine's inject
+// queues).
+func AppendPacket(dst []Flit, h *Header, size int) []Flit {
+	if size < 1 {
+		panic(fmt.Sprintf("flit: packet size %d < 1", size))
+	}
+	h.Size = size
+	dst = append(dst, Flit{Header: h, PacketID: h.PacketID, Kind: KindHeader, Seq: 0, Last: size == 1})
+	for i := 1; i < size; i++ {
+		k := KindBody
+		if i == size-1 {
+			k = KindTail
+		}
+		dst = append(dst, Flit{PacketID: h.PacketID, Kind: k, Seq: i, Last: i == size-1})
+	}
+	return dst
+}
+
 func NewPacket(h *Header, size int) []*Flit {
 	if size < 1 {
 		panic(fmt.Sprintf("flit: packet size %d < 1", size))

@@ -199,7 +199,7 @@ func (n *Net) Send(src, dst geom.Coord, size int) (uint64, error) {
 	}
 	n.nextID++
 	h := &flit.Header{PacketID: n.nextID, Src: src, Dst: dst}
-	n.eng.Inject(n.PE(src), flit.NewPacket(h, size))
+	n.eng.InjectPacket(n.PE(src), h, size)
 	return n.nextID, nil
 }
 

@@ -1,0 +1,83 @@
+// Package sweep shards independent simulation runs across a worker pool.
+//
+// Experiment sweeps (seeds × loads × fault configurations) are embarrassingly
+// parallel: every cell builds its own Machine and Engine and shares no
+// mutable state with its neighbours. This package supplies the one primitive
+// they all need — "run fn for i in [0,n) on up to `parallel` goroutines and
+// give me the results in index order" — so the experiment code stays a plain
+// loop body.
+//
+// Determinism: results are written into a pre-sized slice at the run's own
+// index, never appended in completion order, so the merged output of a sweep
+// is identical for every parallelism level (including 1). Each fn invocation
+// must derive any randomness from its index or an explicit per-run seed; the
+// golden tests in internal/experiments pin that property end to end.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallel is the worker-pool width used when the caller passes a
+// non-positive value: the number of CPUs the process may use.
+func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
+
+// Do runs fn(0..n-1) on min(parallel, n) workers and returns the n results
+// in index order. parallel <= 0 means DefaultParallel(); parallel == 1 runs
+// serially on the calling goroutine with no synchronization overhead.
+func Do[R any](n, parallel int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	results := make([]R, n)
+	if parallel <= 0 {
+		parallel = DefaultParallel()
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			results[i] = fn(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// DoErr is Do for fallible runs: it returns every result plus the first
+// error by run index (not completion order), so the reported error is the
+// same no matter how the schedule interleaved.
+func DoErr[R any](n, parallel int, fn func(i int) (R, error)) ([]R, error) {
+	type outcome struct{ err error }
+	errs := make([]outcome, n)
+	results := Do(n, parallel, func(i int) R {
+		r, err := fn(i)
+		errs[i].err = err
+		return r
+	})
+	for i := range errs {
+		if errs[i].err != nil {
+			return results, errs[i].err
+		}
+	}
+	return results, nil
+}

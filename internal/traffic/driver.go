@@ -99,13 +99,19 @@ func (d *Driver) Run() Result {
 		pes = append(pes, c)
 		return true
 	})
+	// The fault set cannot change while Run executes, so resolve each PE's
+	// liveness once instead of once per PE per cycle. Dead PEs never drew
+	// from the rng, so pre-filtering leaves the random stream untouched.
+	live := pes[:0:0]
+	for _, src := range pes {
+		if m.Alive(src) {
+			live = append(live, src)
+		}
+	}
 
 	inject := func() int64 {
 		var n int64
-		for _, src := range pes {
-			if !m.Alive(src) {
-				continue
-			}
+		for _, src := range live {
 			if d.Rate > 0 && rng.Float64() < d.Rate {
 				if dst, ok := d.Pattern.Dest(src, rng); ok {
 					if _, err := m.Send(src, dst, d.Size); err == nil {
