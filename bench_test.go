@@ -60,23 +60,26 @@ func BenchmarkFullSuite(b *testing.B) {
 	}
 }
 
-func BenchmarkE1BroadcastDeadlock(b *testing.B)  { benchExperiment(b, "E1") }
-func BenchmarkE2BroadcastYXY(b *testing.B)       { benchExperiment(b, "E2") }
-func BenchmarkE3DetourPath(b *testing.B)         { benchExperiment(b, "E3") }
-func BenchmarkE4DeadlockDXBneSXB(b *testing.B)   { benchExperiment(b, "E4") }
-func BenchmarkE5DeadlockFree(b *testing.B)       { benchExperiment(b, "E5") }
-func BenchmarkE6TopologyCompare(b *testing.B)    { benchExperiment(b, "E6") }
-func BenchmarkE7FaultOverhead(b *testing.B)      { benchExperiment(b, "E7") }
-func BenchmarkE8BroadcastScaling(b *testing.B)   { benchExperiment(b, "E8") }
-func BenchmarkE9Remapping(b *testing.B)          { benchExperiment(b, "E9") }
-func BenchmarkE10Scaling(b *testing.B)           { benchExperiment(b, "E10") }
-func BenchmarkE11FullMachine(b *testing.B)       { benchExperiment(b, "E11") }
-func BenchmarkE12Collectives(b *testing.B)       { benchExperiment(b, "E12") }
-func BenchmarkE13MultiFault(b *testing.B)        { benchExperiment(b, "E13") }
-func BenchmarkA1Acquisition(b *testing.B)        { benchExperiment(b, "A1") }
-func BenchmarkA2BufferDepth(b *testing.B)        { benchExperiment(b, "A2") }
-func BenchmarkA3PivotTradeoff(b *testing.B)      { benchExperiment(b, "A3") }
-func BenchmarkV1StaticVerification(b *testing.B) { benchExperiment(b, "V1") }
+func BenchmarkE1BroadcastDeadlock(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2BroadcastYXY(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3DetourPath(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4DeadlockDXBneSXB(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5DeadlockFree(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6TopologyCompare(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7FaultOverhead(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8BroadcastScaling(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Remapping(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10Scaling(b *testing.B)             { benchExperiment(b, "E10") }
+func BenchmarkE11FullMachine(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12Collectives(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13MultiFault(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkA1Acquisition(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkA2BufferDepth(b *testing.B)          { benchExperiment(b, "A2") }
+func BenchmarkA3PivotTradeoff(b *testing.B)        { benchExperiment(b, "A3") }
+func BenchmarkF1DynamicFaultRecovery(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2FaultCampaign(b *testing.B)        { benchExperiment(b, "F2") }
+func BenchmarkF3Retransmission(b *testing.B)       { benchExperiment(b, "F3") }
+func BenchmarkV1StaticVerification(b *testing.B)   { benchExperiment(b, "V1") }
 
 // --- kernel micro-benchmarks ---
 

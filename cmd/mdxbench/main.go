@@ -9,6 +9,7 @@
 //	mdxbench              # run everything at full scale
 //	mdxbench -quick       # reduced sweeps (CI scale)
 //	mdxbench -exp E6      # one experiment
+//	mdxbench -exp e1,f2   # several (comma-separated, case-insensitive)
 //	mdxbench -parallel 4  # worker-pool width (default GOMAXPROCS)
 //	mdxbench -list        # list experiment ids
 //
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sr2201/internal/experiments"
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id to run (e.g. E4), or 'all'")
+		exp      = flag.String("exp", "all", "experiment ids to run, comma-separated and case-insensitive (e.g. e4 or E1,F2), or 'all'")
 		quick    = flag.Bool("quick", false, "reduced sweep sizes")
 		parallel = flag.Int("parallel", sweep.DefaultParallel(), "worker-pool width for experiments and their sweep cells (1 = serial)")
 		list     = flag.Bool("list", false, "list experiments and exit")
@@ -46,15 +48,18 @@ func main() {
 
 	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
 	var toRun []experiments.Experiment
-	if *exp == "all" {
+	if strings.EqualFold(*exp, "all") {
 		toRun = experiments.All()
 	} else {
-		e, ok := experiments.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "mdxbench: unknown experiment %q (use -list)\n", *exp)
-			os.Exit(2)
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(strings.ToUpper(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mdxbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
 		}
-		toRun = []experiments.Experiment{e}
 	}
 
 	type outcome struct {

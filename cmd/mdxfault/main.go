@@ -1,0 +1,274 @@
+// Command mdxfault runs dynamic-fault schedules. In single mode it drives
+// one machine with a scheduled mid-run fault (or several), reporting the
+// in-flight casualties of every event and the retransmission accounting. In
+// campaign mode it runs the exhaustive resilience campaign: every
+// single-fault placement × injection epoch × traffic pattern, aggregated
+// into the availability coverage table. Campaign output is byte-identical
+// at every -parallel level.
+//
+// Examples:
+//
+//	mdxfault -shape 8x8 -fail rtc:3,4@500 -waves 6 -retransmit
+//	mdxfault -shape 4x4 -fail xb:0:0,2@200 -fail rtc:1,1@400
+//	mdxfault -shape 8x8 -campaign -epochs 12,60 -patterns shift+5,reverse -retransmit
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sr2201/internal/campaign"
+	"sr2201/internal/cliutil"
+	"sr2201/internal/core"
+	"sr2201/internal/deadlock"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/routing"
+	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
+)
+
+func main() {
+	var (
+		shapeStr   = flag.String("shape", "8x8", "lattice shape, e.g. 8x8 or 4x4x4")
+		doCampaign = flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one schedule")
+		epochsStr  = flag.String("epochs", "12", "campaign fault-activation cycles, comma-separated")
+		patsStr    = flag.String("patterns", "shift+5", "traffic patterns, comma-separated: shift+K | reverse")
+		waves      = flag.Int("waves", 4, "traffic waves (one packet per live PE per wave)")
+		gap        = flag.Int64("gap", 24, "cycles between waves")
+		packet     = flag.Int("packet", 0, "packet size in flits (0 = default)")
+		retransmit = flag.Bool("retransmit", false, "retransmit lost packets from their sources")
+		retryAfter = flag.Int64("retry-after", 64, "cycles before the first retransmission")
+		backoff    = flag.Int("backoff", 2, "timeout multiplier per further attempt")
+		maxRetries = flag.Int("max-retries", 4, "retransmission attempts per packet")
+		horizon    = flag.Int64("horizon", 50_000, "cycle budget per run")
+		stall      = flag.Int64("stall", 0, "deadlock-watchdog stall threshold (0 = default)")
+		parallel   = flag.Int("parallel", sweep.DefaultParallel(), "campaign worker-pool width (1 = serial)")
+		fails      failList
+	)
+	flag.Var(&fails, "fail", "fault schedule rtc:X,Y@CYCLE or xb:DIM:X,Y@CYCLE (repeatable; single mode)")
+	flag.Parse()
+
+	shape, err := cliutil.ParseShape(*shapeStr)
+	if err != nil {
+		fatal(err)
+	}
+	opt := inject.Options{
+		Retransmit:     *retransmit,
+		RetryAfter:     *retryAfter,
+		Backoff:        *backoff,
+		MaxRetries:     *maxRetries,
+		StallThreshold: *stall,
+	}
+	patterns, err := parsePatterns(*patsStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *doCampaign {
+		if len(fails) > 0 {
+			fatal(fmt.Errorf("-fail selects single mode; a campaign enumerates every placement itself"))
+		}
+		epochs, err := parseEpochs(*epochsStr)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := campaign.Run(campaign.Config{
+			Shape:      shape,
+			Epochs:     epochs,
+			Patterns:   patterns,
+			Waves:      *waves,
+			Gap:        *gap,
+			PacketSize: *packet,
+			Inject:     opt,
+			Horizon:    *horizon,
+			Parallel:   *parallel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.String())
+		if res.Deadlocks() > 0 || res.Stalls() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(fails) == 0 {
+		fatal(fmt.Errorf("single mode needs at least one -fail schedule (or use -campaign)"))
+	}
+	if len(patterns) != 1 {
+		fatal(fmt.Errorf("single mode takes exactly one pattern"))
+	}
+	events := make([]inject.Event, 0, len(fails))
+	for _, fs := range fails {
+		f, cycle, err := cliutil.ParseScheduledFault(fs, shape)
+		if err != nil {
+			fatal(err)
+		}
+		events = append(events, inject.Event{Cycle: cycle, Fault: f})
+	}
+	if err := runSingle(shape, events, patterns[0], *waves, *gap, *packet, *horizon, opt); err != nil {
+		fatal(err)
+	}
+}
+
+// runSingle drives one machine through the schedule, printing casualties as
+// events fire and the final accounting.
+func runSingle(shape geom.Shape, events []inject.Event, pat campaign.Pattern,
+	waves int, gap int64, packet int, horizon int64, opt inject.Options) error {
+	m, err := core.NewMachine(core.Config{
+		Shape:          shape,
+		PacketSize:     packet,
+		StallThreshold: opt.StallThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	inj, err := inject.New(m, events, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
+		shape, pat.Name, waves, gap, opt.Retransmit)
+	for _, ev := range events {
+		fmt.Printf("scheduled: %s @ cycle %d\n", ev.Fault, ev.Cycle)
+	}
+
+	eng := m.Engine()
+	w := deadlock.NewWatchdog(eng, opt.StallThreshold)
+	offered, accepted, refused := 0, 0, 0
+	reported := 0
+	wave := 0
+	var outcome deadlock.Outcome
+	for eng.Cycle() < horizon {
+		if wave < waves && eng.Cycle() == int64(wave)*gap {
+			shape.Enumerate(func(src geom.Coord) bool {
+				if !m.Alive(src) {
+					return true
+				}
+				dst := pat.Dest(shape, src)
+				if dst == src {
+					return true
+				}
+				offered++
+				if _, err := m.Send(src, dst, packet); err != nil {
+					if errors.Is(err, routing.ErrUnreachable) {
+						refused++
+					}
+					return true
+				}
+				accepted++
+				return true
+			})
+			wave++
+		}
+		if wave >= waves && eng.Quiescent() && !inj.Pending() {
+			outcome.Drained = true
+			break
+		}
+		m.Step()
+		for _, c := range inj.Casualties()[reported:] {
+			fmt.Printf("cycle %d: %s fails — %d packet(s) killed in flight\n",
+				c.Cycle, c.Fault, len(c.Lost))
+			for _, l := range c.Lost {
+				if l.Known {
+					fmt.Printf("  killed pkt %d: %v -> %v (rc=%d, %d flits)\n",
+						l.PacketID, l.Src, l.Dst, l.RC, l.Size)
+				} else {
+					fmt.Printf("  killed pkt %d: header untraceable\n", l.PacketID)
+				}
+			}
+			reported++
+		}
+		if w.Stalled() {
+			rep := deadlock.Analyze(eng)
+			outcome.Stalled = true
+			outcome.Deadlocked = rep.Deadlocked
+			break
+		}
+	}
+	if err := inj.Err(); err != nil {
+		return err
+	}
+	outcome.Cycle = eng.Cycle()
+
+	st := inj.Stats()
+	t := stats.NewTable("dynamic-fault accounting",
+		"offered", "accepted", "refused", "delivered",
+		"killed", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
+	t.AddRow(offered, accepted, refused, len(m.Deliveries()),
+		st.KilledInFlight+st.DropsEnRoute, st.Retransmits, st.Recovered,
+		st.LostUnreachable, st.LostExhausted, st.Duplicates)
+	fmt.Println()
+	fmt.Print(t.String())
+	switch {
+	case outcome.Deadlocked:
+		fmt.Printf("outcome: DEADLOCK at cycle %d\n", outcome.Cycle)
+		os.Exit(1)
+	case outcome.Stalled:
+		fmt.Printf("outcome: stalled at cycle %d (no cyclic wait)\n", outcome.Cycle)
+		os.Exit(1)
+	case outcome.Drained:
+		fmt.Printf("outcome: drained at cycle %d\n", outcome.Cycle)
+	default:
+		fmt.Printf("outcome: horizon %d exceeded\n", horizon)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// parsePatterns parses a comma-separated pattern list: shift+K | reverse.
+func parsePatterns(s string) ([]campaign.Pattern, error) {
+	var out []campaign.Pattern
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "reverse":
+			out = append(out, campaign.Reverse())
+		case strings.HasPrefix(name, "shift+"):
+			k, err := strconv.Atoi(strings.TrimPrefix(name, "shift+"))
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("mdxfault: bad shift pattern %q", name)
+			}
+			out = append(out, campaign.Shift(k))
+		default:
+			return nil, fmt.Errorf("mdxfault: unknown pattern %q (shift+K | reverse)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mdxfault: empty pattern list")
+	}
+	return out, nil
+}
+
+// parseEpochs parses a comma-separated list of activation cycles.
+func parseEpochs(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("mdxfault: bad epoch %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mdxfault: empty epoch list")
+	}
+	return out, nil
+}
+
+// failList collects repeated -fail flags.
+type failList []string
+
+func (f *failList) String() string     { return fmt.Sprint([]string(*f)) }
+func (f *failList) Set(s string) error { *f = append(*f, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdxfault:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,431 @@
+// Package campaign runs exhaustive resilience campaigns: every single-fault
+// placement × fault kind × injection epoch × traffic pattern, each cell a
+// fresh machine with a scheduled mid-run fault (internal/inject), fanned
+// through the internal/sweep worker pool. Per-cell verdicts — delivered,
+// dropped, retransmitted, unreachable-as-predicted, deadlock — aggregate
+// into availability and post-fault recovery tables whose rendered text is
+// byte-identical at every parallelism level (cells are merged by index, and
+// every cell is deterministic).
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sr2201/internal/core"
+	"sr2201/internal/deadlock"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/routing"
+	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
+)
+
+// Pattern is a deterministic traffic pattern: every live PE sends one packet
+// per wave to Dest(shape, src). Self-addressed destinations are skipped.
+// Patterns are pure functions (no rand), so cells replay identically.
+type Pattern struct {
+	Name string
+	Dest func(shape geom.Shape, src geom.Coord) geom.Coord
+}
+
+// Shift returns the pattern sending each PE to the PE k places later in
+// enumeration order (wrapping), a lattice-wide permutation that crosses both
+// dimensions for most k.
+func Shift(k int) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("shift+%d", k),
+		Dest: func(shape geom.Shape, src geom.Coord) geom.Coord {
+			return shape.CoordOf((shape.Index(src) + k) % shape.Size())
+		},
+	}
+}
+
+// Reverse returns the pattern pairing PE i with PE n-1-i (bit-reversal-like
+// full-distance permutation).
+func Reverse() Pattern {
+	return Pattern{
+		Name: "reverse",
+		Dest: func(shape geom.Shape, src geom.Coord) geom.Coord {
+			return shape.CoordOf(shape.Size() - 1 - shape.Index(src))
+		},
+	}
+}
+
+// Spec describes one campaign cell: a machine, a fault schedule, and a wave
+// workload.
+type Spec struct {
+	Shape geom.Shape
+	// Events is the fault schedule (usually a single placement at one epoch).
+	Events []inject.Event
+	// Pattern chooses each wave's destinations.
+	Pattern Pattern
+	// Waves is the number of traffic waves; wave w injects at cycle w*Gap.
+	Waves int
+	// Gap is the cycle spacing between waves (>= 1).
+	Gap int64
+	// PacketSize in flits (0 = core default).
+	PacketSize int
+	// Inject tunes recovery (retransmission etc.).
+	Inject inject.Options
+	// Horizon caps the run (<= 0 selects 50k cycles).
+	Horizon int64
+	// KeepDeliveries retains per-delivery records (for latency-recovery
+	// curves); off by default to keep exhaustive campaigns lean.
+	KeepDeliveries bool
+}
+
+func (s *Spec) normalize() error {
+	if s.Shape.Dims() == 0 {
+		return fmt.Errorf("campaign: spec needs a shape")
+	}
+	if s.Pattern.Dest == nil {
+		return fmt.Errorf("campaign: spec needs a pattern")
+	}
+	if s.Waves < 1 {
+		s.Waves = 1
+	}
+	if s.Gap < 1 {
+		s.Gap = 1
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 50_000
+	}
+	return nil
+}
+
+// CellResult is one cell's verdict.
+type CellResult struct {
+	Fault   fault.Fault
+	Epoch   int64
+	Pattern string
+
+	// Offered counts send attempts from live PEs; Accepted the ones the NIA
+	// took; Refused the ErrUnreachable refusals (expected post-fault for
+	// destinations the fault bits rule out); RefusedOther any other refusal
+	// (must stay zero).
+	Offered, Accepted, Refused, RefusedOther int
+
+	// Delivered counts packets consumed at PEs (originals + recoveries).
+	Delivered int
+	// Stats is the injector's loss/recovery accounting.
+	Stats inject.Stats
+
+	// PredictedUnreachablePerWave is the static post-fault prediction: live
+	// source PEs whose pattern destination the rebuilt policy reports
+	// unreachable. WavesAfterFault counts waves injected strictly after the
+	// (first) fault epoch. UnreachableAsPredicted is the verdict that the
+	// observed refusals match prediction × waves.
+	PredictedUnreachablePerWave int
+	WavesAfterFault             int
+	UnreachableAsPredicted      bool
+
+	Drained    bool
+	Stalled    bool
+	Deadlocked bool
+	EndCycle   int64
+
+	// Deliveries is retained only when Spec.KeepDeliveries is set.
+	Deliveries []core.Delivery
+}
+
+// Availability is the fraction of accepted packets finally delivered
+// (1 when nothing was accepted).
+func (r CellResult) Availability() float64 {
+	if r.Accepted == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Accepted)
+}
+
+// RunCell executes one campaign cell to completion.
+func RunCell(spec Spec) (CellResult, error) {
+	if err := spec.normalize(); err != nil {
+		return CellResult{}, err
+	}
+	m, err := core.NewMachine(core.Config{
+		Shape:          spec.Shape,
+		PacketSize:     spec.PacketSize,
+		StallThreshold: spec.Inject.StallThreshold,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	inj, err := inject.New(m, spec.Events, spec.Inject)
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	res := CellResult{Pattern: spec.Pattern.Name}
+	if len(spec.Events) > 0 {
+		res.Fault = spec.Events[0].Fault
+		res.Epoch = spec.Events[0].Cycle
+	}
+	eng := m.Engine()
+	w := deadlock.NewWatchdog(eng, spec.Inject.StallThreshold)
+	wave := 0
+	for eng.Cycle() < spec.Horizon {
+		if wave < spec.Waves && eng.Cycle() == int64(wave)*spec.Gap {
+			if int64(wave)*spec.Gap > res.Epoch && len(spec.Events) > 0 {
+				res.WavesAfterFault++
+			}
+			spec.Shape.Enumerate(func(src geom.Coord) bool {
+				if !m.Alive(src) {
+					return true // a dead PE cannot offer traffic
+				}
+				dst := spec.Pattern.Dest(spec.Shape, src)
+				if dst == src {
+					return true
+				}
+				res.Offered++
+				if _, err := m.Send(src, dst, spec.PacketSize); err != nil {
+					if errors.Is(err, routing.ErrUnreachable) {
+						res.Refused++
+					} else {
+						res.RefusedOther++
+					}
+					return true
+				}
+				res.Accepted++
+				return true
+			})
+			wave++
+		}
+		if wave >= spec.Waves && eng.Quiescent() && !inj.Pending() {
+			break
+		}
+		m.Step()
+		if w.Stalled() {
+			rep := deadlock.Analyze(eng)
+			res.Stalled = true
+			res.Deadlocked = rep.Deadlocked
+			break
+		}
+	}
+	if err := inj.Err(); err != nil {
+		return res, err
+	}
+	res.Drained = wave >= spec.Waves && eng.Quiescent() && !inj.Pending()
+	res.EndCycle = eng.Cycle()
+	res.Delivered = len(m.Deliveries())
+	res.Stats = inj.Stats()
+	if spec.KeepDeliveries {
+		res.Deliveries = m.Deliveries()
+	}
+
+	// Static prediction: with the final fault set, which live-source sends
+	// does the policy refuse? The unreachable-as-predicted verdict demands
+	// that the observed refusals are exactly these, once per post-fault
+	// wave. (Waves at or before the epoch are sent against the pre-fault
+	// policy, which refuses nothing on a healthy machine.)
+	predicted := 0
+	spec.Shape.Enumerate(func(src geom.Coord) bool {
+		if !m.Alive(src) {
+			return true
+		}
+		dst := spec.Pattern.Dest(spec.Shape, src)
+		if dst == src {
+			return true
+		}
+		if m.Policy().Reachable(src, dst) != nil {
+			predicted++
+		}
+		return true
+	})
+	res.PredictedUnreachablePerWave = predicted
+	res.UnreachableAsPredicted = res.Refused == predicted*res.WavesAfterFault && res.RefusedOther == 0
+	return res, nil
+}
+
+// Placements enumerates every single-fault position: all routers, then all
+// crossbar lines dimension by dimension, in lattice enumeration order.
+func Placements(shape geom.Shape) []fault.Fault {
+	var out []fault.Fault
+	shape.Enumerate(func(c geom.Coord) bool {
+		out = append(out, fault.RouterFault(c))
+		return true
+	})
+	for _, l := range shape.Lines() {
+		out = append(out, fault.XBFault(l))
+	}
+	return out
+}
+
+// Config describes a whole campaign: the placement grid crossed with epochs
+// and patterns.
+type Config struct {
+	Shape geom.Shape
+	// Epochs are the fault-activation cycles to sweep.
+	Epochs []int64
+	// Patterns are the traffic patterns to sweep.
+	Patterns []Pattern
+	// Waves/Gap/PacketSize/Inject/Horizon configure every cell (see Spec).
+	Waves      int
+	Gap        int64
+	PacketSize int
+	Inject     inject.Options
+	Horizon    int64
+	// Parallel caps the sweep worker pool (<= 0 = DefaultParallel, 1 = serial).
+	Parallel int
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Shape geom.Shape
+	Cells []CellResult
+}
+
+// Run enumerates the grid and fans the cells through the sweep pool.
+// Results are merged by cell index, so the campaign — like every sweep in
+// this repository — is byte-identical at any parallelism level.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Shape.Dims() == 0 {
+		return nil, fmt.Errorf("campaign: config needs a shape")
+	}
+	if len(cfg.Epochs) == 0 {
+		return nil, fmt.Errorf("campaign: config needs at least one epoch")
+	}
+	if len(cfg.Patterns) == 0 {
+		return nil, fmt.Errorf("campaign: config needs at least one pattern")
+	}
+	type cellSpec struct {
+		f     fault.Fault
+		epoch int64
+		pat   Pattern
+	}
+	var grid []cellSpec
+	for _, f := range Placements(cfg.Shape) {
+		for _, epoch := range cfg.Epochs {
+			for _, pat := range cfg.Patterns {
+				grid = append(grid, cellSpec{f: f, epoch: epoch, pat: pat})
+			}
+		}
+	}
+	cells, err := sweep.DoErr(len(grid), cfg.Parallel, func(i int) (CellResult, error) {
+		g := grid[i]
+		return RunCell(Spec{
+			Shape:      cfg.Shape,
+			Events:     []inject.Event{{Cycle: g.epoch, Fault: g.f}},
+			Pattern:    g.pat,
+			Waves:      cfg.Waves,
+			Gap:        cfg.Gap,
+			PacketSize: cfg.PacketSize,
+			Inject:     cfg.Inject,
+			Horizon:    cfg.Horizon,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Shape: cfg.Shape, Cells: cells}, nil
+}
+
+// Deadlocks counts cells whose run deadlocked.
+func (r *Result) Deadlocks() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Deadlocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Stalls counts cells that stalled without a confirmed wait cycle.
+func (r *Result) Stalls() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Stalled && !c.Deadlocked {
+			n++
+		}
+	}
+	return n
+}
+
+// faultClass buckets a placement for aggregation: "rtc" or "xb-dim<k>".
+func faultClass(f fault.Fault) string {
+	if f.Kind == fault.KindRouter {
+		return "rtc"
+	}
+	return fmt.Sprintf("xb-dim%d", f.Line.Dim)
+}
+
+// Table aggregates the cells into the campaign coverage table: one row per
+// fault class × epoch × pattern, in first-appearance (grid) order.
+func (r *Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("single-fault campaign on %v (%d cells)", r.Shape, len(r.Cells)),
+		"class", "epoch", "pattern", "cells", "deadlock", "avail(min)", "avail(mean)",
+		"killed", "retx", "recovered", "lost-unreach", "dup", "as-predicted",
+	)
+	type key struct {
+		class   string
+		epoch   int64
+		pattern string
+	}
+	type agg struct {
+		cells, deadlocks                     int
+		availSum, availMin                   float64
+		killed, retx, recovered, lostUnreach int
+		dup                                  int
+		predicted                            int
+	}
+	var order []key
+	groups := map[key]*agg{}
+	for _, c := range r.Cells {
+		k := key{faultClass(c.Fault), c.Epoch, c.Pattern}
+		g := groups[k]
+		if g == nil {
+			g = &agg{availMin: 2}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.cells++
+		if c.Deadlocked {
+			g.deadlocks++
+		}
+		av := c.Availability()
+		g.availSum += av
+		if av < g.availMin {
+			g.availMin = av
+		}
+		g.killed += c.Stats.KilledInFlight + c.Stats.DropsEnRoute
+		g.retx += c.Stats.Retransmits
+		g.recovered += c.Stats.Recovered
+		g.lostUnreach += c.Stats.LostUnreachable
+		g.dup += c.Stats.Duplicates
+		if c.UnreachableAsPredicted {
+			g.predicted++
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		t.AddRow(k.class, k.epoch, k.pattern, g.cells, g.deadlocks,
+			g.availMin, g.availSum/float64(g.cells),
+			g.killed, g.retx, g.recovered, g.lostUnreach, g.dup,
+			fmt.Sprintf("%d/%d", g.predicted, g.cells))
+	}
+	return t
+}
+
+// String renders the campaign verdict: the coverage table plus the summary
+// line the CLI and experiments print.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table().String())
+	fmt.Fprintf(&b, "cells=%d deadlocks=%d stalls=%d undrained=%d\n",
+		len(r.Cells), r.Deadlocks(), r.Stalls(), r.undrained())
+	return b.String()
+}
+
+func (r *Result) undrained() int {
+	n := 0
+	for _, c := range r.Cells {
+		if !c.Drained && !c.Stalled {
+			n++
+		}
+	}
+	return n
+}

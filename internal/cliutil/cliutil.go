@@ -1,6 +1,6 @@
 // Package cliutil parses the small textual formats the command-line tools
-// share: shapes ("8x8"), coordinates ("2,1"), and fault specifications
-// ("rtc:2,1" or "xb:0:0,1").
+// share: shapes ("8x8"), coordinates ("2,1"), fault specifications
+// ("rtc:2,1" or "xb:0:0,1"), and fault schedules ("rtc:2,1@500").
 package cliutil
 
 import (
@@ -73,4 +73,44 @@ func ParseFault(s string, dims int) (fault.Fault, error) {
 	default:
 		return fault.Fault{}, fmt.Errorf("cliutil: fault %q must start with rtc: or xb:", s)
 	}
+}
+
+// ParseFaultIn parses a fault specification and additionally validates that
+// it lies inside the given shape (ParseFault only checks dimensionality).
+func ParseFaultIn(s string, shape geom.Shape) (fault.Fault, error) {
+	f, err := ParseFault(s, shape.Dims())
+	if err != nil {
+		return fault.Fault{}, err
+	}
+	if err := fault.NewSet(shape).Add(f); err != nil {
+		return fault.Fault{}, fmt.Errorf("cliutil: fault %q: %w", s, err)
+	}
+	return f, nil
+}
+
+// ParseScheduledFault parses a fault schedule specification — a fault spec
+// with an activation cycle appended:
+//
+//	rtc:X,Y@CYCLE      the relay switch at the coordinate dies at CYCLE
+//	xb:DIM:X,Y@CYCLE   the crossbar dies at CYCLE
+//
+// The fault is validated against the shape (containment, not just
+// dimensionality). The cycle must be a non-negative integer.
+func ParseScheduledFault(s string, shape geom.Shape) (fault.Fault, int64, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 {
+		return fault.Fault{}, 0, fmt.Errorf("cliutil: schedule %q needs FAULT@CYCLE", s)
+	}
+	cycle, err := strconv.ParseInt(strings.TrimSpace(s[at+1:]), 10, 64)
+	if err != nil {
+		return fault.Fault{}, 0, fmt.Errorf("cliutil: bad cycle in schedule %q: %v", s, err)
+	}
+	if cycle < 0 {
+		return fault.Fault{}, 0, fmt.Errorf("cliutil: negative cycle in schedule %q", s)
+	}
+	f, err := ParseFaultIn(s[:at], shape)
+	if err != nil {
+		return fault.Fault{}, 0, err
+	}
+	return f, cycle, nil
 }

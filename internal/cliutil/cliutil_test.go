@@ -52,3 +52,63 @@ func TestParseFault(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaultErrorPaths(t *testing.T) {
+	// Malformed rtc: specs.
+	for _, bad := range []string{"rtc:", "rtc:1", "rtc:1,2,3", "rtc:1;2", "rtc:1,"} {
+		if _, err := ParseFault(bad, 2); err == nil {
+			t.Errorf("malformed rtc spec %q accepted", bad)
+		}
+	}
+	// Malformed xb: specs.
+	for _, bad := range []string{"xb:", "xb::1,2", "xb:-1:1,2", "xb:2:1,2", "xb:0:", "xb:0:1", "xb:1:1,2,3"} {
+		if _, err := ParseFault(bad, 2); err == nil {
+			t.Errorf("malformed xb spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseFaultInValidatesShape(t *testing.T) {
+	shape := geom.MustShape(4, 3)
+	if f, err := ParseFaultIn("rtc:3,2", shape); err != nil || f.Coord != (geom.Coord{3, 2}) {
+		t.Errorf("in-shape fault = %+v, %v", f, err)
+	}
+	// Dimensionally valid but out of shape: ParseFault accepts, ParseFaultIn
+	// must not.
+	for _, bad := range []string{"rtc:4,0", "rtc:0,3", "xb:0:0,3", "xb:1:4,0"} {
+		if _, err := ParseFault(bad, shape.Dims()); err != nil {
+			t.Fatalf("spec %q should be dimensionally parseable", bad)
+		}
+		if _, err := ParseFaultIn(bad, shape); err == nil {
+			t.Errorf("out-of-shape fault %q accepted", bad)
+		}
+	}
+}
+
+func TestParseScheduledFault(t *testing.T) {
+	shape := geom.MustShape(4, 3)
+	f, cycle, err := ParseScheduledFault("rtc:2,1@500", shape)
+	if err != nil || f.Kind != fault.KindRouter || f.Coord != (geom.Coord{2, 1}) || cycle != 500 {
+		t.Errorf("schedule = %+v @%d, %v", f, cycle, err)
+	}
+	f, cycle, err = ParseScheduledFault("xb:1:3,0@0", shape)
+	if err != nil || f.Kind != fault.KindXB || f.Line.Dim != 1 || cycle != 0 {
+		t.Errorf("xb schedule = %+v @%d, %v", f, cycle, err)
+	}
+	for _, bad := range []string{
+		"rtc:2,1",       // no cycle
+		"rtc:2,1@",      // empty cycle
+		"rtc:2,1@x",     // non-numeric cycle
+		"rtc:2,1@-5",    // negative cycle
+		"rtc:2,1@1.5",   // non-integer cycle
+		"rtc:4,0@10",    // out of shape
+		"xb:0:0,3@10",   // line out of shape
+		"nope:1,1@10",   // unknown kind
+		"@10",           // no fault
+		"rtc:2,1@10@20", // the last @ splits: "rtc:2,1@10" is no valid fault
+	} {
+		if _, _, err := ParseScheduledFault(bad, shape); err == nil {
+			t.Errorf("bad schedule %q accepted", bad)
+		}
+	}
+}

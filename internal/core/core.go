@@ -220,6 +220,60 @@ func (m *Machine) AddFault(f fault.Fault) error {
 // Faults returns the machine's fault set.
 func (m *Machine) Faults() *fault.Set { return m.faults }
 
+// Lost describes one in-flight packet destroyed by a dynamic fault.
+type Lost struct {
+	PacketID uint64
+	// Known marks whether the packet's header was recovered; Src, Dst, RC
+	// and Size are meaningful only when it is.
+	Known bool
+	Src   geom.Coord
+	Dst   geom.Coord
+	RC    flit.RC
+	Size  int
+	// AlreadyDropped marks a packet the routing layer had already dropped
+	// (and counted) before the fault wounded its remains.
+	AlreadyDropped bool
+}
+
+// FailNow marks a switch faulty *while traffic is in flight* — the dynamic
+// counterpart of AddFault. The fault set and every neighbor's fault bits
+// update immediately, the routing policy is rebuilt (so not-yet-routed
+// packets detour with RC=3 exactly as the paper's substitution rules
+// dictate), and every packet occupying the dead switch is purged from the
+// network (engine.KillSwitch semantics, DESIGN.md §6). The casualties are
+// returned so callers — the inject layer — can arrange retransmission.
+func (m *Machine) FailNow(f fault.Fault) ([]Lost, error) {
+	if err := m.faults.Add(f); err != nil {
+		return nil, err
+	}
+	var node *engine.Node
+	switch f.Kind {
+	case fault.KindRouter:
+		node = m.net.Router(f.Coord)
+	case fault.KindXB:
+		node = m.net.XB(f.Line)
+	default:
+		return nil, fmt.Errorf("core: unknown fault kind %d", f.Kind)
+	}
+	killed := m.eng.KillSwitch(node)
+	if err := m.rebuildPolicy(); err != nil {
+		return nil, err
+	}
+	lost := make([]Lost, 0, len(killed))
+	for _, k := range killed {
+		l := Lost{PacketID: k.ID, AlreadyDropped: k.AlreadyDropped}
+		if h := k.Header; h != nil {
+			l.Known = true
+			l.Src, l.Dst, l.RC, l.Size = h.Src, h.Dst, h.RC, h.Size
+			if h.TwoPhase {
+				l.Dst = h.FinalDst
+			}
+		}
+		lost = append(lost, l)
+	}
+	return lost, nil
+}
+
 // Send queues a point-to-point packet of the given size in flits (0 = the
 // configured default). It refuses — like the NIA consulting the pre-set
 // fault information — sends whose destination is unreachable, returning the

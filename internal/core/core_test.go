@@ -379,3 +379,76 @@ func TestMachineAccessors(t *testing.T) {
 	}
 	_ = mdxb.PEMeta{}
 }
+
+func TestFailNowPurgesAndReroutes(t *testing.T) {
+	// Load the network, kill a router mid-run, and verify: casualties are
+	// reported with headers, the engine invariants survive, the PE behind
+	// the dead router becomes unreachable, and surviving traffic drains.
+	m := mustMachine(t, Config{Shape: geom.MustShape(4, 4), StallThreshold: 128})
+	shape := m.Shape()
+	var accepted int
+	shape.Enumerate(func(c geom.Coord) bool {
+		dst := shape.CoordOf((shape.Index(c) + 5) % shape.Size())
+		if dst == c {
+			return true
+		}
+		if _, err := m.Send(c, dst, 0); err != nil {
+			t.Fatalf("pre-fault send %v->%v: %v", c, dst, err)
+		}
+		accepted++
+		return true
+	})
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	dead := geom.Coord{2, 1}
+	lost, err := m.FailNow(fault.RouterFault(dead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Engine().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after FailNow: %v", err)
+	}
+	if len(lost) == 0 {
+		t.Fatal("expected in-flight casualties at cycle 10")
+	}
+	for _, l := range lost {
+		if !l.Known {
+			t.Errorf("casualty %d without header", l.PacketID)
+		}
+	}
+	if m.Alive(dead) {
+		t.Error("PE behind dead router still alive")
+	}
+	if _, err := m.Send(geom.Coord{0, 0}, dead, 0); !errors.Is(err, routing.ErrUnreachable) {
+		t.Errorf("send to dead router's PE: %v, want ErrUnreachable", err)
+	}
+	out := m.Run(20_000)
+	if !out.Drained {
+		t.Fatalf("post-fault network did not drain: %+v\n%s", out, out.Report.Describe())
+	}
+	// Every accepted packet was delivered, purged, or dropped at the dead
+	// switch (routing sink).
+	delivered := len(m.Deliveries())
+	if int64(delivered)+m.Dropped() != int64(accepted) {
+		t.Errorf("accounting: delivered=%d dropped=%d accepted=%d", delivered, m.Dropped(), accepted)
+	}
+	// Post-fault traffic between healthy PEs still works (detour if needed).
+	m.ResetStats()
+	if _, err := m.Send(geom.Coord{0, 1}, geom.Coord{3, 1}, 0); err != nil {
+		t.Fatalf("post-fault send: %v", err)
+	}
+	if out := m.Run(20_000); !out.Drained {
+		t.Fatal("post-fault send did not drain")
+	}
+	if len(m.Deliveries()) != 1 {
+		t.Fatalf("post-fault deliveries = %d", len(m.Deliveries()))
+	}
+}
+
+func TestFailNowValidates(t *testing.T) {
+	m := m43(t)
+	if _, err := m.FailNow(fault.RouterFault(geom.Coord{9, 9})); err == nil {
+		t.Error("out-of-shape dynamic fault accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package engine
+
+// Dynamic faults: a switch dying *while traffic is in flight*. The kernel's
+// contribution is KillSwitch, which marks the switch failed and purges every
+// packet the death wounds, releasing all resources those packets held so the
+// surviving traffic keeps flowing under intact conservation laws (the same
+// invariants CheckInvariants audits).
+//
+// Semantics (DESIGN.md §6): a packet is *wounded* when, at the instant of
+// the fault, it has a flit or an open cut-through state at the dead switch,
+// or a flit in flight on a link into it. Wounded packets are removed from
+// the whole network — a cut-through circuit spans switches, and a partial
+// removal would leave headerless flit trains that the kernel (correctly)
+// treats as a fatal protocol violation. Packets whose headers have not yet
+// reached the dead switch are untouched: the routing layer's rebuilt fault
+// bits steer them around the fault (RC=3 detour), or they are dropped on
+// arrival at the failed switch like any misrouted packet.
+
+import (
+	"fmt"
+	"slices"
+
+	"sr2201/internal/flit"
+)
+
+// KilledPacket identifies one packet destroyed by KillSwitch.
+type KilledPacket struct {
+	ID uint64
+	// Header is the packet's last known header (source, destination, RC bits
+	// at the point of death). Nil only if no header-bearing flit of the
+	// packet remained anywhere in the network.
+	Header *flit.Header
+	// AlreadyDropped marks a packet that the routing layer had already sunk
+	// (counted in Dropped and reported via OnDrop) before the fault; the
+	// purge reclaims its resources but does not count it dropped again.
+	AlreadyDropped bool
+}
+
+// KillSwitch marks a switch faulty mid-run and purges every wounded packet
+// (see the package comment above for the wound rule) from the entire
+// network: source-queue tails, input buffers, link pipelines, cut-through
+// states and endpoint receive state. All resources are released exactly as
+// normal forwarding would release them — buffer slots return credits
+// upstream, granted output ports are freed — so credit conservation and
+// ownership consistency hold after the call. Each purged packet not already
+// sunk by routing counts once toward Dropped; OnDrop is NOT invoked (the
+// fault layer, not the routing function, decides what a dynamic loss
+// means).
+//
+// The returned casualties are sorted by packet ID. Call between Steps (or
+// from the PreCycle hook), never from within a phase.
+func (e *Engine) KillSwitch(n *Node) []KilledPacket {
+	if n.Kind != KindSwitch {
+		panic(fmt.Sprintf("engine: KillSwitch on non-switch %q", n.Name))
+	}
+	n.Failed = true
+
+	// Collect the wounded set: packets present at n or in flight into n.
+	wounded := map[uint64]*flit.Header{}
+	add := func(id uint64, h *flit.Header) {
+		if cur, ok := wounded[id]; !ok || (cur == nil && h != nil) {
+			wounded[id] = h
+		}
+	}
+	for _, in := range n.In {
+		for i := range in.buf {
+			add(in.buf[i].PacketID, in.buf[i].Header)
+		}
+		if rs := in.route; rs != nil && rs.header != nil {
+			add(rs.header.PacketID, rs.header)
+		}
+	}
+	for _, l := range e.links {
+		if l.to.node != n {
+			continue
+		}
+		for i := range l.pipe {
+			add(l.pipe[i].f.PacketID, l.pipe[i].f.Header)
+		}
+	}
+	if len(wounded) == 0 {
+		return nil
+	}
+	hit := func(id uint64) bool {
+		_, ok := wounded[id]
+		return ok
+	}
+
+	// Purge the wounded packets everywhere. sunk remembers packets the
+	// routing layer had already counted as dropped (sink states).
+	sunk := map[uint64]bool{}
+	for _, nd := range e.nodes {
+		if nd.Kind == KindEndpoint && nd.InjectQueueLen() > 0 {
+			// Un-injected tails of wounded packets die in the source queue.
+			kept := nd.injectQ[:nd.injectHead]
+			for _, f := range nd.pendingInject() {
+				if hit(f.PacketID) {
+					add(f.PacketID, f.Header)
+					e.resident--
+					continue
+				}
+				kept = append(kept, f)
+			}
+			nd.injectQ = kept
+			if nd.injectHead == len(nd.injectQ) {
+				nd.injectQ = nd.injectQ[:0]
+				nd.injectHead = 0
+			}
+		}
+		for _, in := range nd.In {
+			if len(in.buf) > 0 {
+				kept := in.buf[:0]
+				for i := range in.buf {
+					f := in.buf[i]
+					if hit(f.PacketID) {
+						add(f.PacketID, f.Header)
+						// Freeing the slot returns the credit upstream,
+						// exactly as pop() would.
+						if in.upstream != nil {
+							in.upstream.from.creditReturn()
+						}
+						e.resident--
+						continue
+					}
+					kept = append(kept, f)
+				}
+				in.buf = kept
+			}
+			if rs := in.route; rs != nil && rs.header != nil && hit(rs.header.PacketID) {
+				add(rs.header.PacketID, rs.header)
+				if rs.sink {
+					sunk[rs.header.PacketID] = true
+				} else {
+					for i, o := range rs.outs {
+						if rs.granted[i] {
+							nd.Out[o].owner = nil
+						}
+					}
+				}
+				e.freeRouteState(rs)
+				in.route = nil
+			}
+			if in.recvHeader != nil && hit(in.recvHeader.PacketID) {
+				add(in.recvHeader.PacketID, in.recvHeader)
+				in.recvHeader = nil
+			}
+		}
+	}
+	for _, l := range e.links {
+		if len(l.pipe) == 0 {
+			continue
+		}
+		kept := l.pipe[:0]
+		for i := range l.pipe {
+			en := l.pipe[i]
+			if hit(en.f.PacketID) {
+				add(en.f.PacketID, en.f.Header)
+				// A flit in flight holds a downstream buffer reservation.
+				l.from.creditReturn()
+				e.resident--
+				continue
+			}
+			kept = append(kept, en)
+		}
+		l.pipe = kept
+	}
+
+	ids := make([]uint64, 0, len(wounded))
+	for id := range wounded {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := make([]KilledPacket, 0, len(ids))
+	for _, id := range ids {
+		k := KilledPacket{ID: id, Header: wounded[id], AlreadyDropped: sunk[id]}
+		if !k.AlreadyDropped {
+			e.dropped++
+		}
+		out = append(out, k)
+	}
+	return out
+}

@@ -383,6 +383,12 @@ type Engine struct {
 	// OnForward, if non-nil, observes every header flit leaving a node, for
 	// route tracing. from is the node, out the output port index.
 	OnForward func(from *Node, out int, h *flit.Header, cycle int64)
+	// PreCycle, if non-nil, runs at the top of every Step, before any phase
+	// and before the cycle counter advances. Dynamic-fault schedules use it
+	// to mutate the network at an exact cycle (KillSwitch, retransmissions);
+	// the hook must be deterministic for the reproducibility guarantee to
+	// hold.
+	PreCycle func(cycle int64)
 }
 
 // New creates an empty network with the given configuration.
@@ -523,9 +529,13 @@ func (e *Engine) Dropped() int64 { return e.dropped }
 // Quiescent reports whether the network holds no flits at all.
 func (e *Engine) Quiescent() bool { return e.resident == 0 }
 
-// Step advances the simulation by one cycle. Phase order (fixed): link
-// delivery, ejection, allocation, traversal, injection.
+// Step advances the simulation by one cycle. Phase order (fixed): the
+// PreCycle hook, then link delivery, ejection, allocation, traversal,
+// injection.
 func (e *Engine) Step() {
+	if e.PreCycle != nil {
+		e.PreCycle(e.cycle)
+	}
 	e.deliverLinks()
 	e.eject()
 	e.allocate()

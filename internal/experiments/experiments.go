@@ -83,7 +83,8 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns every registered experiment, ordered by id (E* before A*).
+// All returns every registered experiment, ordered by series (E, A, F, V)
+// then numerically within the series.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
@@ -95,8 +96,12 @@ func All() []Experiment {
 			return 0
 		case 'A':
 			return 1
-		default:
+		case 'F':
 			return 2
+		case 'V':
+			return 3
+		default:
+			return 4
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -107,7 +112,10 @@ func All() []Experiment {
 		var an, bn int
 		fmt.Sscanf(a[1:], "%d", &an)
 		fmt.Sscanf(b[1:], "%d", &bn)
-		return an < bn
+		if an != bn {
+			return an < bn
+		}
+		return a < b
 	})
 	return out
 }

@@ -48,12 +48,23 @@ func (f Fault) String() string {
 
 // Set is the collection of faults present in the network, with the
 // neighbor-information queries the routing hardware would answer from its
-// pre-set bits. The zero value... is not usable; call NewSet.
+// pre-set bits. The zero value is not usable — it has no shape — and every
+// shape-dependent method panics on it with a clear message; call NewSet.
+// (The pure membership queries RouterFaulty/XBFaulty tolerate the zero
+// value and answer "healthy", since an empty set is semantically faultless
+// and they sit on the routing hot path.)
 type Set struct {
 	shape   geom.Shape
 	routers map[geom.Coord]bool
 	xbs     map[geom.Line]bool
 	list    []Fault
+}
+
+// ensure panics when the set is the unusable zero value.
+func (s *Set) ensure() {
+	if s.shape.Dims() == 0 {
+		panic("fault: zero-value Set is not usable; call NewSet(shape)")
+	}
 }
 
 // NewSet creates an empty fault set for a network of the given shape.
@@ -69,6 +80,7 @@ func NewSet(shape geom.Shape) *Set {
 // network. The paper's facility is specified for a single faulty point;
 // callers may add more, but the routing guarantees then no longer hold.
 func (s *Set) Add(f Fault) error {
+	s.ensure()
 	switch f.Kind {
 	case KindRouter:
 		if !s.shape.Contains(f.Coord) {
@@ -109,6 +121,7 @@ func (s *Set) XBFaulty(l geom.Line) bool { return s.xbs[l] }
 // the line is faulty. The S-XB substitution rule uses it: "if the XB
 // connected to the S-XB is faulty, another XB ... substitutes for the S-XB".
 func (s *Set) LineTouched(l geom.Line) bool {
+	s.ensure()
 	if s.xbs[l] {
 		return true
 	}
@@ -131,6 +144,7 @@ func (s *Set) PEAlive(c geom.Coord) bool { return !s.routers[c] }
 // line is faulty (impossible under the single-fault assumption on lines of
 // length ≥ 2).
 func (s *Set) DetourPort(l geom.Line) (int, bool) {
+	s.ensure()
 	for v := 0; v < s.shape[l.Dim]; v++ {
 		if !s.routers[l.Point(v)] {
 			return v, true
@@ -141,3 +155,20 @@ func (s *Set) DetourPort(l geom.Line) (int, bool) {
 
 // Shape returns the lattice shape the set was built for.
 func (s *Set) Shape() geom.Shape { return s.shape }
+
+// Clone returns an independent deep copy of the set: mutations of the clone
+// (or the original) are invisible to the other. Campaign workers use clones
+// to probe hypothetical fault placements without sharing state across
+// goroutines.
+func (s *Set) Clone() *Set {
+	s.ensure()
+	c := NewSet(s.shape)
+	for k, v := range s.routers {
+		c.routers[k] = v
+	}
+	for k, v := range s.xbs {
+		c.xbs[k] = v
+	}
+	c.list = append(c.list, s.list...)
+	return c
+}

@@ -105,6 +105,51 @@ func TestDetourPort(t *testing.T) {
 	}
 }
 
+func TestZeroValueSetFailsLoudly(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on zero-value Set did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var s Set
+	mustPanic("Add", func() { _ = s.Add(RouterFault(geom.Coord{0, 0})) })
+	mustPanic("LineTouched", func() { s.LineTouched(geom.Line{}) })
+	mustPanic("DetourPort", func() { s.DetourPort(geom.Line{}) })
+	mustPanic("Clone", func() { s.Clone() })
+	// Pure membership queries stay usable: an empty set is faultless.
+	if s.RouterFaulty(geom.Coord{1, 1}) || s.XBFaulty(geom.Line{}) || !s.PEAlive(geom.Coord{0, 0}) {
+		t.Error("zero-value membership queries reported faults")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSet(shape43())
+	if err := s.Add(RouterFault(geom.Coord{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if !c.RouterFaulty(geom.Coord{1, 1}) || c.Count() != 1 || c.Shape().String() != s.Shape().String() {
+		t.Fatal("clone did not copy contents")
+	}
+	// Mutating the clone must not leak into the original, and vice versa.
+	if err := c.Add(XBFault(geom.LineOf(geom.Coord{0, 2}, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if s.XBFaulty(geom.LineOf(geom.Coord{0, 2}, 0)) || s.Count() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if err := s.Add(RouterFault(geom.Coord{3, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if c.RouterFaulty(geom.Coord{3, 2}) || c.Count() != 2 {
+		t.Error("original mutation leaked into clone")
+	}
+}
+
 func TestFaultString(t *testing.T) {
 	if got := RouterFault(geom.Coord{1, 2}).String(); got != "router@(1,2)" {
 		t.Errorf("String = %q", got)

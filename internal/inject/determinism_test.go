@@ -1,0 +1,72 @@
+package inject
+
+// Determinism layer for dynamic faults (extends PR 1's per-cycle StateHash
+// tests): a run with a scheduled mid-run fault and retransmission enabled,
+// replayed from scratch, must produce the identical per-cycle hash stream.
+// CI additionally runs this package under the race detector.
+
+import (
+	"testing"
+
+	"sr2201/internal/core"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+// scheduledRun builds a loaded 4x4 machine with a cycle-10 router fault and
+// retransmission, steps it to the horizon, and returns the per-cycle hash
+// stream plus the final stats.
+func scheduledRun(t *testing.T, horizon int) ([]uint64, Stats) {
+	t.Helper()
+	shape := geom.MustShape(4, 4)
+	m, err := core.NewMachine(core.Config{Shape: shape, StallThreshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape.Enumerate(func(c geom.Coord) bool {
+		dst := shape.CoordOf((shape.Index(c) + 7) % shape.Size())
+		if dst != c {
+			if _, err := m.Send(c, dst, 0); err != nil {
+				t.Fatalf("send %v->%v: %v", c, dst, err)
+			}
+		}
+		return true
+	})
+	inj, err := New(m, []Event{
+		{Cycle: 10, Fault: fault.RouterFault(geom.Coord{1, 2})},
+	}, Options{Retransmit: true, RetryAfter: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := m.Engine()
+	hashes := make([]uint64, horizon)
+	for i := range hashes {
+		m.Step()
+		hashes[i] = eng.StateHash()
+	}
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Quiescent() || inj.Pending() {
+		t.Fatalf("run not complete at horizon %d (resident=%d pending=%v)",
+			horizon, eng.Resident(), inj.Pending())
+	}
+	return hashes, inj.Stats()
+}
+
+func TestScheduledFaultReplayIdentical(t *testing.T) {
+	const horizon = 800
+	ha, sa := scheduledRun(t, horizon)
+	hb, sb := scheduledRun(t, horizon)
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("hash diverged at cycle %d: %#x vs %#x", i+1, ha[i], hb[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats diverged:\n%+v\n%+v", sa, sb)
+	}
+	if sa.KilledInFlight+sa.DropsEnRoute == 0 || sa.Recovered == 0 {
+		t.Fatalf("scenario exercised no dynamic loss/recovery: %+v", sa)
+	}
+}
