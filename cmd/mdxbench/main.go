@@ -47,19 +47,10 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
-	var toRun []experiments.Experiment
-	if strings.EqualFold(*exp, "all") {
-		toRun = experiments.All()
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(strings.ToUpper(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "mdxbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			toRun = append(toRun, e)
-		}
+	toRun, err := experiments.Resolve(strings.Split(*exp, ","))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdxbench: %v (use -list)\n", err)
+		os.Exit(2)
 	}
 
 	type outcome struct {
@@ -81,7 +72,7 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Println(o.report.String())
+		fmt.Print(experiments.RenderReport(o.report))
 		if !o.report.Pass {
 			failed++
 		}

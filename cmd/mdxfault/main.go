@@ -6,6 +6,10 @@
 // into the availability coverage table. Campaign output is byte-identical
 // at every -parallel level.
 //
+// Both modes render through the shared runners in internal/campaign, so the
+// stdout of an mdxfault run is byte-identical to the artifact the mdxserve
+// job server produces for the same spec.
+//
 // Examples:
 //
 //	mdxfault -shape 8x8 -fail rtc:3,4@500 -waves 6 -retransmit
@@ -14,21 +18,13 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"sr2201/internal/campaign"
 	"sr2201/internal/cliutil"
-	"sr2201/internal/core"
-	"sr2201/internal/deadlock"
-	"sr2201/internal/geom"
 	"sr2201/internal/inject"
-	"sr2201/internal/routing"
-	"sr2201/internal/stats"
 	"sr2201/internal/sweep"
 )
 
@@ -64,7 +60,7 @@ func main() {
 		MaxRetries:     *maxRetries,
 		StallThreshold: *stall,
 	}
-	patterns, err := parsePatterns(*patsStr)
+	patterns, err := campaign.ParsePatterns(*patsStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,7 +69,7 @@ func main() {
 		if len(fails) > 0 {
 			fatal(fmt.Errorf("-fail selects single mode; a campaign enumerates every placement itself"))
 		}
-		epochs, err := parseEpochs(*epochsStr)
+		epochs, err := campaign.ParseEpochs(*epochsStr)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,154 +108,22 @@ func main() {
 		}
 		events = append(events, inject.Event{Cycle: cycle, Fault: f})
 	}
-	if err := runSingle(shape, events, patterns[0], *waves, *gap, *packet, *horizon, opt); err != nil {
+	outcome, err := campaign.RunSingle(campaign.SingleSpec{
+		Shape:      shape,
+		Events:     events,
+		Pattern:    patterns[0],
+		Waves:      *waves,
+		Gap:        *gap,
+		PacketSize: *packet,
+		Horizon:    *horizon,
+		Inject:     opt,
+	}, os.Stdout)
+	if err != nil {
 		fatal(err)
 	}
-}
-
-// runSingle drives one machine through the schedule, printing casualties as
-// events fire and the final accounting.
-func runSingle(shape geom.Shape, events []inject.Event, pat campaign.Pattern,
-	waves int, gap int64, packet int, horizon int64, opt inject.Options) error {
-	m, err := core.NewMachine(core.Config{
-		Shape:          shape,
-		PacketSize:     packet,
-		StallThreshold: opt.StallThreshold,
-	})
-	if err != nil {
-		return err
-	}
-	inj, err := inject.New(m, events, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
-		shape, pat.Name, waves, gap, opt.Retransmit)
-	for _, ev := range events {
-		fmt.Printf("scheduled: %s @ cycle %d\n", ev.Fault, ev.Cycle)
-	}
-
-	eng := m.Engine()
-	w := deadlock.NewWatchdog(eng, opt.StallThreshold)
-	offered, accepted, refused := 0, 0, 0
-	reported := 0
-	wave := 0
-	var outcome deadlock.Outcome
-	for eng.Cycle() < horizon {
-		if wave < waves && eng.Cycle() == int64(wave)*gap {
-			shape.Enumerate(func(src geom.Coord) bool {
-				if !m.Alive(src) {
-					return true
-				}
-				dst := pat.Dest(shape, src)
-				if dst == src {
-					return true
-				}
-				offered++
-				if _, err := m.Send(src, dst, packet); err != nil {
-					if errors.Is(err, routing.ErrUnreachable) {
-						refused++
-					}
-					return true
-				}
-				accepted++
-				return true
-			})
-			wave++
-		}
-		if wave >= waves && eng.Quiescent() && !inj.Pending() {
-			outcome.Drained = true
-			break
-		}
-		m.Step()
-		for _, c := range inj.Casualties()[reported:] {
-			fmt.Printf("cycle %d: %s fails — %d packet(s) killed in flight\n",
-				c.Cycle, c.Fault, len(c.Lost))
-			for _, l := range c.Lost {
-				if l.Known {
-					fmt.Printf("  killed pkt %d: %v -> %v (rc=%d, %d flits)\n",
-						l.PacketID, l.Src, l.Dst, l.RC, l.Size)
-				} else {
-					fmt.Printf("  killed pkt %d: header untraceable\n", l.PacketID)
-				}
-			}
-			reported++
-		}
-		if w.Stalled() {
-			rep := deadlock.Analyze(eng)
-			outcome.Stalled = true
-			outcome.Deadlocked = rep.Deadlocked
-			break
-		}
-	}
-	if err := inj.Err(); err != nil {
-		return err
-	}
-	outcome.Cycle = eng.Cycle()
-
-	st := inj.Stats()
-	t := stats.NewTable("dynamic-fault accounting",
-		"offered", "accepted", "refused", "delivered",
-		"killed", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
-	t.AddRow(offered, accepted, refused, len(m.Deliveries()),
-		st.KilledInFlight+st.DropsEnRoute, st.Retransmits, st.Recovered,
-		st.LostUnreachable, st.LostExhausted, st.Duplicates)
-	fmt.Println()
-	fmt.Print(t.String())
-	switch {
-	case outcome.Deadlocked:
-		fmt.Printf("outcome: DEADLOCK at cycle %d\n", outcome.Cycle)
-		os.Exit(1)
-	case outcome.Stalled:
-		fmt.Printf("outcome: stalled at cycle %d (no cyclic wait)\n", outcome.Cycle)
-		os.Exit(1)
-	case outcome.Drained:
-		fmt.Printf("outcome: drained at cycle %d\n", outcome.Cycle)
-	default:
-		fmt.Printf("outcome: horizon %d exceeded\n", horizon)
+	if !outcome.Drained {
 		os.Exit(1)
 	}
-	return nil
-}
-
-// parsePatterns parses a comma-separated pattern list: shift+K | reverse.
-func parsePatterns(s string) ([]campaign.Pattern, error) {
-	var out []campaign.Pattern
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		switch {
-		case name == "reverse":
-			out = append(out, campaign.Reverse())
-		case strings.HasPrefix(name, "shift+"):
-			k, err := strconv.Atoi(strings.TrimPrefix(name, "shift+"))
-			if err != nil || k < 1 {
-				return nil, fmt.Errorf("mdxfault: bad shift pattern %q", name)
-			}
-			out = append(out, campaign.Shift(k))
-		default:
-			return nil, fmt.Errorf("mdxfault: unknown pattern %q (shift+K | reverse)", name)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("mdxfault: empty pattern list")
-	}
-	return out, nil
-}
-
-// parseEpochs parses a comma-separated list of activation cycles.
-func parseEpochs(s string) ([]int64, error) {
-	var out []int64
-	for _, p := range strings.Split(s, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("mdxfault: bad epoch %q", p)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("mdxfault: empty epoch list")
-	}
-	return out, nil
 }
 
 // failList collects repeated -fail flags.

@@ -1,0 +1,74 @@
+// Command mdxserve exposes the simulator as a service: everything the CLIs
+// can do — single experiments, sweeps, fault schedules, full resilience
+// campaigns — submitted as jobs over HTTP and executed on a bounded worker
+// pool honoring one global -parallel budget. A job's report artifact is
+// byte-identical to the stdout of the equivalent mdxbench/mdxfault run, at
+// any pool width: the repository's determinism guarantee extended across
+// the network boundary.
+//
+//	mdxserve -addr :8080 -workers 2 -parallel 4 -queue 64
+//
+// Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/artifact,
+// GET /jobs/{id}/events (JSONL stream), DELETE /jobs/{id}, GET /healthz,
+// GET /metrics. SIGTERM/SIGINT drains gracefully: running and queued jobs
+// finish, new submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sr2201/internal/jobs"
+	"sr2201/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue sheds with 429)")
+		workers  = flag.Int("workers", 2, "concurrent job executions")
+		parallel = flag.Int("parallel", sweep.DefaultParallel(), "global sweep-worker budget shared by all running jobs")
+		timeout  = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	)
+	flag.Parse()
+
+	m := jobs.NewManager(jobs.Config{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		Parallel:   *parallel,
+		JobTimeout: *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: jobs.NewServer(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mdxserve: listening on %s (workers=%d parallel=%d queue=%d)\n",
+		*addr, *workers, *parallel, *queue)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mdxserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "mdxserve: draining (finishing running jobs, refusing new ones)")
+	m.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mdxserve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mdxserve: drained")
+}

@@ -9,6 +9,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -269,6 +270,16 @@ type Config struct {
 	Horizon    int64
 	// Parallel caps the sweep worker pool (<= 0 = DefaultParallel, 1 = serial).
 	Parallel int
+	// Ctx, if non-nil, cancels the campaign between cells (running cells
+	// finish; Run returns ctx.Err()). Set by the job server.
+	Ctx context.Context
+	// Budget, if non-nil, draws cell worker slots from a budget shared
+	// with other concurrently running sweeps (see sweep.Limiter).
+	Budget *sweep.Limiter
+	// OnCell, if non-nil, is called once per completed cell with the
+	// simulated cycles that cell consumed, from worker goroutines in
+	// completion order (progress feed for the job server).
+	OnCell func(cycles int64)
 }
 
 // Result is a completed campaign.
@@ -303,9 +314,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	cells, err := sweep.DoErr(len(grid), cfg.Parallel, func(i int) (CellResult, error) {
+	runCell := func(i int) (CellResult, error) {
 		g := grid[i]
-		return RunCell(Spec{
+		res, err := RunCell(Spec{
 			Shape:      cfg.Shape,
 			Events:     []inject.Event{{Cycle: g.epoch, Fault: g.f}},
 			Pattern:    g.pat,
@@ -315,7 +326,18 @@ func Run(cfg Config) (*Result, error) {
 			Inject:     cfg.Inject,
 			Horizon:    cfg.Horizon,
 		})
-	})
+		if cfg.OnCell != nil && err == nil {
+			cfg.OnCell(res.EndCycle)
+		}
+		return res, err
+	}
+	var cells []CellResult
+	var err error
+	if cfg.Ctx != nil || cfg.Budget != nil {
+		cells, err = sweep.DoCtxErr(cfg.Ctx, cfg.Budget, len(grid), cfg.Parallel, runCell)
+	} else {
+		cells, err = sweep.DoErr(len(grid), cfg.Parallel, runCell)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,225 @@
+package campaign
+
+// Single-schedule runs: one machine driven through a scheduled mid-run fault
+// sequence, reporting each event's in-flight casualties and the final
+// retransmission accounting. This is mdxfault's single mode, extracted so
+// the job server produces the exact same bytes: both call RunSingle with an
+// io.Writer (the CLI passes os.Stdout, the server a buffer), making the HTTP
+// artifact byte-identical to the CLI stdout by construction.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sr2201/internal/core"
+	"sr2201/internal/deadlock"
+	"sr2201/internal/engine"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/routing"
+	"sr2201/internal/stats"
+)
+
+// SingleSpec describes one single-schedule run.
+type SingleSpec struct {
+	Shape geom.Shape
+	// Events is the fault schedule, in activation order.
+	Events []inject.Event
+	// Pattern chooses each wave's destinations.
+	Pattern Pattern
+	// Waves/Gap/PacketSize/Horizon as in Spec.
+	Waves      int
+	Gap        int64
+	PacketSize int
+	Horizon    int64
+	// Inject tunes recovery (retransmission etc.).
+	Inject inject.Options
+	// Ctx, if non-nil, cancels the run between cycles; RunSingle then
+	// returns ctx.Err() with the report truncated mid-stream.
+	Ctx context.Context
+	// OnCycle, if non-nil, is called every progressInterval cycles with the
+	// engine's hot-path counters — the job server's progress feed.
+	OnCycle func(cycle int64, ctr engine.Counters)
+}
+
+// progressInterval is how often RunSingle samples OnCycle.
+const progressInterval = 1024
+
+// RunSingle drives one machine through the schedule, writing the full
+// human-readable report (header, per-event casualties, accounting table,
+// outcome line) to w. The returned outcome mirrors the printed verdict so
+// the CLI can map it to an exit status.
+func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
+	var outcome deadlock.Outcome
+	if spec.Horizon <= 0 {
+		spec.Horizon = 50_000
+	}
+	m, err := core.NewMachine(core.Config{
+		Shape:          spec.Shape,
+		PacketSize:     spec.PacketSize,
+		StallThreshold: spec.Inject.StallThreshold,
+	})
+	if err != nil {
+		return outcome, err
+	}
+	inj, err := inject.New(m, spec.Events, spec.Inject)
+	if err != nil {
+		return outcome, err
+	}
+	fmt.Fprintf(w, "shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
+		spec.Shape, spec.Pattern.Name, spec.Waves, spec.Gap, spec.Inject.Retransmit)
+	for _, ev := range spec.Events {
+		fmt.Fprintf(w, "scheduled: %s @ cycle %d\n", ev.Fault, ev.Cycle)
+	}
+
+	eng := m.Engine()
+	if spec.OnCycle != nil {
+		// Chain behind the injector's own PreCycle hook.
+		prev := eng.PreCycle
+		onCycle := spec.OnCycle
+		eng.PreCycle = func(c int64) {
+			if prev != nil {
+				prev(c)
+			}
+			if c%progressInterval == 0 {
+				onCycle(c, eng.Counters())
+			}
+		}
+	}
+	wd := deadlock.NewWatchdog(eng, spec.Inject.StallThreshold)
+	offered, accepted, refused := 0, 0, 0
+	reported := 0
+	wave := 0
+	for eng.Cycle() < spec.Horizon {
+		if spec.Ctx != nil && eng.Cycle()%64 == 0 {
+			if err := spec.Ctx.Err(); err != nil {
+				return outcome, err
+			}
+		}
+		if wave < spec.Waves && eng.Cycle() == int64(wave)*spec.Gap {
+			spec.Shape.Enumerate(func(src geom.Coord) bool {
+				if !m.Alive(src) {
+					return true
+				}
+				dst := spec.Pattern.Dest(spec.Shape, src)
+				if dst == src {
+					return true
+				}
+				offered++
+				if _, err := m.Send(src, dst, spec.PacketSize); err != nil {
+					if errors.Is(err, routing.ErrUnreachable) {
+						refused++
+					}
+					return true
+				}
+				accepted++
+				return true
+			})
+			wave++
+		}
+		if wave >= spec.Waves && eng.Quiescent() && !inj.Pending() {
+			outcome.Drained = true
+			break
+		}
+		m.Step()
+		for _, c := range inj.Casualties()[reported:] {
+			fmt.Fprintf(w, "cycle %d: %s fails — %d packet(s) killed in flight\n",
+				c.Cycle, c.Fault, len(c.Lost))
+			for _, l := range c.Lost {
+				if l.Known {
+					fmt.Fprintf(w, "  killed pkt %d: %v -> %v (rc=%d, %d flits)\n",
+						l.PacketID, l.Src, l.Dst, l.RC, l.Size)
+				} else {
+					fmt.Fprintf(w, "  killed pkt %d: header untraceable\n", l.PacketID)
+				}
+			}
+			reported++
+		}
+		if wd.Stalled() {
+			rep := deadlock.Analyze(eng)
+			outcome.Stalled = true
+			outcome.Deadlocked = rep.Deadlocked
+			break
+		}
+	}
+	if err := inj.Err(); err != nil {
+		return outcome, err
+	}
+	outcome.Cycle = eng.Cycle()
+
+	st := inj.Stats()
+	t := stats.NewTable("dynamic-fault accounting",
+		"offered", "accepted", "refused", "delivered",
+		"killed", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
+	t.AddRow(offered, accepted, refused, len(m.Deliveries()),
+		st.KilledInFlight+st.DropsEnRoute, st.Retransmits, st.Recovered,
+		st.LostUnreachable, st.LostExhausted, st.Duplicates)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, t.String())
+	switch {
+	case outcome.Deadlocked:
+		fmt.Fprintf(w, "outcome: DEADLOCK at cycle %d\n", outcome.Cycle)
+	case outcome.Stalled:
+		fmt.Fprintf(w, "outcome: stalled at cycle %d (no cyclic wait)\n", outcome.Cycle)
+	case outcome.Drained:
+		fmt.Fprintf(w, "outcome: drained at cycle %d\n", outcome.Cycle)
+	default:
+		fmt.Fprintf(w, "outcome: horizon %d exceeded\n", spec.Horizon)
+	}
+	return outcome, nil
+}
+
+// ParsePattern parses one traffic-pattern name: shift+K | reverse. The CLI
+// and the job server share it so they accept identical spellings.
+func ParsePattern(name string) (Pattern, error) {
+	name = strings.TrimSpace(name)
+	switch {
+	case name == "reverse":
+		return Reverse(), nil
+	case strings.HasPrefix(name, "shift+"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "shift+"))
+		if err != nil || k < 1 {
+			return Pattern{}, fmt.Errorf("campaign: bad shift pattern %q", name)
+		}
+		return Shift(k), nil
+	default:
+		return Pattern{}, fmt.Errorf("campaign: unknown pattern %q (shift+K | reverse)", name)
+	}
+}
+
+// ParsePatterns parses a comma-separated pattern list.
+func ParsePatterns(s string) ([]Pattern, error) {
+	var out []Pattern
+	for _, name := range strings.Split(s, ",") {
+		p, err := ParsePattern(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: empty pattern list")
+	}
+	return out, nil
+}
+
+// ParseEpochs parses a comma-separated list of non-negative activation
+// cycles.
+func ParseEpochs(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("campaign: bad epoch %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: empty epoch list")
+	}
+	return out, nil
+}

@@ -8,7 +8,6 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/stats"
-	"sr2201/internal/sweep"
 )
 
 func init() {
@@ -310,7 +309,7 @@ func runE5(opt Options) (*Report, error) {
 					cells = append(cells, cell{f, off})
 				}
 			}
-			outs, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (deadlock.Outcome, error) {
+			outs, err := sweepCells(opt, len(cells), func(i int) (deadlock.Outcome, error) {
 				return e5Scenario(shape, cells[i].f, cells[i].off)
 			})
 			if err != nil {

@@ -147,6 +147,9 @@ func runF2(opt Options) (*Report, error) {
 			StallThreshold: 256,
 		},
 		Parallel: opt.Parallel,
+		Ctx:      opt.Ctx,
+		Budget:   opt.Budget,
+		OnCell:   opt.OnCell,
 	}
 	if opt.Quick {
 		cfg.Shape = geom.MustShape(4, 4)

@@ -8,11 +8,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
 )
 
 // Options tune experiment scale.
@@ -26,6 +28,39 @@ type Options struct {
 	// merged by cell index, so reports are byte-identical at every
 	// parallelism level — the golden tests pin this.
 	Parallel int
+	// Ctx, if non-nil, cancels sweeps between cells: a running cell
+	// finishes, unstarted cells never start, and the experiment returns
+	// ctx.Err(). The job server sets this; the CLIs leave it nil.
+	Ctx context.Context
+	// Budget, if non-nil, draws every sweep worker slot from a budget
+	// shared with concurrently running experiments (across jobs), so a
+	// server honors one global -parallel no matter how many jobs run.
+	// A completed run's report is byte-identical with or without it.
+	Budget *sweep.Limiter
+	// OnCell, if non-nil, is called once per completed sweep cell with the
+	// simulated cycles that cell consumed (0 when the cell does not track
+	// cycles). Calls arrive from worker goroutines in completion order;
+	// the jobs layer serializes them into its ordered event stream.
+	OnCell func(cycles int64)
+}
+
+// sweepCells fans one experiment's independent cells through the worker
+// pool. It is the single funnel between the experiment bodies and
+// internal/sweep, so the server-side knobs (cancellation context, shared
+// budget, progress hook) apply uniformly without each experiment caring.
+func sweepCells[R any](opt Options, n int, fn func(i int) (R, error)) ([]R, error) {
+	run := fn
+	if opt.OnCell != nil {
+		run = func(i int) (R, error) {
+			r, err := fn(i)
+			opt.OnCell(0)
+			return r, err
+		}
+	}
+	if opt.Ctx != nil || opt.Budget != nil {
+		return sweep.DoCtxErr(opt.Ctx, opt.Budget, n, opt.Parallel, run)
+	}
+	return sweep.DoErr(n, opt.Parallel, run)
 }
 
 // Report is one experiment's output.
@@ -125,3 +160,31 @@ func ByID(id string) (Experiment, bool) {
 	e, ok := registry[id]
 	return e, ok
 }
+
+// Resolve maps a list of ids (case-insensitive; the single keyword "all"
+// selects every experiment in id order) to experiments, preserving the
+// requested order. It is the shared id front end of mdxbench and the job
+// server, so both reject the same inputs and run the same sets.
+func Resolve(ids []string) ([]Experiment, error) {
+	if len(ids) == 1 && strings.EqualFold(strings.TrimSpace(ids[0]), "all") {
+		return All(), nil
+	}
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := ByID(strings.ToUpper(id))
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty experiment list")
+	}
+	return out, nil
+}
+
+// RenderReport renders one report exactly as mdxbench prints it to stdout
+// (the report text plus the blank separator line). The job server reuses it
+// so an HTTP job artifact is byte-identical to the CLI run.
+func RenderReport(r *Report) string { return r.String() + "\n" }

@@ -1,0 +1,90 @@
+package experiments_test
+
+// Joins the golden determinism digests (golden_test.go) to the jobs layer:
+// the artifact a job produces for an experiment set must hash identically to
+// the direct in-process render, at every pool width. This is the same FNV-1a
+// digest discipline the engine and report layers already answer to, extended
+// across the service boundary. It lives in an external test package because
+// jobs imports experiments.
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"sr2201/internal/experiments"
+	"sr2201/internal/jobs"
+)
+
+func digest(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// directDigest renders the experiment set exactly as runExperiments does:
+// resolved order, RenderReport concatenation.
+func directDigest(t *testing.T, ids []string, parallel int) uint64 {
+	t.Helper()
+	list, err := experiments.Resolve(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, e := range list {
+		r, err := e.Run(experiments.Options{Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out = append(out, experiments.RenderReport(r)...)
+	}
+	return digest(out)
+}
+
+func jobDigest(t *testing.T, ids []string, parallel int) uint64 {
+	t.Helper()
+	m := jobs.NewManager(jobs.Config{Workers: 2, Parallel: parallel})
+	defer m.Stop()
+	id, _, err := m.Submit(jobs.Spec{
+		Kind:        jobs.KindExperiments,
+		Experiments: &jobs.ExperimentsSpec{IDs: ids, Quick: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, err := m.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == jobs.StatusDone {
+			break
+		}
+		if v.Status == jobs.StatusFailed || v.Status == jobs.StatusCanceled {
+			t.Fatalf("job %s: %s (%s)", id, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	artifact, ok, err := m.Artifact(id)
+	if err != nil || !ok {
+		t.Fatalf("artifact: ok=%v err=%v", ok, err)
+	}
+	return digest(artifact)
+}
+
+func TestGoldenDigestsJoinJobsLayer(t *testing.T) {
+	ids := []string{"E1", "E4", "F1"}
+	serial := directDigest(t, ids, 1)
+	for _, parallel := range []int{1, 4} {
+		if d := directDigest(t, ids, parallel); d != serial {
+			t.Errorf("direct render at parallel=%d digest %#x != serial %#x", parallel, d, serial)
+		}
+		if d := jobDigest(t, ids, parallel); d != serial {
+			t.Errorf("job artifact at parallel=%d digest %#x != direct render %#x", parallel, d, serial)
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"sr2201/internal/geom"
 	"sr2201/internal/meshnet"
 	"sr2201/internal/stats"
-	"sr2201/internal/sweep"
 	"sr2201/internal/traffic"
 )
 
@@ -87,7 +86,7 @@ func runE6(opt Options) (*Report, error) {
 				cells = append(cells, cell{load, tp})
 			}
 		}
-		results, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (traffic.Result, error) {
+		results, err := sweepCells(opt, len(cells), func(i int) (traffic.Result, error) {
 			t, err := cells[i].tp.build()
 			if err != nil {
 				return traffic.Result{}, err
@@ -156,7 +155,7 @@ func runE7(opt Options) (*Report, error) {
 			cells = append(cells, cell{load, withFault})
 		}
 	}
-	results, err := sweep.DoErr(len(cells), opt.Parallel, func(i int) (*outcome, error) {
+	results, err := sweepCells(opt, len(cells), func(i int) (*outcome, error) {
 		m, err := newCrossbar(shape)
 		if err != nil {
 			return nil, err
@@ -211,7 +210,7 @@ func runE8(opt Options) (*Report, error) {
 		cycle  int64
 		copies int
 	}
-	results, err := sweep.DoErr(maxK, opt.Parallel, func(i int) (e8Result, error) {
+	results, err := sweepCells(opt, maxK, func(i int) (e8Result, error) {
 		k := i + 1
 		m, err := newCrossbar(shape)
 		if err != nil {
@@ -322,7 +321,7 @@ func runE9(opt Options) (*Report, error) {
 		cx, bx, tx int64
 		cm, bm, tm int64
 	}
-	results, err := sweep.DoErr(len(patterns), opt.Parallel, func(i int) (e9Result, error) {
+	results, err := sweepCells(opt, len(patterns), func(i int) (e9Result, error) {
 		p := patterns[i]
 		mx, err := newCrossbar(shape)
 		if err != nil {
@@ -495,7 +494,7 @@ func runA2(opt Options) (*Report, error) {
 	}
 	tbl := stats.NewTable("A2 buffer depth sweep, 8-flit packets, uniform load 0.1 on 6x6",
 		"depth", "regime", "throughput", "mean lat", "p95 lat")
-	results, err := sweep.DoErr(len(depths), opt.Parallel, func(i int) (traffic.Result, error) {
+	results, err := sweepCells(opt, len(depths), func(i int) (traffic.Result, error) {
 		m, err := core.NewMachine(core.Config{
 			Shape:          shape,
 			Engine:         engine.Config{BufferDepth: depths[i], LinkDelay: 1},

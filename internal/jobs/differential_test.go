@@ -1,0 +1,140 @@
+package jobs
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root, where the
+// cmd/ binaries live.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// cliStdout runs one of the repo's CLIs and returns its stdout. A non-zero
+// exit is fine when allowFail (mdxfault exits 1 on an undrained run; the
+// report on stdout is still the artifact).
+func cliStdout(t *testing.T, root string, allowFail bool, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil && !allowFail {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("go run %v: %v\nstderr:\n%s", args, err, ee.Stderr)
+		}
+		t.Fatalf("go run %v: %v", args, err)
+	}
+	return out
+}
+
+// jobArtifact submits a spec at the given pool width and returns the
+// finished artifact.
+func jobArtifact(t *testing.T, spec Spec, parallel int) []byte {
+	t.Helper()
+	m := NewManager(Config{Workers: 2, Parallel: parallel})
+	defer m.Stop()
+	id, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, id, StatusDone)
+	artifact, ok, err := m.Artifact(id)
+	if err != nil || !ok {
+		t.Fatalf("artifact: ok=%v err=%v", ok, err)
+	}
+	return artifact
+}
+
+// TestDifferentialCLIvsServer is the cross-boundary determinism contract: for
+// a pinned spec matrix, the job artifact must equal the corresponding CLI
+// stdout byte for byte, at pool width 1 and at width 4.
+func TestDifferentialCLIvsServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run subprocesses")
+	}
+	root := repoRoot(t)
+
+	cases := []struct {
+		name      string
+		spec      Spec
+		allowFail bool
+		cli       func(parallel string) []string
+	}{
+		{
+			name: "mdxbench_quick_E1_F1",
+			spec: Spec{Kind: KindExperiments, Experiments: &ExperimentsSpec{IDs: []string{"E1", "F1"}, Quick: true}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxbench", "-quick", "-exp", "E1,F1", "-parallel", p}
+			},
+		},
+		{
+			name: "mdxfault_single_retransmit",
+			spec: Spec{Kind: KindFault, Fault: &FaultSpec{
+				Shape: "4x4", Fails: []string{"rtc:1,1@40"}, Pattern: "shift+5",
+				Waves: 2, Inject: InjectSpec{Retransmit: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-shape", "4x4", "-fail", "rtc:1,1@40",
+					"-waves", "2", "-retransmit"}
+			},
+		},
+		{
+			name: "mdxfault_single_undrained",
+			spec: Spec{Kind: KindFault, Fault: &FaultSpec{
+				Shape: "4x4", Fails: []string{"rtc:1,1@40"}, Pattern: "shift+5", Waves: 2,
+			}},
+			allowFail: true, // lost packets, exit 1 — the report must still match
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-shape", "4x4", "-fail", "rtc:1,1@40", "-waves", "2"}
+			},
+		},
+		{
+			name: "mdxfault_campaign",
+			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
+				Shape: "4x4", Epochs: []int64{12, 60}, Patterns: []string{"shift+5", "reverse"},
+				Inject: InjectSpec{Retransmit: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-campaign", "-shape", "4x4",
+					"-epochs", "12,60", "-patterns", "shift+5,reverse", "-retransmit", "-parallel", p}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := cliStdout(t, root, tc.allowFail, tc.cli("1")...)
+			if len(want) == 0 {
+				t.Fatal("CLI produced no stdout")
+			}
+			// The CLI's own output must not depend on its pool width either.
+			if wide := cliStdout(t, root, tc.allowFail, tc.cli("4")...); string(wide) != string(want) {
+				t.Errorf("CLI stdout differs between -parallel 1 and 4")
+			}
+			for _, parallel := range []int{1, 4} {
+				got := jobArtifact(t, tc.spec, parallel)
+				if string(got) != string(want) {
+					t.Errorf("artifact at parallel=%d differs from CLI stdout:\n--- CLI ---\n%s\n--- job ---\n%s",
+						parallel, want, got)
+				}
+			}
+		})
+	}
+}

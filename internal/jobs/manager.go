@@ -1,0 +1,556 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sr2201/internal/stats"
+	"sr2201/internal/sweep"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Event is one entry of a job's ordered progress stream. Seq increases by
+// exactly one per event within a stream.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Type  string `json:"type"` // queued | started | progress | done | failed | canceled
+	Cells int64  `json:"cells,omitempty"`
+	// Cycles is the cumulative simulated cycles retired by the execution.
+	Cycles int64  `json:"cycles,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is load shedding: the bounded FIFO is at capacity (429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining means the manager no longer accepts submissions (503).
+	ErrDraining = errors.New("jobs: draining")
+	// ErrNotFound means no such job id (404).
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// execution is one actual run of a canonical spec. Several jobs may attach
+// to it: identical submissions dedupe here, sharing the run, its artifact,
+// and its event log.
+type execution struct {
+	canonical string
+	spec      Spec
+
+	mu       sync.Mutex
+	state    Status
+	events   []Event
+	notify   chan struct{} // closed and renewed on every append
+	artifact []byte
+	err      error
+	cancel   context.CancelFunc
+	attached int // jobs still wanting this run
+	cells    int64
+	cycles   int64
+}
+
+// append adds one event (and optional state change) under ex.mu and wakes
+// streamers. state=="" keeps the current state.
+func (ex *execution) append(state Status, ev Event) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.appendLocked(state, ev)
+}
+
+func (ex *execution) appendLocked(state Status, ev Event) {
+	if state != "" {
+		ex.state = state
+	}
+	ev.Seq = int64(len(ex.events))
+	ev.Cells = ex.cells
+	ev.Cycles = ex.cycles
+	ex.events = append(ex.events, ev)
+	close(ex.notify)
+	ex.notify = make(chan struct{})
+}
+
+// snapshot returns the events from seq on, whether the execution is
+// terminal, and a channel that closes when anything new arrives.
+func (ex *execution) snapshot(from int64) ([]Event, bool, <-chan struct{}) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	var evs []Event
+	if from < int64(len(ex.events)) {
+		evs = append(evs, ex.events[from:]...)
+	}
+	return evs, ex.state.terminal(), ex.notify
+}
+
+// Job is one submission. Distinct submissions are distinct jobs even when
+// they dedupe onto a shared execution.
+type Job struct {
+	id       string
+	ex       *execution
+	deduped  bool
+	canceled bool // job-level cancel; the execution may outlive it
+	created  time.Time
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// QueueDepth bounds the FIFO of executions waiting for a worker
+	// (default 64). A submission arriving with the queue full is shed.
+	QueueDepth int
+	// Workers is how many executions run concurrently (default 2).
+	Workers int
+	// Parallel is the global sweep budget shared by all running
+	// executions — the server-side -parallel (default
+	// sweep.DefaultParallel()).
+	Parallel int
+	// JobTimeout, when positive, deadlines every execution.
+	JobTimeout time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = sweep.DefaultParallel()
+	}
+}
+
+// Manager owns the queue, the worker pool, the dedupe/result cache, and
+// every job's event stream.
+type Manager struct {
+	cfg    Config
+	budget *sweep.Limiter
+	queue  chan *execution
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workerWG   sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      int64
+	jobs     map[string]*Job
+	byCanon  map[string]*execution
+
+	// Metrics, all guarded by mu except where noted.
+	started     time.Time
+	submitted   int64
+	dedupHits   int64
+	executions  int64
+	queuedCount int64
+	running     int64
+	done        int64
+	failed      int64
+	canceledEx  int64
+	totalCells  int64
+	totalCycles int64
+	durations   stats.Latency
+}
+
+// NewManager starts the worker pool and returns a ready manager.
+func NewManager(cfg Config) *Manager {
+	cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		budget:     sweep.NewLimiter(cfg.Parallel),
+		queue:      make(chan *execution, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		byCanon:    map[string]*execution{},
+		started:    time.Now(),
+	}
+	m.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates, normalizes, and enqueues a spec, returning the new job
+// id. Identical canonical specs dedupe: the job attaches to the live or
+// completed execution instead of queueing a duplicate run (deduped=true).
+func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
+	spec = spec.Clone() // normalize a private copy, never the caller's memory
+	if err := spec.Normalize(); err != nil {
+		return "", false, err
+	}
+	canonical := spec.Canonical()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return "", false, ErrDraining
+	}
+	m.submitted++
+	ex := m.byCanon[canonical]
+	if ex != nil {
+		deduped = true
+		m.dedupHits++
+	} else {
+		if len(m.queue) == cap(m.queue) {
+			m.submitted--
+			return "", false, ErrQueueFull
+		}
+		ex = &execution{
+			canonical: canonical,
+			spec:      spec,
+			state:     StatusQueued,
+			notify:    make(chan struct{}),
+		}
+		ex.append(StatusQueued, Event{Type: "queued"})
+		m.byCanon[canonical] = ex
+		m.executions++
+		m.queuedCount++
+		m.queue <- ex // cannot block: len checked under mu, only Submit sends
+	}
+	ex.mu.Lock()
+	ex.attached++
+	ex.mu.Unlock()
+
+	m.seq++
+	id = fmt.Sprintf("j%06d", m.seq)
+	m.jobs[id] = &Job{id: id, ex: ex, deduped: deduped, created: time.Now()}
+	return id, deduped, nil
+}
+
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for ex := range m.queue {
+		m.runExecution(ex)
+	}
+}
+
+func (m *Manager) runExecution(ex *execution) {
+	m.mu.Lock()
+	m.queuedCount--
+	m.mu.Unlock()
+
+	ctx := m.baseCtx
+	var cancel context.CancelFunc
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	ex.mu.Lock()
+	if ex.state == StatusCanceled {
+		// Every attached job canceled while it sat in the queue.
+		ex.mu.Unlock()
+		return
+	}
+	ex.cancel = cancel
+	ex.appendLocked(StatusRunning, Event{Type: "started"})
+	ex.mu.Unlock()
+
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+
+	start := time.Now()
+	var lastEmit time.Time
+	progress := func(cells, cycles int64) {
+		ex.mu.Lock()
+		ex.cells += cells
+		ex.cycles += cycles
+		// Throttle the stream: at most one progress event per 50ms keeps
+		// event logs bounded for big campaigns while staying live.
+		if time.Since(lastEmit) >= 50*time.Millisecond {
+			lastEmit = time.Now()
+			ex.appendLocked("", Event{Type: "progress"})
+		}
+		ex.mu.Unlock()
+		m.mu.Lock()
+		m.totalCells += cells
+		m.totalCycles += cycles
+		m.mu.Unlock()
+	}
+
+	artifact, err := runSpec(ctx, ex.spec, m.budget, m.cfg.Parallel, progress)
+	elapsed := time.Since(start)
+
+	var final Status
+	var ev Event
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		final, ev = StatusCanceled, Event{Type: "canceled", Error: err.Error()}
+	case err != nil:
+		final, ev = StatusFailed, Event{Type: "failed", Error: err.Error()}
+	default:
+		final, ev = StatusDone, Event{Type: "done"}
+	}
+
+	ex.mu.Lock()
+	ex.artifact = artifact
+	ex.err = err
+	ex.cancel = nil
+	ex.appendLocked(final, ev)
+	ex.mu.Unlock()
+
+	m.mu.Lock()
+	m.running--
+	m.durations.Add(elapsed.Milliseconds())
+	switch final {
+	case StatusDone:
+		m.done++
+	case StatusFailed:
+		m.failed++
+		// Failures are not cached: a resubmission gets a fresh run.
+		delete(m.byCanon, ex.canonical)
+	case StatusCanceled:
+		m.canceledEx++
+		delete(m.byCanon, ex.canonical)
+	}
+	m.mu.Unlock()
+}
+
+// Cancel cancels one job. If it was the execution's last interested job,
+// the execution itself is canceled: dequeued if still queued, or its
+// context canceled mid-run (the worker is freed at the next cell/cycle
+// boundary).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	if job.canceled {
+		m.mu.Unlock()
+		return nil
+	}
+	job.canceled = true
+	ex := job.ex
+	m.mu.Unlock()
+
+	ex.mu.Lock()
+	ex.attached--
+	if ex.attached > 0 || ex.state.terminal() {
+		ex.mu.Unlock()
+		return nil
+	}
+	if ex.state == StatusQueued {
+		// The worker that eventually dequeues it will skip it (and account
+		// for the freed queue slot then).
+		ex.appendLocked(StatusCanceled, Event{Type: "canceled"})
+		ex.mu.Unlock()
+		m.mu.Lock()
+		m.canceledEx++
+		delete(m.byCanon, ex.canonical)
+		m.mu.Unlock()
+		return nil
+	}
+	cancel := ex.cancel
+	ex.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// JobView is the API projection of one job.
+type JobView struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	Kind    Kind   `json:"kind"`
+	Deduped bool   `json:"deduped,omitempty"`
+	Cells   int64  `json:"cells,omitempty"`
+	Cycles  int64  `json:"cycles,omitempty"`
+	// ArtifactBytes is the artifact length once the job is terminal.
+	ArtifactBytes int    `json:"artifact_bytes,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// status resolves the job-level status (a canceled job stays canceled even
+// if its shared execution runs on for other jobs).
+func (m *Manager) status(job *Job) Status {
+	if job.canceled {
+		return StatusCanceled
+	}
+	job.ex.mu.Lock()
+	defer job.ex.mu.Unlock()
+	return job.ex.state
+}
+
+// Lookup returns the API view of one job.
+func (m *Manager) Lookup(id string) (JobView, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	v := JobView{ID: id, Kind: job.ex.spec.Kind, Deduped: job.deduped, Status: m.status(job)}
+	ex := job.ex
+	ex.mu.Lock()
+	v.Cells, v.Cycles = ex.cells, ex.cycles
+	v.ArtifactBytes = len(ex.artifact)
+	if ex.err != nil {
+		v.Error = ex.err.Error()
+	}
+	ex.mu.Unlock()
+	return v, nil
+}
+
+// Artifact returns the job's report artifact. ok is false until the
+// execution reaches a terminal state that produced bytes.
+func (m *Manager) Artifact(id string) (artifact []byte, ok bool, err error) {
+	m.mu.Lock()
+	job, exists := m.jobs[id]
+	m.mu.Unlock()
+	if !exists {
+		return nil, false, ErrNotFound
+	}
+	ex := job.ex
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if !ex.state.terminal() || len(ex.artifact) == 0 {
+		return nil, false, nil
+	}
+	return ex.artifact, true, nil
+}
+
+// Events exposes a job's stream for the HTTP layer: events from seq on,
+// terminality, and a wakeup channel. A canceled job's stream is terminal
+// even while the shared execution runs for other jobs.
+func (m *Manager) Events(id string, from int64) ([]Event, bool, <-chan struct{}, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	canceled := ok && job.canceled
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, nil, ErrNotFound
+	}
+	evs, terminal, notify := job.ex.snapshot(from)
+	return evs, terminal || canceled, notify, nil
+}
+
+// JobCanceled reports whether the job itself (not its execution) was
+// canceled.
+func (m *Manager) JobCanceled(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	return ok && job.canceled
+}
+
+// Drain stops accepting submissions, lets queued and running executions
+// finish, and returns when the pool is idle. Safe to call once.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.workerWG.Wait()
+		return
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.workerWG.Wait()
+}
+
+// Stop aborts: running executions are canceled, then the pool drains. For
+// tests and fatal shutdown paths.
+func (m *Manager) Stop() {
+	m.baseCancel()
+	m.Drain()
+}
+
+// Draining reports whether the manager refuses new submissions.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Workers    int `json:"workers"`
+	Parallel   int `json:"parallel"`
+
+	Submitted   int64 `json:"jobs_submitted"`
+	Deduped     int64 `json:"jobs_deduped"`
+	Executions  int64 `json:"executions"`
+	Running     int64 `json:"running"`
+	Queued      int64 `json:"queued"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	CanceledExs int64 `json:"canceled"`
+
+	// CacheHitRate is deduped submissions over all submissions.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	CellsDone    int64   `json:"cells_done"`
+	CyclesDone   int64   `json:"cycles_done"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+
+	// Job wall-clock duration summary (milliseconds), nearest-rank
+	// percentiles via stats.Latency.
+	DurationCount int     `json:"job_duration_count"`
+	DurationMean  float64 `json:"job_duration_mean_ms"`
+	DurationP50   int64   `json:"job_duration_p50_ms"`
+	DurationP95   int64   `json:"job_duration_p95_ms"`
+	DurationMax   int64   `json:"job_duration_max_ms"`
+}
+
+// Metrics snapshots the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := Metrics{
+		QueueDepth:  len(m.queue),
+		QueueCap:    cap(m.queue),
+		Workers:     m.cfg.Workers,
+		Parallel:    m.cfg.Parallel,
+		Submitted:   m.submitted,
+		Deduped:     m.dedupHits,
+		Executions:  m.executions,
+		Running:     m.running,
+		Queued:      m.queuedCount,
+		Done:        m.done,
+		Failed:      m.failed,
+		CanceledExs: m.canceledEx,
+		CellsDone:   m.totalCells,
+		CyclesDone:  m.totalCycles,
+	}
+	if m.submitted > 0 {
+		mt.CacheHitRate = float64(m.dedupHits) / float64(m.submitted)
+	}
+	if secs := time.Since(m.started).Seconds(); secs > 0 {
+		mt.CyclesPerSec = float64(m.totalCycles) / secs
+	}
+	mt.DurationCount = m.durations.Count()
+	if mt.DurationCount > 0 {
+		mt.DurationMean = m.durations.Mean()
+		mt.DurationP50 = m.durations.Percentile(50)
+		mt.DurationP95 = m.durations.Percentile(95)
+		mt.DurationMax = m.durations.Max()
+	}
+	return mt
+}

@@ -1,0 +1,173 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"sr2201/internal/campaign"
+	"sr2201/internal/cliutil"
+	"sr2201/internal/engine"
+	"sr2201/internal/experiments"
+	"sr2201/internal/inject"
+	"sr2201/internal/sweep"
+)
+
+// progressFn receives completed work increments from inside a run: sweep
+// cells finished and simulated cycles retired. Calls arrive from worker
+// goroutines; the manager serializes them into the job's ordered event
+// stream.
+type progressFn func(cells, cycles int64)
+
+// runSpec executes one normalized spec and returns its report artifact —
+// the exact bytes the equivalent CLI run writes to stdout. parallel is the
+// sweep width to request; budget (shared across all running jobs) is what
+// actually bounds concurrency. A non-nil error may still carry a complete
+// artifact (e.g. a campaign that deadlocked: the table is the evidence).
+func runSpec(ctx context.Context, spec Spec, budget *sweep.Limiter, parallel int, progress progressFn) ([]byte, error) {
+	switch spec.Kind {
+	case KindExperiments:
+		return runExperiments(ctx, spec.Experiments, budget, parallel, progress)
+	case KindFault:
+		return runFault(ctx, spec.Fault, progress)
+	case KindCampaign:
+		return runCampaign(ctx, spec.Campaign, budget, parallel, progress)
+	default:
+		return nil, fmt.Errorf("jobs: unnormalized spec kind %q", spec.Kind)
+	}
+}
+
+// runExperiments mirrors mdxbench: run the resolved set, render each report
+// in id-list order. Experiments execute sequentially within the job — the
+// worker pool's concurrency lives in each experiment's cell sweep, which
+// draws from the shared budget — so the artifact is the concatenation
+// mdxbench prints, byte for byte.
+func runExperiments(ctx context.Context, e *ExperimentsSpec, budget *sweep.Limiter, parallel int, progress progressFn) ([]byte, error) {
+	list, err := experiments.Resolve(e.IDs)
+	if err != nil {
+		return nil, err
+	}
+	opt := experiments.Options{
+		Quick:    e.Quick,
+		Parallel: parallel,
+		Ctx:      ctx,
+		Budget:   budget,
+		OnCell:   func(cycles int64) { progress(1, cycles) },
+	}
+	var buf bytes.Buffer
+	failed := 0
+	for _, exp := range list {
+		if err := ctx.Err(); err != nil {
+			return buf.Bytes(), err
+		}
+		r, err := exp.Run(opt)
+		if err != nil {
+			return buf.Bytes(), fmt.Errorf("experiment %s: %w", exp.ID, err)
+		}
+		if !r.Pass {
+			failed++
+		}
+		buf.WriteString(experiments.RenderReport(r))
+	}
+	if failed > 0 {
+		return buf.Bytes(), fmt.Errorf("%d experiment(s) failed their shape criterion", failed)
+	}
+	return buf.Bytes(), nil
+}
+
+// runFault mirrors mdxfault single mode via the shared campaign.RunSingle.
+func runFault(ctx context.Context, f *FaultSpec, progress progressFn) ([]byte, error) {
+	shape, err := cliutil.ParseShape(f.Shape)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]inject.Event, 0, len(f.Fails))
+	for _, fs := range f.Fails {
+		flt, cycle, err := cliutil.ParseScheduledFault(fs, shape)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, inject.Event{Cycle: cycle, Fault: flt})
+	}
+	pat, err := campaign.ParsePattern(f.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	var lastCycle int64
+	var buf bytes.Buffer
+	outcome, err := campaign.RunSingle(campaign.SingleSpec{
+		Shape:      shape,
+		Events:     events,
+		Pattern:    pat,
+		Waves:      f.Waves,
+		Gap:        f.Gap,
+		PacketSize: f.PacketSize,
+		Horizon:    f.Horizon,
+		Inject:     f.Inject.options(),
+		Ctx:        ctx,
+		OnCycle: func(c int64, _ engine.Counters) {
+			progress(0, c-lastCycle)
+			lastCycle = c
+		},
+	}, &buf)
+	if err != nil {
+		return buf.Bytes(), err
+	}
+	// Settle the totals: OnCycle fires every progressInterval cycles, so a
+	// short run (or the tail of a long one) is reported here.
+	progress(1, outcome.Cycle-lastCycle)
+	if !outcome.Drained {
+		return buf.Bytes(), fmt.Errorf("run did not drain (deadlocked=%v stalled=%v cycle=%d)",
+			outcome.Deadlocked, outcome.Stalled, outcome.Cycle)
+	}
+	return buf.Bytes(), nil
+}
+
+// runCampaign mirrors mdxfault -campaign.
+func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, parallel int, progress progressFn) ([]byte, error) {
+	shape, err := cliutil.ParseShape(c.Shape)
+	if err != nil {
+		return nil, err
+	}
+	patterns := make([]campaign.Pattern, 0, len(c.Patterns))
+	for _, p := range c.Patterns {
+		pat, err := campaign.ParsePattern(p)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, pat)
+	}
+	res, err := campaign.Run(campaign.Config{
+		Shape:      shape,
+		Epochs:     c.Epochs,
+		Patterns:   patterns,
+		Waves:      c.Waves,
+		Gap:        c.Gap,
+		PacketSize: c.PacketSize,
+		Inject:     c.Inject.options(),
+		Horizon:    c.Horizon,
+		Parallel:   parallel,
+		Ctx:        ctx,
+		Budget:     budget,
+		OnCell:     func(cycles int64) { progress(1, cycles) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	artifact := []byte(res.String())
+	if res.Deadlocks() > 0 || res.Stalls() > 0 {
+		return artifact, fmt.Errorf("campaign: %d deadlock(s), %d stall(s)", res.Deadlocks(), res.Stalls())
+	}
+	return artifact, nil
+}
+
+// options maps the wire spec onto inject.Options.
+func (in InjectSpec) options() inject.Options {
+	return inject.Options{
+		Retransmit:     in.Retransmit,
+		RetryAfter:     in.RetryAfter,
+		Backoff:        in.Backoff,
+		MaxRetries:     in.MaxRetries,
+		StallThreshold: in.Stall,
+	}
+}

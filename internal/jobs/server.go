@@ -1,0 +1,197 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxSpecBytes bounds one POST /jobs body.
+const maxSpecBytes = 1 << 20
+
+// NewServer wraps a Manager in the mdxserve HTTP API:
+//
+//	POST   /jobs             submit a spec, 202 + {id, status, deduped}
+//	GET    /jobs/{id}        job status JSON
+//	GET    /jobs/{id}/artifact  the report artifact (byte-identical to the CLI)
+//	GET    /jobs/{id}/events statusless JSONL stream of ordered events
+//	DELETE /jobs/{id}        cancel
+//	GET    /healthz          "ok" | 503 "draining"
+//	GET    /metrics          queue/cache/throughput counters JSON
+//
+// Load shedding: a full queue answers 429 with a Retry-After hint; a
+// draining server answers 503.
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := ReadSpec(r.Body, maxSpecBytes)
+		if err != nil {
+			writeFieldError(w, err)
+			return
+		}
+		id, deduped, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(m)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+			return
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+			return
+		case err != nil:
+			writeFieldError(w, err)
+			return
+		}
+		view, _ := m.Lookup(id)
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id": id, "status": view.Status, "deduped": deduped,
+		})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := m.Lookup(r.PathValue("id"))
+		if errors.Is(err, ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		artifact, ready, err := m.Artifact(r.PathValue("id"))
+		if errors.Is(err, ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		if !ready {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": "artifact not ready"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(artifact)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		from := int64(0)
+		if q := r.URL.Query().Get("from"); q != "" {
+			v, err := strconv.ParseInt(q, 10, 64)
+			if err != nil || v < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad from parameter"})
+				return
+			}
+			from = v
+		}
+		evs, terminal, _, err := m.Events(id, from)
+		if errors.Is(err, ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		next := from
+		for {
+			for _, ev := range evs {
+				enc.Encode(ev)
+				next = ev.Seq + 1
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal {
+				// A job canceled while its deduped execution runs on ends
+				// its own stream with a synthetic cancel record.
+				if m.JobCanceled(id) {
+					last := Event{Seq: next, Type: "canceled"}
+					if len(evs) == 0 || evs[len(evs)-1].Type != "canceled" {
+						enc.Encode(last)
+						if flusher != nil {
+							flusher.Flush()
+						}
+					}
+				}
+				return
+			}
+			var notify <-chan struct{}
+			evs, terminal, notify, err = m.Events(id, next)
+			if err != nil {
+				return
+			}
+			if len(evs) == 0 && !terminal {
+				select {
+				case <-notify:
+				case <-r.Context().Done():
+					return
+				}
+				evs, terminal, _, err = m.Events(id, next)
+				if err != nil {
+					return
+				}
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); errors.Is(err, ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		view, _ := m.Lookup(id)
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+
+	return mux
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the
+// queued work divided by the pool, scaled by the mean job duration seen so
+// far (at least one second).
+func retryAfterSeconds(m *Manager) int {
+	mt := m.Metrics()
+	if mt.DurationCount == 0 || mt.Workers == 0 {
+		return 1
+	}
+	est := time.Duration(mt.DurationMean*float64(mt.QueueDepth+1)/float64(mt.Workers)) * time.Millisecond
+	if est < time.Second {
+		return 1
+	}
+	return int(est / time.Second)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeFieldError maps a validation rejection to 400 with the offending
+// field named, so clients can fix the spec without grepping logs.
+func writeFieldError(w http.ResponseWriter, err error) {
+	var fe *FieldError
+	if errors.As(err, &fe) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fe.Error(), "field": fe.Field})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeSpecNormalizesAndCanonicalizes(t *testing.T) {
+	// Two cosmetically different submissions of the same work must share a
+	// canonical encoding (they dedupe to one execution).
+	a, err := DecodeSpec([]byte(`{"kind":"experiments","experiments":{"ids":["e1"," f1 "]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeSpec([]byte(`{"kind":"experiments","experiments":{"ids":["E1","F1"],"quick":false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical mismatch:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if got := a.Experiments.IDs; got[0] != "E1" || got[1] != "F1" {
+		t.Errorf("ids not canonicalized: %v", got)
+	}
+}
+
+func TestDecodeSpecAppliesCLIDefaults(t *testing.T) {
+	s, err := DecodeSpec([]byte(`{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"shift+5","inject":{"retransmit":true}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Fault
+	if f.Waves != 4 || f.Gap != 24 || f.Horizon != 50_000 {
+		t.Errorf("wave defaults not applied: %+v", f)
+	}
+	if f.Inject.RetryAfter != 64 || f.Inject.Backoff != 2 || f.Inject.MaxRetries != 4 {
+		t.Errorf("inject defaults not applied: %+v", f.Inject)
+	}
+	// An explicit spelling of the defaults canonicalizes identically.
+	s2, err := DecodeSpec([]byte(`{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"shift+5","waves":4,"gap":24,"horizon":50000,"inject":{"retransmit":true,"retry_after":64,"backoff":2,"max_retries":4}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Canonical() != s2.Canonical() {
+		t.Errorf("defaulted and explicit specs diverge:\n%s\n%s", s.Canonical(), s2.Canonical())
+	}
+}
+
+func TestDecodeSpecRejectionsNameTheField(t *testing.T) {
+	cases := []struct {
+		name, body, wantField string
+	}{
+		{"missing kind", `{}`, "kind"},
+		{"unknown kind", `{"kind":"bogus"}`, "kind"},
+		{"kind without payload", `{"kind":"fault"}`, "fault"},
+		{"mismatched payload", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse"},"campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"]}}`, "campaign"},
+		{"unknown field", `{"kind":"experiments","experiments":{"ids":["E1"],"wat":1}}`, "wat"},
+		{"type mismatch", `{"kind":"experiments","experiments":{"ids":"E1"}}`, "experiments.ids"},
+		{"empty ids", `{"kind":"experiments","experiments":{"ids":[]}}`, "experiments.ids"},
+		{"unknown experiment", `{"kind":"experiments","experiments":{"ids":["E1","Z9"]}}`, "experiments.ids[1]"},
+		{"bad shape", `{"kind":"fault","fault":{"shape":"4xx4","fails":["rtc:1,1@40"],"pattern":"reverse"}}`, "fault.shape"},
+		{"huge shape", `{"kind":"fault","fault":{"shape":"4096x4096","fails":["rtc:1,1@40"],"pattern":"reverse"}}`, "fault.shape"},
+		{"bad fail spec", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:9,9@40"],"pattern":"reverse"}}`, "fault.fails[0]"},
+		{"bad pattern", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"spiral"}}`, "fault.pattern"},
+		{"negative waves", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","waves":-1}}`, "fault.waves"},
+		{"negative epoch", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[-3],"patterns":["reverse"]}}`, "campaign.epochs[0]"},
+		{"empty patterns", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":[]}}`, "campaign.patterns"},
+		{"bad inject", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"inject":{"backoff":-2}}}`, "campaign.inject.backoff"},
+		{"trailing data", `{"kind":"experiments","experiments":{"ids":["E1"]}} {"x":1}`, "body"},
+		{"not json", `hello`, "body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatal("accepted invalid spec")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("rejection is not a FieldError: %v", err)
+			}
+			if fe.Field != tc.wantField {
+				t.Errorf("field = %q, want %q (%v)", fe.Field, tc.wantField, err)
+			}
+		})
+	}
+}
+
+func TestDecodeSpecAllKeyword(t *testing.T) {
+	s, err := DecodeSpec([]byte(`{"kind":"experiments","experiments":{"ids":["ALL"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Experiments.IDs) != 1 || s.Experiments.IDs[0] != "all" {
+		t.Errorf("all keyword not canonicalized: %v", s.Experiments.IDs)
+	}
+	if !strings.Contains(s.Canonical(), `"all"`) {
+		t.Errorf("canonical missing all keyword: %s", s.Canonical())
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPercentileEdgeCases pins the nearest-rank definition at its corners:
+// empty distributions, single samples, boundary percentiles, tie plateaus,
+// duplicate-heavy sets, and out-of-range p.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		p       float64
+		want    int64
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p100", nil, 100, 0},
+		{"single p1", []int64{7}, 1, 7},
+		{"single p50", []int64{7}, 50, 7},
+		{"single p100", []int64{7}, 100, 7},
+		// Nearest-rank on n=4: rank = ceil(p/100*4).
+		{"quartet p25 is rank 1", []int64{10, 20, 30, 40}, 25, 10},
+		{"quartet p26 crosses to rank 2", []int64{10, 20, 30, 40}, 26, 20},
+		{"quartet p50 is rank 2", []int64{10, 20, 30, 40}, 50, 20},
+		{"quartet p51 crosses to rank 3", []int64{10, 20, 30, 40}, 51, 30},
+		{"quartet p75 is rank 3", []int64{10, 20, 30, 40}, 75, 30},
+		{"quartet p100 is max", []int64{10, 20, 30, 40}, 100, 40},
+		// Unsorted input: Percentile sorts internally.
+		{"unsorted", []int64{40, 10, 30, 20}, 50, 20},
+		// Tie plateau: ranks 2..4 share one value.
+		{"ties p50", []int64{1, 5, 5, 5, 9}, 50, 5},
+		{"ties p20 is min", []int64{1, 5, 5, 5, 9}, 20, 1},
+		{"ties p81 crosses to max", []int64{1, 5, 5, 5, 9}, 81, 9},
+		{"all equal", []int64{3, 3, 3}, 95, 3},
+		// Degenerate p clamps to the nearest valid rank.
+		{"p0 clamps to min", []int64{10, 20, 30}, 0, 10},
+		{"negative p clamps to min", []int64{10, 20, 30}, -5, 10},
+		{"p beyond 100 clamps to max", []int64{10, 20, 30}, 150, 30},
+		// Negative samples sort below zero.
+		{"negative samples", []int64{-30, -10, -20}, 50, -20},
+		{"mixed signs p100", []int64{-5, 0, 5}, 100, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l Latency
+			for _, v := range tc.samples {
+				l.Add(v)
+			}
+			if got := l.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) of %v = %d, want %d", tc.p, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPercentileInterleavedAdds verifies the sort cache invalidates across
+// interleaved Add/Percentile calls.
+func TestPercentileInterleavedAdds(t *testing.T) {
+	var l Latency
+	l.Add(100)
+	if got := l.Percentile(50); got != 100 {
+		t.Fatalf("p50 = %d", got)
+	}
+	l.Add(1) // must invalidate the sorted cache
+	if got := l.Percentile(50); got != 1 {
+		t.Errorf("p50 after low add = %d, want 1", got)
+	}
+	l.Add(50)
+	if got, want := l.Percentile(100), int64(100); got != want {
+		t.Errorf("p100 = %d, want %d", got, want)
+	}
+}
+
+// ExampleLatency_Percentile documents the nearest-rank convention the
+// reports (and the jobs layer's duration metrics) rely on.
+func ExampleLatency_Percentile() {
+	var l Latency
+	for _, cycles := range []int64{12, 15, 20, 24, 59} {
+		l.Add(cycles)
+	}
+	fmt.Println(l.Percentile(50), l.Percentile(95), l.Percentile(100))
+	fmt.Println(l.String())
+	// Output:
+	// 20 59 59
+	// n=5 mean=26.0 p50=20 p95=59 max=59
+}

@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,138 @@ func DoErr[R any](n, parallel int, fn func(i int) (R, error)) ([]R, error) {
 		errs[i].err = err
 		return r
 	})
+	for i := range errs {
+		if errs[i].err != nil {
+			return results, errs[i].err
+		}
+	}
+	return results, nil
+}
+
+// Limiter is a concurrency budget shared between sweeps. A server running
+// several jobs at once hands every sweep the same Limiter so the *sum* of
+// live cell executions across all jobs never exceeds the budget, no matter
+// how many sweeps are in flight. A nil Limiter means "no shared budget";
+// DoCtx then behaves like Do bounded only by its own parallel argument.
+//
+// Tokens are held per cell (acquired immediately before fn runs, released
+// right after), never across nested sweeps, so a job that fans out inner
+// sweeps cannot deadlock against its own budget.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter creates a budget of width worker slots (<= 0 means
+// DefaultParallel()).
+func NewLimiter(width int) *Limiter {
+	if width <= 0 {
+		width = DefaultParallel()
+	}
+	return &Limiter{sem: make(chan struct{}, width)}
+}
+
+// Width reports the budget's total worker slots.
+func (l *Limiter) Width() int { return cap(l.sem) }
+
+// InUse reports the slots currently held (a point-in-time snapshot).
+func (l *Limiter) InUse() int { return len(l.sem) }
+
+// acquire blocks until a slot or cancellation. It reports false on cancel.
+func (l *Limiter) acquire(done <-chan struct{}) bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+func (l *Limiter) release() { <-l.sem }
+
+// DoCtx runs fn(0..n-1) like Do, with two additions for servers: the context
+// cancels the sweep between cells (cells already running finish; unstarted
+// indices keep their zero value and DoCtx returns ctx.Err()), and a non-nil
+// Limiter gates every cell execution by a budget shared with other sweeps.
+// Results are still merged by index, so a completed DoCtx is byte-identical
+// to Do at any parallelism and any budget width.
+func DoCtx[R any](ctx context.Context, lim *Limiter, n, parallel int, fn func(i int) R) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, n)
+	if parallel <= 0 {
+		parallel = DefaultParallel()
+	}
+	if lim != nil && parallel > lim.Width() {
+		parallel = lim.Width()
+	}
+	if parallel > n {
+		parallel = n
+	}
+	done := ctx.Done()
+	if parallel == 1 && lim == nil {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return results, ctx.Err()
+			default:
+			}
+			results[i] = fn(i)
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if lim != nil {
+					if !lim.acquire(done) {
+						return
+					}
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					if lim != nil {
+						lim.release()
+					}
+					return
+				}
+				results[i] = fn(i)
+				if lim != nil {
+					lim.release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// DoCtxErr is DoCtx for fallible runs. Cancellation wins over cell errors
+// (a canceled sweep reports ctx.Err()); otherwise the first error by run
+// index is returned, as in DoErr.
+func DoCtxErr[R any](ctx context.Context, lim *Limiter, n, parallel int, fn func(i int) (R, error)) ([]R, error) {
+	type outcome struct{ err error }
+	errs := make([]outcome, n)
+	results, ctxErr := DoCtx(ctx, lim, n, parallel, func(i int) R {
+		r, err := fn(i)
+		errs[i].err = err
+		return r
+	})
+	if ctxErr != nil {
+		return results, ctxErr
+	}
 	for i := range errs {
 		if errs[i].err != nil {
 			return results, errs[i].err
