@@ -44,6 +44,8 @@ func main() {
 		horizon    = flag.Int64("horizon", 50_000, "cycle budget per run")
 		stall      = flag.Int64("stall", 0, "deadlock-watchdog stall threshold (0 = default)")
 		parallel   = flag.Int("parallel", sweep.DefaultParallel(), "campaign worker-pool width (1 = serial)")
+		stateDir   = flag.String("state-dir", "", "campaign checkpoint directory: completed cells persist and are skipped on re-run (campaign mode)")
+		ckptEvery  = flag.Int64("checkpoint-every", 4096, "mid-cell snapshot interval in cycles (with -state-dir; 0 = cell granularity only)")
 		fails      failList
 	)
 	flag.Var(&fails, "fail", "fault schedule rtc:X,Y@CYCLE or xb:DIM:X,Y@CYCLE (repeatable; single mode)")
@@ -73,16 +75,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var store *campaign.Store
+		if *stateDir != "" {
+			if store, err = campaign.OpenStore(*stateDir); err != nil {
+				fatal(err)
+			}
+		}
 		res, err := campaign.Run(campaign.Config{
-			Shape:      shape,
-			Epochs:     epochs,
-			Patterns:   patterns,
-			Waves:      *waves,
-			Gap:        *gap,
-			PacketSize: *packet,
-			Inject:     opt,
-			Horizon:    *horizon,
-			Parallel:   *parallel,
+			Shape:           shape,
+			Epochs:          epochs,
+			Patterns:        patterns,
+			Waves:           *waves,
+			Gap:             *gap,
+			PacketSize:      *packet,
+			Inject:          opt,
+			Horizon:         *horizon,
+			Parallel:        *parallel,
+			Store:           store,
+			CheckpointEvery: *ckptEvery,
 		})
 		if err != nil {
 			fatal(err)
@@ -96,6 +106,9 @@ func main() {
 
 	if len(fails) == 0 {
 		fatal(fmt.Errorf("single mode needs at least one -fail schedule (or use -campaign)"))
+	}
+	if *stateDir != "" {
+		fatal(fmt.Errorf("-state-dir applies to campaign mode"))
 	}
 	if len(patterns) != 1 {
 		fatal(fmt.Errorf("single mode takes exactly one pattern"))

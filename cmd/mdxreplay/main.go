@@ -1,0 +1,136 @@
+// Command mdxreplay records a run's snapshot ring and bisects divergences.
+//
+// Record mode runs one fault schedule (mdxfault's single-mode vocabulary)
+// and writes a recording directory: the spec, an engine StateHash ladder
+// sampled every -every cycles, and a ring of full machine snapshots. Bisect
+// mode compares two recordings and finds the exact first cycle where their
+// engine states diverge — binary-searching the hash ladders, restoring both
+// runs from their latest common snapshot, and lockstepping from there
+// instead of replaying from cycle 0.
+//
+// Examples:
+//
+//	mdxreplay -record -o runA -shape 8x8 -fail rtc:3,4@500 -retransmit
+//	mdxreplay -record -o runB -shape 8x8 -fail rtc:3,4@900 -retransmit
+//	mdxreplay -bisect runA runB
+//
+// Recordings of different machine variants (-dxb-separate, -naive-broadcast,
+// -pivot) of the same workload bisect too: that is how a Fig. 9-style
+// deadlock is pinned to the cycle its wait cycle starts forming.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sr2201/internal/replay"
+)
+
+func main() {
+	var (
+		doRecord = flag.Bool("record", false, "record a run's snapshot ring into -o")
+		doBisect = flag.Bool("bisect", false, "bisect two recording directories (positional args)")
+		out      = flag.String("o", "", "recording output directory (record mode)")
+		every    = flag.Int64("every", 256, "hash-ladder and snapshot spacing in cycles")
+		keep     = flag.Int("keep", 0, "snapshot ring capacity (0 = keep every snapshot)")
+
+		shapeStr   = flag.String("shape", "8x8", "lattice shape, e.g. 8x8 or 4x4x4")
+		patStr     = flag.String("pattern", "shift+5", "traffic pattern: shift+K | reverse")
+		waves      = flag.Int("waves", 4, "traffic waves (one packet per live PE per wave)")
+		gap        = flag.Int64("gap", 24, "cycles between waves")
+		packet     = flag.Int("packet", 0, "packet size in flits (0 = default)")
+		horizon    = flag.Int64("horizon", 50_000, "cycle budget for the run")
+		retransmit = flag.Bool("retransmit", false, "retransmit lost packets from their sources")
+		retryAfter = flag.Int64("retry-after", 64, "cycles before the first retransmission")
+		backoff    = flag.Int("backoff", 2, "timeout multiplier per further attempt")
+		maxRetries = flag.Int("max-retries", 4, "retransmission attempts per packet")
+		stall      = flag.Int64("stall", 0, "deadlock-watchdog stall threshold (0 = default)")
+
+		sxb    = flag.String("sxb", "", "serialized-crossbar line coordinate (default all-zero)")
+		dxb    = flag.String("dxb", "", "detour-crossbar line coordinate (with -dxb-separate)")
+		dxbSep = flag.Bool("dxb-separate", false, "untie D-XB from S-XB (paper Fig. 9 deadlock-prone variant)")
+		naive  = flag.Bool("naive-broadcast", false, "disable S-XB serialization (paper Fig. 5 scheme)")
+		pivot  = flag.Bool("pivot", false, "enable the two-phase pivot extension")
+		fails  failList
+	)
+	flag.Var(&fails, "fail", "fault schedule rtc:X,Y@CYCLE or xb:DIM:X,Y@CYCLE (repeatable)")
+	flag.Parse()
+
+	switch {
+	case *doRecord == *doBisect:
+		fatal(fmt.Errorf("pick exactly one of -record or -bisect"))
+	case *doRecord:
+		if *out == "" {
+			fatal(fmt.Errorf("-record needs -o DIR"))
+		}
+		spec := replay.RunSpec{
+			Shape:          *shapeStr,
+			Fails:          fails,
+			Pattern:        *patStr,
+			Waves:          *waves,
+			Gap:            *gap,
+			PacketSize:     *packet,
+			Horizon:        *horizon,
+			Retransmit:     *retransmit,
+			RetryAfter:     *retryAfter,
+			Backoff:        *backoff,
+			MaxRetries:     *maxRetries,
+			Stall:          *stall,
+			SXB:            *sxb,
+			DXB:            *dxb,
+			DXBSeparate:    *dxbSep,
+			NaiveBroadcast: *naive,
+			PivotLastDim:   *pivot,
+		}
+		rec, err := replay.Record(spec, *every, *keep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		m := rec.Meta
+		fmt.Printf("recorded %s: %d cycles, %d ladder points, %d snapshot(s) retained\n",
+			*out, m.Final.Cycle, len(m.Points), len(m.Snapshots))
+		fmt.Printf("verdict: drained=%v stalled=%v deadlocked=%v final-hash=%s\n",
+			m.Drained, m.Stalled, m.Deadlocked, m.Final.Hash)
+	case *doBisect:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-bisect takes exactly two recording directories"))
+		}
+		ra, err := replay.Load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		rb, err := replay.Load(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		d, err := replay.Bisect(ra, rb)
+		if err != nil {
+			fatal(err)
+		}
+		if !d.Diverged {
+			fmt.Printf("no divergence: state streams identical through both runs (seeked to cycle %d, stepped %d)\n",
+				d.SeekCycle, d.Stepped)
+			return
+		}
+		if d.Terminated {
+			fmt.Printf("termination divergence at cycle %d: one run finished, the other ran on\n", d.Cycle)
+		} else {
+			fmt.Printf("first divergence at cycle %d: %s != %s\n", d.Cycle, d.HashA, d.HashB)
+		}
+		fmt.Printf("seeked to common snapshot at cycle %d, lockstepped %d cycle(s) — %d cycle(s) skipped\n",
+			d.SeekCycle, d.Stepped, d.SeekCycle)
+		os.Exit(1)
+	}
+}
+
+// failList collects repeated -fail flags.
+type failList []string
+
+func (f *failList) String() string     { return fmt.Sprint([]string(*f)) }
+func (f *failList) Set(s string) error { *f = append(*f, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdxreplay:", err)
+	os.Exit(2)
+}

@@ -12,6 +12,11 @@
 // GET /jobs/{id}/events (JSONL stream), DELETE /jobs/{id}, GET /healthz,
 // GET /metrics. SIGTERM/SIGINT drains gracefully: running and queued jobs
 // finish, new submissions get 503.
+//
+// With -state-dir the server is crash-safe: job records, mid-run
+// checkpoints, and finished artifacts persist there, and SIGTERM stops FAST
+// instead of draining — running jobs checkpoint and park, and the next
+// mdxserve over the same directory resumes them to byte-identical artifacts.
 package main
 
 import (
@@ -31,20 +36,28 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue sheds with 429)")
-		workers  = flag.Int("workers", 2, "concurrent job executions")
-		parallel = flag.Int("parallel", sweep.DefaultParallel(), "global sweep-worker budget shared by all running jobs")
-		timeout  = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		queue     = flag.Int("queue", 64, "bounded job-queue depth (full queue sheds with 429)")
+		workers   = flag.Int("workers", 2, "concurrent job executions")
+		parallel  = flag.Int("parallel", sweep.DefaultParallel(), "global sweep-worker budget shared by all running jobs")
+		timeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+		stateDir  = flag.String("state-dir", "", "crash-safe state directory: jobs persist, checkpoint, and resume across restarts")
+		ckptEvery = flag.Int64("checkpoint-every", 4096, "mid-run snapshot interval in simulated cycles (with -state-dir)")
 	)
 	flag.Parse()
 
-	m := jobs.NewManager(jobs.Config{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Parallel:   *parallel,
-		JobTimeout: *timeout,
+	m, err := jobs.OpenManager(jobs.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		Parallel:        *parallel,
+		JobTimeout:      *timeout,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdxserve:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{Addr: *addr, Handler: jobs.NewServer(m)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -62,8 +75,15 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "mdxserve: draining (finishing running jobs, refusing new ones)")
-	m.Drain()
+	if *stateDir != "" {
+		// Checkpoints make draining unnecessary: interrupt running jobs (they
+		// park their snapshots) and let the next boot resume them.
+		fmt.Fprintln(os.Stderr, "mdxserve: stopping (checkpointing running jobs for resume)")
+		m.Stop()
+	} else {
+		fmt.Fprintln(os.Stderr, "mdxserve: draining (finishing running jobs, refusing new ones)")
+		m.Drain()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -76,6 +76,14 @@ type Spec struct {
 	// KeepDeliveries retains per-delivery records (for latency-recovery
 	// curves); off by default to keep exhaustive campaigns lean.
 	KeepDeliveries bool
+	// SXB/DXB/DXBSeparate/NaiveBroadcast/PivotLastDim forward to core.Config,
+	// selecting the machine variant the cell runs on. Zero values are the
+	// paper's deadlock-free defaults. The replay tooling records them so a
+	// divergence bisection can compare two variants of one workload.
+	SXB, DXB       geom.Coord
+	DXBSeparate    bool
+	NaiveBroadcast bool
+	PivotLastDim   bool
 }
 
 func (s *Spec) normalize() error {
@@ -141,79 +149,130 @@ func (r CellResult) Availability() float64 {
 	return float64(r.Delivered) / float64(r.Accepted)
 }
 
-// RunCell executes one campaign cell to completion.
-func RunCell(spec Spec) (CellResult, error) {
+// CellRun is one campaign cell as a resumable stepper: the same loop RunCell
+// executes, broken at cycle granularity so the caller can snapshot between
+// Steps, checkpoint to a Store, and restore after a crash with a result
+// identical to the uninterrupted run.
+type CellRun struct {
+	spec Spec
+	m    *core.Machine
+	inj  *inject.Injector
+	wd   *deadlock.Watchdog
+
+	res  CellResult
+	wave int
+	done bool
+}
+
+// NewCellRun builds the cell's machine and fault schedule without stepping.
+func NewCellRun(spec Spec) (*CellRun, error) {
 	if err := spec.normalize(); err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
 	m, err := core.NewMachine(core.Config{
 		Shape:          spec.Shape,
+		SXB:            spec.SXB,
+		DXB:            spec.DXB,
+		DXBSeparate:    spec.DXBSeparate,
+		NaiveBroadcast: spec.NaiveBroadcast,
+		PivotLastDim:   spec.PivotLastDim,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 	})
 	if err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
 	inj, err := inject.New(m, spec.Events, spec.Inject)
 	if err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
-
-	res := CellResult{Pattern: spec.Pattern.Name}
+	c := &CellRun{spec: spec, m: m, inj: inj, wd: deadlock.NewWatchdog(m.Engine(), spec.Inject.StallThreshold)}
+	c.res = CellResult{Pattern: spec.Pattern.Name}
 	if len(spec.Events) > 0 {
-		res.Fault = spec.Events[0].Fault
-		res.Epoch = spec.Events[0].Cycle
+		c.res.Fault = spec.Events[0].Fault
+		c.res.Epoch = spec.Events[0].Cycle
 	}
-	eng := m.Engine()
-	w := deadlock.NewWatchdog(eng, spec.Inject.StallThreshold)
-	wave := 0
-	for eng.Cycle() < spec.Horizon {
-		if wave < spec.Waves && eng.Cycle() == int64(wave)*spec.Gap {
-			if int64(wave)*spec.Gap > res.Epoch && len(spec.Events) > 0 {
-				res.WavesAfterFault++
+	return c, nil
+}
+
+// Machine exposes the cell's machine (the replay tooling reads its engine).
+func (c *CellRun) Machine() *core.Machine { return c.m }
+
+// Done reports whether the cell has reached its verdict.
+func (c *CellRun) Done() bool { return c.done }
+
+// Cycle returns the cell's current simulation time.
+func (c *CellRun) Cycle() int64 { return c.m.Cycle() }
+
+// Step advances the cell one cycle (injecting any due wave first) and
+// returns true when the cell is finished — drained, stalled, or past its
+// horizon. Step on a finished cell is a no-op returning true.
+func (c *CellRun) Step() bool {
+	if c.done {
+		return true
+	}
+	eng := c.m.Engine()
+	if eng.Cycle() >= c.spec.Horizon {
+		c.done = true
+		return true
+	}
+	if c.wave < c.spec.Waves && eng.Cycle() == int64(c.wave)*c.spec.Gap {
+		if int64(c.wave)*c.spec.Gap > c.res.Epoch && len(c.spec.Events) > 0 {
+			c.res.WavesAfterFault++
+		}
+		c.spec.Shape.Enumerate(func(src geom.Coord) bool {
+			if !c.m.Alive(src) {
+				return true // a dead PE cannot offer traffic
 			}
-			spec.Shape.Enumerate(func(src geom.Coord) bool {
-				if !m.Alive(src) {
-					return true // a dead PE cannot offer traffic
-				}
-				dst := spec.Pattern.Dest(spec.Shape, src)
-				if dst == src {
-					return true
-				}
-				res.Offered++
-				if _, err := m.Send(src, dst, spec.PacketSize); err != nil {
-					if errors.Is(err, routing.ErrUnreachable) {
-						res.Refused++
-					} else {
-						res.RefusedOther++
-					}
-					return true
-				}
-				res.Accepted++
+			dst := c.spec.Pattern.Dest(c.spec.Shape, src)
+			if dst == src {
 				return true
-			})
-			wave++
-		}
-		if wave >= spec.Waves && eng.Quiescent() && !inj.Pending() {
-			break
-		}
-		m.Step()
-		if w.Stalled() {
-			rep := deadlock.Analyze(eng)
-			res.Stalled = true
-			res.Deadlocked = rep.Deadlocked
-			break
-		}
+			}
+			c.res.Offered++
+			if _, err := c.m.Send(src, dst, c.spec.PacketSize); err != nil {
+				if errors.Is(err, routing.ErrUnreachable) {
+					c.res.Refused++
+				} else {
+					c.res.RefusedOther++
+				}
+				return true
+			}
+			c.res.Accepted++
+			return true
+		})
+		c.wave++
 	}
-	if err := inj.Err(); err != nil {
+	if c.wave >= c.spec.Waves && eng.Quiescent() && !c.inj.Pending() {
+		c.done = true
+		return true
+	}
+	c.m.Step()
+	if c.wd.Stalled() {
+		rep := deadlock.Analyze(eng)
+		c.res.Stalled = true
+		c.res.Deadlocked = rep.Deadlocked
+		c.done = true
+	}
+	if eng.Cycle() >= c.spec.Horizon {
+		c.done = true
+	}
+	return c.done
+}
+
+// Result computes the cell's verdict. Valid once Done (calling it earlier
+// returns the partial counters with the prediction of the current policy).
+func (c *CellRun) Result() (CellResult, error) {
+	res := c.res
+	if err := c.inj.Err(); err != nil {
 		return res, err
 	}
-	res.Drained = wave >= spec.Waves && eng.Quiescent() && !inj.Pending()
+	eng := c.m.Engine()
+	res.Drained = c.wave >= c.spec.Waves && eng.Quiescent() && !c.inj.Pending()
 	res.EndCycle = eng.Cycle()
-	res.Delivered = len(m.Deliveries())
-	res.Stats = inj.Stats()
-	if spec.KeepDeliveries {
-		res.Deliveries = m.Deliveries()
+	res.Delivered = len(c.m.Deliveries())
+	res.Stats = c.inj.Stats()
+	if c.spec.KeepDeliveries {
+		res.Deliveries = c.m.Deliveries()
 	}
 
 	// Static prediction: with the final fault set, which live-source sends
@@ -222,15 +281,15 @@ func RunCell(spec Spec) (CellResult, error) {
 	// wave. (Waves at or before the epoch are sent against the pre-fault
 	// policy, which refuses nothing on a healthy machine.)
 	predicted := 0
-	spec.Shape.Enumerate(func(src geom.Coord) bool {
-		if !m.Alive(src) {
+	c.spec.Shape.Enumerate(func(src geom.Coord) bool {
+		if !c.m.Alive(src) {
 			return true
 		}
-		dst := spec.Pattern.Dest(spec.Shape, src)
+		dst := c.spec.Pattern.Dest(c.spec.Shape, src)
 		if dst == src {
 			return true
 		}
-		if m.Policy().Reachable(src, dst) != nil {
+		if c.m.Policy().Reachable(src, dst) != nil {
 			predicted++
 		}
 		return true
@@ -238,6 +297,17 @@ func RunCell(spec Spec) (CellResult, error) {
 	res.PredictedUnreachablePerWave = predicted
 	res.UnreachableAsPredicted = res.Refused == predicted*res.WavesAfterFault && res.RefusedOther == 0
 	return res, nil
+}
+
+// RunCell executes one campaign cell to completion.
+func RunCell(spec Spec) (CellResult, error) {
+	c, err := NewCellRun(spec)
+	if err != nil {
+		return CellResult{}, err
+	}
+	for !c.Step() {
+	}
+	return c.Result()
 }
 
 // Placements enumerates every single-fault position: all routers, then all
@@ -280,6 +350,14 @@ type Config struct {
 	// simulated cycles that cell consumed, from worker goroutines in
 	// completion order (progress feed for the job server).
 	OnCell func(cycles int64)
+	// Store, if non-nil, makes the campaign crash-safe: completed cells are
+	// persisted and skipped on a re-run, and in-progress cells checkpoint
+	// every CheckpointEvery cycles so a killed campaign resumes mid-cell.
+	// The aggregate result is identical with or without interruption.
+	Store *Store
+	// CheckpointEvery is the mid-cell snapshot interval in cycles (<= 0
+	// disables mid-cell snapshots; completed-cell persistence still works).
+	CheckpointEvery int64
 }
 
 // Result is a completed campaign.
@@ -316,7 +394,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	runCell := func(i int) (CellResult, error) {
 		g := grid[i]
-		res, err := RunCell(Spec{
+		spec := Spec{
 			Shape:      cfg.Shape,
 			Events:     []inject.Event{{Cycle: g.epoch, Fault: g.f}},
 			Pattern:    g.pat,
@@ -325,7 +403,8 @@ func Run(cfg Config) (*Result, error) {
 			PacketSize: cfg.PacketSize,
 			Inject:     cfg.Inject,
 			Horizon:    cfg.Horizon,
-		})
+		}
+		res, err := runStoredCell(cfg, i, spec)
 		if cfg.OnCell != nil && err == nil {
 			cfg.OnCell(res.EndCycle)
 		}
@@ -342,6 +421,58 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Shape: cfg.Shape, Cells: cells}, nil
+}
+
+// runStoredCell runs one cell, consulting the store (when configured) for a
+// completed result or a mid-cell snapshot first, checkpointing periodically,
+// and parking a final snapshot when the context cancels mid-cell.
+func runStoredCell(cfg Config, i int, spec Spec) (CellResult, error) {
+	if cfg.Store == nil {
+		return RunCell(spec)
+	}
+	if res, ok, err := cfg.Store.LoadResult(i); err != nil {
+		return CellResult{}, err
+	} else if ok {
+		return res, nil
+	}
+	c, err := NewCellRun(spec)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if data, ok := cfg.Store.LoadSnap(i); ok {
+		// A stale or corrupt snapshot (spec changed, torn write) is not
+		// fatal: fall back to running the cell from the start.
+		if rerr := c.Restore(data); rerr != nil {
+			if c, err = NewCellRun(spec); err != nil {
+				return CellResult{}, err
+			}
+		}
+	}
+	lastSnap := c.Cycle()
+	for !c.Step() {
+		if cfg.Ctx != nil && c.Cycle()%64 == 0 {
+			if err := cfg.Ctx.Err(); err != nil {
+				if serr := cfg.Store.SaveSnap(i, c.Snapshot()); serr != nil {
+					return CellResult{}, serr
+				}
+				return CellResult{}, err
+			}
+		}
+		if cfg.CheckpointEvery > 0 && c.Cycle()-lastSnap >= cfg.CheckpointEvery {
+			if err := cfg.Store.SaveSnap(i, c.Snapshot()); err != nil {
+				return CellResult{}, err
+			}
+			lastSnap = c.Cycle()
+		}
+	}
+	res, err := c.Result()
+	if err != nil {
+		return res, err
+	}
+	if err := cfg.Store.SaveResult(i, res); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // Deadlocks counts cells whose run deadlocked.

@@ -49,12 +49,27 @@ type SingleSpec struct {
 // progressInterval is how often RunSingle samples OnCycle.
 const progressInterval = 1024
 
-// RunSingle drives one machine through the schedule, writing the full
-// human-readable report (header, per-event casualties, accounting table,
-// outcome line) to w. The returned outcome mirrors the printed verdict so
-// the CLI can map it to an exit status.
-func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
-	var outcome deadlock.Outcome
+// SingleRun is RunSingle as a resumable stepper: the same loop broken at
+// cycle granularity, so a caller (the job server) can snapshot between
+// Steps and, after a crash, resume with the report stream — including the
+// already-printed casualty lines — re-rendered byte-identically.
+type SingleRun struct {
+	spec SingleSpec
+	m    *core.Machine
+	inj  *inject.Injector
+	wd   *deadlock.Watchdog
+	w    io.Writer
+
+	offered, accepted, refused int
+	reported                   int
+	wave                       int
+	outcome                    deadlock.Outcome
+	done                       bool
+}
+
+// NewSingleRun builds the run and writes the report preamble (header plus
+// schedule lines) to w.
+func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 	if spec.Horizon <= 0 {
 		spec.Horizon = 50_000
 	}
@@ -64,11 +79,11 @@ func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
 		StallThreshold: spec.Inject.StallThreshold,
 	})
 	if err != nil {
-		return outcome, err
+		return nil, err
 	}
 	inj, err := inject.New(m, spec.Events, spec.Inject)
 	if err != nil {
-		return outcome, err
+		return nil, err
 	}
 	fmt.Fprintf(w, "shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
 		spec.Shape, spec.Pattern.Name, spec.Waves, spec.Gap, spec.Inject.Retransmit)
@@ -90,87 +105,137 @@ func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
 			}
 		}
 	}
-	wd := deadlock.NewWatchdog(eng, spec.Inject.StallThreshold)
-	offered, accepted, refused := 0, 0, 0
-	reported := 0
-	wave := 0
-	for eng.Cycle() < spec.Horizon {
-		if spec.Ctx != nil && eng.Cycle()%64 == 0 {
-			if err := spec.Ctx.Err(); err != nil {
-				return outcome, err
-			}
-		}
-		if wave < spec.Waves && eng.Cycle() == int64(wave)*spec.Gap {
-			spec.Shape.Enumerate(func(src geom.Coord) bool {
-				if !m.Alive(src) {
-					return true
-				}
-				dst := spec.Pattern.Dest(spec.Shape, src)
-				if dst == src {
-					return true
-				}
-				offered++
-				if _, err := m.Send(src, dst, spec.PacketSize); err != nil {
-					if errors.Is(err, routing.ErrUnreachable) {
-						refused++
-					}
-					return true
-				}
-				accepted++
-				return true
-			})
-			wave++
-		}
-		if wave >= spec.Waves && eng.Quiescent() && !inj.Pending() {
-			outcome.Drained = true
-			break
-		}
-		m.Step()
-		for _, c := range inj.Casualties()[reported:] {
-			fmt.Fprintf(w, "cycle %d: %s fails — %d packet(s) killed in flight\n",
-				c.Cycle, c.Fault, len(c.Lost))
-			for _, l := range c.Lost {
-				if l.Known {
-					fmt.Fprintf(w, "  killed pkt %d: %v -> %v (rc=%d, %d flits)\n",
-						l.PacketID, l.Src, l.Dst, l.RC, l.Size)
-				} else {
-					fmt.Fprintf(w, "  killed pkt %d: header untraceable\n", l.PacketID)
-				}
-			}
-			reported++
-		}
-		if wd.Stalled() {
-			rep := deadlock.Analyze(eng)
-			outcome.Stalled = true
-			outcome.Deadlocked = rep.Deadlocked
-			break
-		}
-	}
-	if err := inj.Err(); err != nil {
-		return outcome, err
-	}
-	outcome.Cycle = eng.Cycle()
+	return &SingleRun{
+		spec: spec, m: m, inj: inj, w: w,
+		wd: deadlock.NewWatchdog(eng, spec.Inject.StallThreshold),
+	}, nil
+}
 
-	st := inj.Stats()
+// Machine exposes the run's machine (the replay tooling reads its engine).
+func (r *SingleRun) Machine() *core.Machine { return r.m }
+
+// Cycle returns the run's current simulation time.
+func (r *SingleRun) Cycle() int64 { return r.m.Cycle() }
+
+// Done reports whether the run has reached its verdict.
+func (r *SingleRun) Done() bool { return r.done }
+
+func (r *SingleRun) printCasualty(c inject.Casualty) {
+	fmt.Fprintf(r.w, "cycle %d: %s fails — %d packet(s) killed in flight\n",
+		c.Cycle, c.Fault, len(c.Lost))
+	for _, l := range c.Lost {
+		if l.Known {
+			fmt.Fprintf(r.w, "  killed pkt %d: %v -> %v (rc=%d, %d flits)\n",
+				l.PacketID, l.Src, l.Dst, l.RC, l.Size)
+		} else {
+			fmt.Fprintf(r.w, "  killed pkt %d: header untraceable\n", l.PacketID)
+		}
+	}
+}
+
+// Step advances one cycle (injecting any due wave first, reporting new
+// casualties after) and returns true when the run is finished. Step on a
+// finished run is a no-op returning true.
+func (r *SingleRun) Step() bool {
+	if r.done {
+		return true
+	}
+	eng := r.m.Engine()
+	if eng.Cycle() >= r.spec.Horizon {
+		r.done = true
+		return true
+	}
+	if r.wave < r.spec.Waves && eng.Cycle() == int64(r.wave)*r.spec.Gap {
+		r.spec.Shape.Enumerate(func(src geom.Coord) bool {
+			if !r.m.Alive(src) {
+				return true
+			}
+			dst := r.spec.Pattern.Dest(r.spec.Shape, src)
+			if dst == src {
+				return true
+			}
+			r.offered++
+			if _, err := r.m.Send(src, dst, r.spec.PacketSize); err != nil {
+				if errors.Is(err, routing.ErrUnreachable) {
+					r.refused++
+				}
+				return true
+			}
+			r.accepted++
+			return true
+		})
+		r.wave++
+	}
+	if r.wave >= r.spec.Waves && eng.Quiescent() && !r.inj.Pending() {
+		r.outcome.Drained = true
+		r.done = true
+		return true
+	}
+	r.m.Step()
+	for _, c := range r.inj.Casualties()[r.reported:] {
+		r.printCasualty(c)
+		r.reported++
+	}
+	if r.wd.Stalled() {
+		rep := deadlock.Analyze(eng)
+		r.outcome.Stalled = true
+		r.outcome.Deadlocked = rep.Deadlocked
+		r.done = true
+	}
+	if eng.Cycle() >= r.spec.Horizon {
+		r.done = true
+	}
+	return r.done
+}
+
+// Finish writes the accounting table and outcome line and returns the
+// outcome. Call once, after Step reports done (calling it on an unfinished
+// run reports on the traffic so far).
+func (r *SingleRun) Finish() (deadlock.Outcome, error) {
+	if err := r.inj.Err(); err != nil {
+		return r.outcome, err
+	}
+	r.outcome.Cycle = r.m.Engine().Cycle()
+
+	st := r.inj.Stats()
 	t := stats.NewTable("dynamic-fault accounting",
 		"offered", "accepted", "refused", "delivered",
 		"killed", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
-	t.AddRow(offered, accepted, refused, len(m.Deliveries()),
+	t.AddRow(r.offered, r.accepted, r.refused, len(r.m.Deliveries()),
 		st.KilledInFlight+st.DropsEnRoute, st.Retransmits, st.Recovered,
 		st.LostUnreachable, st.LostExhausted, st.Duplicates)
-	fmt.Fprintln(w)
-	fmt.Fprint(w, t.String())
+	fmt.Fprintln(r.w)
+	fmt.Fprint(r.w, t.String())
 	switch {
-	case outcome.Deadlocked:
-		fmt.Fprintf(w, "outcome: DEADLOCK at cycle %d\n", outcome.Cycle)
-	case outcome.Stalled:
-		fmt.Fprintf(w, "outcome: stalled at cycle %d (no cyclic wait)\n", outcome.Cycle)
-	case outcome.Drained:
-		fmt.Fprintf(w, "outcome: drained at cycle %d\n", outcome.Cycle)
+	case r.outcome.Deadlocked:
+		fmt.Fprintf(r.w, "outcome: DEADLOCK at cycle %d\n", r.outcome.Cycle)
+	case r.outcome.Stalled:
+		fmt.Fprintf(r.w, "outcome: stalled at cycle %d (no cyclic wait)\n", r.outcome.Cycle)
+	case r.outcome.Drained:
+		fmt.Fprintf(r.w, "outcome: drained at cycle %d\n", r.outcome.Cycle)
 	default:
-		fmt.Fprintf(w, "outcome: horizon %d exceeded\n", spec.Horizon)
+		fmt.Fprintf(r.w, "outcome: horizon %d exceeded\n", r.spec.Horizon)
 	}
-	return outcome, nil
+	return r.outcome, nil
+}
+
+// RunSingle drives one machine through the schedule, writing the full
+// human-readable report (header, per-event casualties, accounting table,
+// outcome line) to w. The returned outcome mirrors the printed verdict so
+// the CLI can map it to an exit status.
+func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
+	r, err := NewSingleRun(spec, w)
+	if err != nil {
+		return deadlock.Outcome{}, err
+	}
+	for !r.Step() {
+		if spec.Ctx != nil && r.Cycle()%64 == 0 {
+			if err := spec.Ctx.Err(); err != nil {
+				return r.outcome, err
+			}
+		}
+	}
+	return r.Finish()
 }
 
 // ParsePattern parses one traffic-pattern name: shift+K | reverse. The CLI

@@ -1,0 +1,290 @@
+package campaign
+
+// Checkpoint support for campaign cells: a CellRun serializes its machine,
+// injector, watchdog and wave-loop counters into one container, and a
+// CellResult serializes on its own so completed cells survive a crash
+// without re-running. Both ride the internal/checkpoint v1 format.
+
+import (
+	"fmt"
+
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/core"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+)
+
+const (
+	secCell       = "campaign.cell"
+	secCellResult = "campaign.result"
+	secSingle     = "campaign.single"
+)
+
+// EncodeState appends the single-run loop state plus its machine's,
+// injector's and watchdog's sections.
+func (r *SingleRun) EncodeState(w *checkpoint.Writer) {
+	r.m.EncodeState(w)
+	r.inj.EncodeState(w)
+	e := w.Section(secSingle)
+	e.String(r.spec.Pattern.Name)
+	e.Int(int64(r.spec.Waves))
+	e.Int(r.spec.Gap)
+	e.Int(r.spec.Horizon)
+	r.wd.EncodeState(e)
+	e.Int(int64(r.offered))
+	e.Int(int64(r.accepted))
+	e.Int(int64(r.refused))
+	e.Int(int64(r.reported))
+	e.Int(int64(r.wave))
+	e.Bool(r.outcome.Drained)
+	e.Bool(r.outcome.Stalled)
+	e.Bool(r.outcome.Deadlocked)
+	e.Bool(r.done)
+}
+
+// Snapshot serializes the run into one container.
+func (r *SingleRun) Snapshot() []byte {
+	w := checkpoint.NewWriter()
+	r.EncodeState(w)
+	return w.Bytes()
+}
+
+// Restore replaces the run's state with a container produced by Snapshot on
+// a run built from the same SingleSpec, then re-renders the already-reported
+// casualty lines so the output stream continues byte-identically to the
+// uninterrupted run. Call immediately after NewSingleRun (which printed the
+// preamble), before any Step.
+func (r *SingleRun) Restore(data []byte) error {
+	rd, err := checkpoint.NewReader(data)
+	if err != nil {
+		return err
+	}
+	if err := r.m.DecodeState(rd); err != nil {
+		return err
+	}
+	if err := r.inj.DecodeState(rd); err != nil {
+		return err
+	}
+	d, err := rd.Section(secSingle)
+	if err != nil {
+		return err
+	}
+	if name := d.String(); d.Err() == nil && name != r.spec.Pattern.Name {
+		return fmt.Errorf("checkpoint: section %q: pattern %q does not match this run's %q", secSingle, name, r.spec.Pattern.Name)
+	}
+	d.Expect(int64(r.spec.Waves), "single waves")
+	d.Expect(r.spec.Gap, "single gap")
+	d.Expect(r.spec.Horizon, "single horizon")
+	r.wd.DecodeState(d)
+	offered := d.IntAsInt()
+	accepted := d.IntAsInt()
+	refused := d.IntAsInt()
+	reported := d.IntAsInt()
+	wave := d.IntAsInt()
+	drained := d.Bool()
+	stalled := d.Bool()
+	deadlocked := d.Bool()
+	done := d.Bool()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if wave < 0 || wave > r.spec.Waves {
+		return fmt.Errorf("checkpoint: section %q: wave %d outside [0,%d]", secSingle, wave, r.spec.Waves)
+	}
+	if reported < 0 || reported > len(r.inj.Casualties()) {
+		return fmt.Errorf("checkpoint: section %q: reported %d outside casualty list of %d", secSingle, reported, len(r.inj.Casualties()))
+	}
+	r.offered, r.accepted, r.refused = offered, accepted, refused
+	r.wave = wave
+	r.outcome.Drained, r.outcome.Stalled, r.outcome.Deadlocked = drained, stalled, deadlocked
+	r.done = done
+	r.reported = 0
+	for _, c := range r.inj.Casualties()[:reported] {
+		r.printCasualty(c)
+		r.reported++
+	}
+	return nil
+}
+
+// EncodeState appends the cell's loop state plus its machine's, injector's
+// and watchdog's sections.
+func (c *CellRun) EncodeState(w *checkpoint.Writer) {
+	c.m.EncodeState(w)
+	c.inj.EncodeState(w)
+	e := w.Section(secCell)
+	// Spec guard: the machine and injector carry their own fingerprints;
+	// these cover the wave-loop knobs they cannot see.
+	e.String(c.spec.Pattern.Name)
+	e.Int(int64(c.spec.Waves))
+	e.Int(c.spec.Gap)
+	e.Int(c.spec.Horizon)
+	e.Bool(c.spec.KeepDeliveries)
+	c.wd.EncodeState(e)
+	e.Int(int64(c.wave))
+	e.Bool(c.done)
+	for _, v := range []int{
+		c.res.Offered, c.res.Accepted, c.res.Refused, c.res.RefusedOther,
+		c.res.WavesAfterFault,
+	} {
+		e.Int(int64(v))
+	}
+	e.Bool(c.res.Stalled)
+	e.Bool(c.res.Deadlocked)
+}
+
+// Snapshot serializes the cell into one container.
+func (c *CellRun) Snapshot() []byte {
+	w := checkpoint.NewWriter()
+	c.EncodeState(w)
+	return w.Bytes()
+}
+
+// DecodeState restores a container written by EncodeState into this cell,
+// which must have been built with NewCellRun on the same Spec.
+func (c *CellRun) DecodeState(r *checkpoint.Reader) error {
+	if err := c.m.DecodeState(r); err != nil {
+		return err
+	}
+	if err := c.inj.DecodeState(r); err != nil {
+		return err
+	}
+	d, err := r.Section(secCell)
+	if err != nil {
+		return err
+	}
+	if name := d.String(); d.Err() == nil && name != c.spec.Pattern.Name {
+		return fmt.Errorf("checkpoint: section %q: pattern %q does not match this cell's %q", secCell, name, c.spec.Pattern.Name)
+	}
+	d.Expect(int64(c.spec.Waves), "cell waves")
+	d.Expect(c.spec.Gap, "cell gap")
+	d.Expect(c.spec.Horizon, "cell horizon")
+	if keep := d.Bool(); d.Err() == nil && keep != c.spec.KeepDeliveries {
+		return fmt.Errorf("checkpoint: section %q: KeepDeliveries %v does not match this cell's %v", secCell, keep, c.spec.KeepDeliveries)
+	}
+	c.wd.DecodeState(d)
+	wave := d.IntAsInt()
+	done := d.Bool()
+	var counters [5]int
+	for i := range counters {
+		counters[i] = d.IntAsInt()
+	}
+	stalled := d.Bool()
+	deadlocked := d.Bool()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if wave < 0 || wave > c.spec.Waves {
+		return fmt.Errorf("checkpoint: section %q: wave %d outside [0,%d]", secCell, wave, c.spec.Waves)
+	}
+	c.wave = wave
+	c.done = done
+	c.res.Offered = counters[0]
+	c.res.Accepted = counters[1]
+	c.res.Refused = counters[2]
+	c.res.RefusedOther = counters[3]
+	c.res.WavesAfterFault = counters[4]
+	c.res.Stalled = stalled
+	c.res.Deadlocked = deadlocked
+	return nil
+}
+
+// Restore replaces the cell's state with a container produced by Snapshot
+// on a cell built from the same Spec.
+func (c *CellRun) Restore(data []byte) error {
+	r, err := checkpoint.NewReader(data)
+	if err != nil {
+		return err
+	}
+	return c.DecodeState(r)
+}
+
+// EncodeResult serializes one completed cell verdict into its own container
+// (the Store's cell-NNNN.result files).
+func EncodeResult(res CellResult) []byte {
+	w := checkpoint.NewWriter()
+	e := w.Section(secCellResult)
+	fault.EncodeFault(e, res.Fault)
+	e.Int(res.Epoch)
+	e.String(res.Pattern)
+	for _, v := range []int{
+		res.Offered, res.Accepted, res.Refused, res.RefusedOther,
+		res.Delivered, res.PredictedUnreachablePerWave, res.WavesAfterFault,
+	} {
+		e.Int(int64(v))
+	}
+	for _, v := range []int{
+		res.Stats.EventsApplied, res.Stats.KilledInFlight, res.Stats.DropsEnRoute,
+		res.Stats.DropsOther, res.Stats.Retransmits, res.Stats.Recovered,
+		res.Stats.Duplicates, res.Stats.LostUnreachable, res.Stats.LostExhausted,
+		res.Stats.LostUntraceable,
+	} {
+		e.Int(int64(v))
+	}
+	e.Bool(res.UnreachableAsPredicted)
+	e.Bool(res.Drained)
+	e.Bool(res.Stalled)
+	e.Bool(res.Deadlocked)
+	e.Int(res.EndCycle)
+	e.Uint(uint64(len(res.Deliveries)))
+	for _, d := range res.Deliveries {
+		e.Uint(d.PacketID)
+		geom.EncodeCoord(e, d.Src)
+		geom.EncodeCoord(e, d.At)
+		e.Bool(d.Broadcast)
+		e.Bool(d.Detoured)
+		e.Int(d.Cycle)
+		e.Int(d.Latency)
+	}
+	return w.Bytes()
+}
+
+// DecodeResult reads a container written by EncodeResult.
+func DecodeResult(data []byte) (CellResult, error) {
+	var res CellResult
+	r, err := checkpoint.NewReader(data)
+	if err != nil {
+		return res, err
+	}
+	d, err := r.Section(secCellResult)
+	if err != nil {
+		return res, err
+	}
+	res.Fault = fault.DecodeFault(d)
+	res.Epoch = d.Int()
+	res.Pattern = d.String()
+	for _, p := range []*int{
+		&res.Offered, &res.Accepted, &res.Refused, &res.RefusedOther,
+		&res.Delivered, &res.PredictedUnreachablePerWave, &res.WavesAfterFault,
+	} {
+		*p = d.IntAsInt()
+	}
+	for _, p := range []*int{
+		&res.Stats.EventsApplied, &res.Stats.KilledInFlight, &res.Stats.DropsEnRoute,
+		&res.Stats.DropsOther, &res.Stats.Retransmits, &res.Stats.Recovered,
+		&res.Stats.Duplicates, &res.Stats.LostUnreachable, &res.Stats.LostExhausted,
+		&res.Stats.LostUntraceable,
+	} {
+		*p = d.IntAsInt()
+	}
+	res.UnreachableAsPredicted = d.Bool()
+	res.Drained = d.Bool()
+	res.Stalled = d.Bool()
+	res.Deadlocked = d.Bool()
+	res.EndCycle = d.Int()
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		var del core.Delivery
+		del.PacketID = d.Uint()
+		del.Src = geom.DecodeCoord(d)
+		del.At = geom.DecodeCoord(d)
+		del.Broadcast = d.Bool()
+		del.Detoured = d.Bool()
+		del.Cycle = d.Int()
+		del.Latency = d.Int()
+		res.Deliveries = append(res.Deliveries, del)
+	}
+	if err := d.Finish(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package checkpoint
+
+// RNG is a deterministic pseudo-random stream whose full state is four
+// words, so it can be captured in a snapshot and resumed mid-stream —
+// unlike math/rand, whose generator state is unexported. The generator is
+// xoshiro256**, seeded through SplitMix64; the method set mirrors the
+// subset of *rand.Rand the traffic layer uses.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	sm := uint64(seed)
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("checkpoint: RNG.Intn with non-positive n")
+	}
+	return int(r.Int63() % int64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Encode appends the generator state to a section payload.
+func (r *RNG) Encode(e *Encoder) {
+	for _, w := range r.s {
+		e.Uint(w)
+	}
+}
+
+// DecodeRNG reads a generator state written by Encode.
+func DecodeRNG(d *Decoder) *RNG {
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = d.Uint()
+	}
+	return r
+}

@@ -13,8 +13,10 @@ import (
 )
 
 // ParseShape parses "n1xn2x..." into a Shape, e.g. "8x8" or "4x4x4".
+// Surrounding whitespace and an uppercase "X" separator are accepted, so
+// shapes pasted from tables or env vars ("8X8", " 4x4x4 ") parse as typed.
 func ParseShape(s string) (geom.Shape, error) {
-	parts := strings.Split(s, "x")
+	parts := strings.Split(strings.ReplaceAll(strings.TrimSpace(s), "X", "x"), "x")
 	extents := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
@@ -26,9 +28,10 @@ func ParseShape(s string) (geom.Shape, error) {
 	return geom.NewShape(extents...)
 }
 
-// ParseCoord parses "2,1" (dimensionality dims) into a Coord.
+// ParseCoord parses "2,1" (dimensionality dims) into a Coord. Whitespace
+// around the string or its components is accepted.
 func ParseCoord(s string, dims int) (geom.Coord, error) {
-	parts := strings.Split(s, ",")
+	parts := strings.Split(strings.TrimSpace(s), ",")
 	if len(parts) != dims {
 		return geom.Coord{}, fmt.Errorf("cliutil: coordinate %q needs %d components", s, dims)
 	}

@@ -112,3 +112,78 @@ func TestParseScheduledFault(t *testing.T) {
 		}
 	}
 }
+
+// TestParseShapeForms table-tests the relaxed shape spellings: surrounding
+// whitespace and an uppercase (or mixed) X separator.
+func TestParseShapeForms(t *testing.T) {
+	good := []struct {
+		in   string
+		want []int
+	}{
+		{"8x8", []int{8, 8}},
+		{"8X8", []int{8, 8}},
+		{" 8X8 ", []int{8, 8}},
+		{"4X4x4", []int{4, 4, 4}},
+		{"\t4 x 4\n", []int{4, 4}},
+	}
+	for _, tc := range good {
+		s, err := ParseShape(tc.in)
+		if err != nil {
+			t.Errorf("ParseShape(%q): %v", tc.in, err)
+			continue
+		}
+		if s.Dims() != len(tc.want) {
+			t.Errorf("ParseShape(%q) = %v, want dims %d", tc.in, s, len(tc.want))
+			continue
+		}
+		for i, n := range tc.want {
+			if s[i] != n {
+				t.Errorf("ParseShape(%q)[%d] = %d, want %d", tc.in, i, s[i], n)
+			}
+		}
+	}
+	bad := []string{"", "   ", "x8", "8x", "8xx8", "8X", "X8", "8Y8", "8 8", "-4x4", "8x 8x", "8,8"}
+	for _, in := range bad {
+		if s, err := ParseShape(in); err == nil {
+			t.Errorf("ParseShape(%q) = %v, want error", in, s)
+		}
+	}
+}
+
+// TestParseCoordForms table-tests the relaxed coordinate spellings.
+func TestParseCoordForms(t *testing.T) {
+	good := []struct {
+		in   string
+		dims int
+		want geom.Coord
+	}{
+		{"2,1", 2, geom.Coord{2, 1}},
+		{" 2,1 ", 2, geom.Coord{2, 1}},
+		{"2 , 1", 2, geom.Coord{2, 1}},
+		{"\t0,3,2\n", 3, geom.Coord{0, 3, 2}},
+	}
+	for _, tc := range good {
+		c, err := ParseCoord(tc.in, tc.dims)
+		if err != nil || c != tc.want {
+			t.Errorf("ParseCoord(%q, %d) = %v, %v; want %v", tc.in, tc.dims, c, err, tc.want)
+		}
+	}
+	bad := []struct {
+		in   string
+		dims int
+	}{
+		{"", 2},
+		{"  ", 2},
+		{",1", 2},
+		{"2,", 2},
+		{"2,,1", 3},
+		{"2;1", 2},
+		{"2 1", 2},
+		{"2,1,0", 2},
+	}
+	for _, tc := range bad {
+		if c, err := ParseCoord(tc.in, tc.dims); err == nil {
+			t.Errorf("ParseCoord(%q, %d) = %v, want error", tc.in, tc.dims, c)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package deadlock
+
+import "sr2201/internal/checkpoint"
+
+// The watchdog's progress memory is part of a resumable run's state: a
+// restore that reset lastMoves/lastChange would postpone (or, with a stale
+// lastMoves, hasten) a stall verdict relative to the uninterrupted run, and
+// the verdict is printed in reports. DESIGN.md §8 lists this among the
+// easy-to-forget state a snapshot must capture.
+
+// EncodeState appends the watchdog's progress memory.
+func (w *Watchdog) EncodeState(e *checkpoint.Encoder) {
+	e.Int(w.threshold)
+	e.Int(w.lastMoves)
+	e.Int(w.lastChange)
+}
+
+// DecodeState restores progress memory written by EncodeState. The decoded
+// threshold must match the watchdog's configured one: a resumed run with a
+// different stall threshold would not reproduce the original's verdicts.
+func (w *Watchdog) DecodeState(d *checkpoint.Decoder) {
+	d.Expect(w.threshold, "watchdog stall threshold")
+	w.lastMoves = d.Int()
+	w.lastChange = d.Int()
+}

@@ -1,0 +1,28 @@
+package fault
+
+import (
+	"fmt"
+
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/geom"
+)
+
+// EncodeFault appends one fault record. Field order is part of the
+// checkpoint v1 format (see the version-bump rule in package checkpoint).
+func EncodeFault(e *checkpoint.Encoder, f Fault) {
+	e.Byte(byte(f.Kind))
+	geom.EncodeCoord(e, f.Coord)
+	geom.EncodeLine(e, f.Line)
+}
+
+// DecodeFault reads a fault record, rejecting unknown kinds.
+func DecodeFault(d *checkpoint.Decoder) Fault {
+	var f Fault
+	f.Kind = Kind(d.Byte())
+	f.Coord = geom.DecodeCoord(d)
+	f.Line = geom.DecodeLine(d)
+	if d.Err() == nil && f.Kind > KindXB {
+		d.Fail(fmt.Sprintf("unknown fault kind %d", f.Kind))
+	}
+	return f
+}

@@ -1,0 +1,36 @@
+package geom
+
+import "sr2201/internal/checkpoint"
+
+// Snapshot codecs for the lattice primitives. Field order is part of the
+// checkpoint v1 format (see the version-bump rule in package checkpoint).
+
+// EncodeCoord appends a lattice coordinate.
+func EncodeCoord(e *checkpoint.Encoder, c Coord) {
+	for _, v := range c {
+		e.Int(int64(v))
+	}
+}
+
+// DecodeCoord reads a lattice coordinate.
+func DecodeCoord(d *checkpoint.Decoder) Coord {
+	var c Coord
+	for i := range c {
+		c[i] = d.IntAsInt()
+	}
+	return c
+}
+
+// EncodeLine appends an axis-aligned line.
+func EncodeLine(e *checkpoint.Encoder, l Line) {
+	e.Int(int64(l.Dim))
+	EncodeCoord(e, l.Fixed)
+}
+
+// DecodeLine reads an axis-aligned line.
+func DecodeLine(d *checkpoint.Decoder) Line {
+	var l Line
+	l.Dim = d.IntAsInt()
+	l.Fixed = DecodeCoord(d)
+	return l
+}

@@ -1,0 +1,203 @@
+package inject_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/core"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+)
+
+// Dynamic-fault (F series) restore equivalence: a run with mid-flight fault
+// events, purges, detours and retransmissions must resume from a snapshot
+// with an identical per-cycle StateHash stream, identical injector
+// accounting, and identical casualty records — including snapshots taken
+// between the two fault events and during the retransmission window.
+
+type ffixture struct {
+	shape  geom.Shape
+	events []inject.Event
+	opt    inject.Options
+}
+
+func f4x4() ffixture {
+	return ffixture{
+		shape: geom.MustShape(4, 4),
+		events: []inject.Event{
+			{Cycle: 8, Fault: fault.RouterFault(geom.Coord{2, 1})},
+			{Cycle: 40, Fault: fault.RouterFault(geom.Coord{1, 2})},
+		},
+		opt: inject.Options{Retransmit: true, RetryAfter: 16, StallThreshold: 256},
+	}
+}
+
+// build constructs the machine+injector pair from the fixture spec.
+func (f ffixture) build(t *testing.T) (*core.Machine, *inject.Injector) {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{Shape: f.shape, StallThreshold: f.opt.StallThreshold})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	inj, err := inject.New(m, f.events, f.opt)
+	if err != nil {
+		t.Fatalf("inject.New: %v", err)
+	}
+	return m, inj
+}
+
+// wave sends a shifted all-to-all burst; fired every gap cycles so traffic
+// is crossing both victims when they die.
+func wave(m *core.Machine, shift int) {
+	var pes []geom.Coord
+	m.Shape().Enumerate(func(c geom.Coord) bool {
+		pes = append(pes, c)
+		return true
+	})
+	n := len(pes)
+	for i, src := range pes {
+		dst := pes[(i+shift)%n]
+		if dst != src {
+			m.Send(src, dst, 0)
+		}
+	}
+}
+
+// snapBoth packs machine and injector into one container.
+func snapBoth(m *core.Machine, inj *inject.Injector) []byte {
+	w := checkpoint.NewWriter()
+	m.EncodeState(w)
+	inj.EncodeState(w)
+	return w.Bytes()
+}
+
+func restoreBoth(t *testing.T, f ffixture, data []byte) (*core.Machine, *inject.Injector) {
+	t.Helper()
+	m, inj := f.build(t)
+	r, err := checkpoint.NewReader(data)
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if err := m.DecodeState(r); err != nil {
+		t.Fatalf("machine decode: %v", err)
+	}
+	if err := inj.DecodeState(r); err != nil {
+		t.Fatalf("injector decode: %v", err)
+	}
+	return m, inj
+}
+
+func injReport(m *core.Machine, inj *inject.Injector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats=%+v err=%v\n", inj.Stats(), inj.Err())
+	for _, c := range inj.Casualties() {
+		fmt.Fprintf(&b, "cycle=%d fault=%v lost=%d\n", c.Cycle, c.Fault, len(c.Lost))
+		for _, l := range c.Lost {
+			fmt.Fprintf(&b, "  %+v\n", l)
+		}
+	}
+	for _, d := range m.Deliveries() {
+		fmt.Fprintf(&b, "%d %v %v d=%v c=%d l=%d\n", d.PacketID, d.Src, d.At, d.Detoured, d.Cycle, d.Latency)
+	}
+	fmt.Fprintf(&b, "dropped=%d cycle=%d\n", m.Dropped(), m.Cycle())
+	return b.String()
+}
+
+func TestInjectorRestoreEquivalence(t *testing.T) {
+	fix := f4x4()
+	const horizon = 200
+	const gap = 24
+	// k=8 lands on the first event's cycle, k=50 inside the retransmission
+	// window after the second event, k=20 between events.
+	ks := []int64{0, 8, 20, 50, 120}
+
+	driver := func(m *core.Machine, c int64) {
+		if c%gap == 0 && c < 5*gap {
+			wave(m, int(c/gap)+3)
+		}
+		m.Step()
+	}
+
+	// Reference run.
+	m, inj := fix.build(t)
+	snaps := map[int64][]byte{}
+	hashes := make([]uint64, horizon)
+	for c := int64(0); c < horizon; c++ {
+		for _, k := range ks {
+			if k == c {
+				snaps[k] = snapBoth(m, inj)
+			}
+		}
+		driver(m, c)
+		hashes[c] = m.Engine().StateHash()
+	}
+	want := injReport(m, inj)
+	if inj.Stats().EventsApplied != 2 {
+		t.Fatalf("fixture too tame: %d events applied, want 2", inj.Stats().EventsApplied)
+	}
+	if inj.Stats().KilledInFlight == 0 {
+		t.Fatalf("fixture too tame: no in-flight kills — snapshot window misses the interesting state")
+	}
+	if inj.Stats().Retransmits == 0 {
+		t.Fatalf("fixture too tame: no retransmissions")
+	}
+
+	for _, k := range ks {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			m2, inj2 := restoreBoth(t, fix, snaps[k])
+			if got := m2.Cycle(); got != k {
+				t.Fatalf("restored at cycle %d, want %d", got, k)
+			}
+			for c := k; c < horizon; c++ {
+				driver(m2, c)
+				if h := m2.Engine().StateHash(); h != hashes[c] {
+					t.Fatalf("hash diverged at cycle %d: %016x != %016x", c, h, hashes[c])
+				}
+			}
+			if got := injReport(m2, inj2); got != want {
+				t.Errorf("final report differs\n--- resumed\n%s--- uninterrupted\n%s", got, want)
+			}
+			if !reflect.DeepEqual(inj2.Stats(), inj.Stats()) {
+				t.Errorf("stats differ: %+v != %+v", inj2.Stats(), inj.Stats())
+			}
+		})
+	}
+}
+
+// TestInjectorRestoreRejectsMismatchedSchedule pins the schedule
+// fingerprint: a snapshot must not resume under different events/options.
+func TestInjectorRestoreRejectsMismatchedSchedule(t *testing.T) {
+	fix := f4x4()
+	m, inj := fix.build(t)
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	data := snapBoth(m, inj)
+
+	alts := []ffixture{fix, fix, fix}
+	alts[0].events = alts[0].events[:1]
+	alts[1].events = []inject.Event{
+		{Cycle: 9, Fault: fault.RouterFault(geom.Coord{2, 1})},
+		{Cycle: 40, Fault: fault.RouterFault(geom.Coord{1, 2})},
+	}
+	alts[2].opt.RetryAfter = 17
+	for i, alt := range alts {
+		m2, inj2 := alt.build(t)
+		r, err := checkpoint.NewReader(data)
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		if err := m2.DecodeState(r); err != nil {
+			t.Fatalf("machine decode: %v", err)
+		}
+		if err := inj2.DecodeState(r); err == nil {
+			t.Errorf("alt %d: restore under mismatched schedule unexpectedly succeeded", i)
+		} else if !strings.Contains(err.Error(), "fingerprint") {
+			t.Errorf("alt %d: unhelpful mismatch error: %v", i, err)
+		}
+	}
+}

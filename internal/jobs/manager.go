@@ -122,6 +122,16 @@ type Config struct {
 	Parallel int
 	// JobTimeout, when positive, deadlines every execution.
 	JobTimeout time.Duration
+	// StateDir, when set, makes the manager crash-safe: job records,
+	// execution checkpoints, and finished artifacts persist there, and a
+	// restarted manager rescans the directory — completed executions come
+	// back served from cache, interrupted ones re-enqueue and resume from
+	// their checkpoints, producing artifacts byte-identical to an
+	// uninterrupted run (see state.go for the layout).
+	StateDir string
+	// CheckpointEvery is the mid-run snapshot interval in simulated cycles
+	// for executions that support it (default 4096; only with StateDir).
+	CheckpointEvery int64
 }
 
 func (c *Config) normalize() {
@@ -134,6 +144,9 @@ func (c *Config) normalize() {
 	if c.Parallel <= 0 {
 		c.Parallel = sweep.DefaultParallel()
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 4096
+	}
 }
 
 // Manager owns the queue, the worker pool, the dedupe/result cache, and
@@ -142,6 +155,7 @@ type Manager struct {
 	cfg    Config
 	budget *sweep.Limiter
 	queue  chan *execution
+	state  *stateStore // nil without Config.StateDir
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -168,25 +182,112 @@ type Manager struct {
 	durations   stats.Latency
 }
 
-// NewManager starts the worker pool and returns a ready manager.
+// NewManager starts the worker pool and returns a ready manager. It cannot
+// fail when Config.StateDir is unset; with one set, use OpenManager to see
+// the error instead of panicking.
 func NewManager(cfg Config) *Manager {
+	m, err := OpenManager(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: %v", err))
+	}
+	return m
+}
+
+// OpenManager starts the worker pool, rescanning and resuming persisted
+// state first when Config.StateDir is set.
+func OpenManager(cfg Config) (*Manager, error) {
 	cfg.normalize()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
 		budget:     sweep.NewLimiter(cfg.Parallel),
-		queue:      make(chan *execution, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
 		byCanon:    map[string]*execution{},
 		started:    time.Now(),
 	}
+	var pending []*execution
+	if cfg.StateDir != "" {
+		st, err := openStateStore(cfg.StateDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.state = st
+		if pending, err = m.resume(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// Resumed executions must all fit in the queue regardless of its
+	// configured depth.
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	m.queue = make(chan *execution, depth)
+	for _, ex := range pending {
+		m.queuedCount++
+		m.queue <- ex
+	}
 	m.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// resume rebuilds executions and jobs from the state directory: completed
+// executions come back terminal (resubmissions dedupe onto the cached
+// artifact), interrupted ones are returned for re-enqueueing and will
+// restore from their checkpoints when a worker picks them up.
+func (m *Manager) resume() ([]*execution, error) {
+	execs, jobRecs, err := m.state.rescan()
+	if err != nil {
+		return nil, err
+	}
+	var pending []*execution
+	for _, re := range execs {
+		spec, err := DecodeSpec([]byte(re.canonical))
+		if err != nil {
+			// The spec no longer parses (e.g. an experiment id was retired);
+			// drop the state rather than refuse to boot.
+			m.state.removeExec(re.hash)
+			continue
+		}
+		ex := &execution{
+			canonical: re.canonical,
+			spec:      spec,
+			state:     StatusQueued,
+			notify:    make(chan struct{}),
+		}
+		ex.append(StatusQueued, Event{Type: "queued"})
+		m.byCanon[re.canonical] = ex
+		m.executions++
+		if re.artifact != nil {
+			ex.artifact = re.artifact
+			ex.append(StatusDone, Event{Type: "done"})
+			m.done++
+			continue
+		}
+		pending = append(pending, ex)
+	}
+	for _, jr := range jobRecs {
+		ex := m.byCanon[jr.canonical]
+		if ex == nil {
+			continue
+		}
+		ex.mu.Lock()
+		ex.attached++
+		ex.mu.Unlock()
+		m.jobs[jr.id] = &Job{id: jr.id, ex: ex, created: time.Now()}
+		var n int64
+		if _, err := fmt.Sscanf(jr.id, "j%06d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	return pending, nil
 }
 
 // Submit validates, normalizes, and enqueues a spec, returning the new job
@@ -224,6 +325,15 @@ func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
 		m.byCanon[canonical] = ex
 		m.executions++
 		m.queuedCount++
+		if m.state != nil {
+			if err := m.state.saveExecSpec(canonHash(canonical), canonical); err != nil {
+				m.submitted--
+				m.executions--
+				m.queuedCount--
+				delete(m.byCanon, canonical)
+				return "", false, err
+			}
+		}
 		m.queue <- ex // cannot block: len checked under mu, only Submit sends
 	}
 	ex.mu.Lock()
@@ -233,6 +343,11 @@ func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
 	m.seq++
 	id = fmt.Sprintf("j%06d", m.seq)
 	m.jobs[id] = &Job{id: id, ex: ex, deduped: deduped, created: time.Now()}
+	if m.state != nil {
+		// Best-effort: the job runs either way; a lost record only costs
+		// the client its id after a restart.
+		_ = m.state.saveJob(id, canonical)
+	}
 	return id, deduped, nil
 }
 
@@ -290,7 +405,11 @@ func (m *Manager) runExecution(ex *execution) {
 		m.mu.Unlock()
 	}
 
-	artifact, err := runSpec(ctx, ex.spec, m.budget, m.cfg.Parallel, progress)
+	var st *execState
+	if m.state != nil {
+		st = &execState{store: m.state, hash: canonHash(ex.canonical), every: m.cfg.CheckpointEvery}
+	}
+	artifact, err := runSpec(ctx, ex.spec, m.budget, m.cfg.Parallel, progress, st)
 	elapsed := time.Since(start)
 
 	var final Status
@@ -302,6 +421,25 @@ func (m *Manager) runExecution(ex *execution) {
 		final, ev = StatusFailed, Event{Type: "failed", Error: err.Error()}
 	default:
 		final, ev = StatusDone, Event{Type: "done"}
+	}
+	if st != nil {
+		switch final {
+		case StatusDone:
+			// Persisting the artifact marks the execution done; a crash
+			// before the rename re-runs it from its checkpoints instead.
+			if perr := m.state.saveArtifact(st.hash, artifact); perr != nil {
+				final, ev = StatusFailed, Event{Type: "failed", Error: perr.Error()}
+				err = perr
+				m.state.removeExec(st.hash)
+			}
+		case StatusFailed:
+			// Failures are not cached (below) and their state would only
+			// replay the failure; discard it.
+			m.state.removeExec(st.hash)
+		case StatusCanceled:
+			// Keep the checkpoints: a canceled (or SIGTERM-interrupted)
+			// execution resumes on the next boot.
+		}
 	}
 
 	ex.mu.Lock()

@@ -19,19 +19,32 @@ import (
 // stream.
 type progressFn func(cells, cycles int64)
 
+// execState is one execution's slice of the manager's state store: where
+// its checkpoints live and how often to write them. nil disables
+// checkpointing (the stateless configuration).
+type execState struct {
+	store *stateStore
+	hash  string
+	every int64
+}
+
 // runSpec executes one normalized spec and returns its report artifact —
 // the exact bytes the equivalent CLI run writes to stdout. parallel is the
 // sweep width to request; budget (shared across all running jobs) is what
 // actually bounds concurrency. A non-nil error may still carry a complete
 // artifact (e.g. a campaign that deadlocked: the table is the evidence).
-func runSpec(ctx context.Context, spec Spec, budget *sweep.Limiter, parallel int, progress progressFn) ([]byte, error) {
+// With st non-nil, campaign and fault runs checkpoint as they go and resume
+// from whatever an earlier interrupted run left behind; the artifact is
+// byte-identical either way. Experiment runs are cells all the way down and
+// restart from scratch (each cell is small; only whole-run artifacts cache).
+func runSpec(ctx context.Context, spec Spec, budget *sweep.Limiter, parallel int, progress progressFn, st *execState) ([]byte, error) {
 	switch spec.Kind {
 	case KindExperiments:
 		return runExperiments(ctx, spec.Experiments, budget, parallel, progress)
 	case KindFault:
-		return runFault(ctx, spec.Fault, progress)
+		return runFault(ctx, spec.Fault, progress, st)
 	case KindCampaign:
-		return runCampaign(ctx, spec.Campaign, budget, parallel, progress)
+		return runCampaign(ctx, spec.Campaign, budget, parallel, progress, st)
 	default:
 		return nil, fmt.Errorf("jobs: unnormalized spec kind %q", spec.Kind)
 	}
@@ -75,8 +88,12 @@ func runExperiments(ctx context.Context, e *ExperimentsSpec, budget *sweep.Limit
 	return buf.Bytes(), nil
 }
 
-// runFault mirrors mdxfault single mode via the shared campaign.RunSingle.
-func runFault(ctx context.Context, f *FaultSpec, progress progressFn) ([]byte, error) {
+// runFault mirrors mdxfault single mode via the shared campaign stepper.
+// With st non-nil the run checkpoints periodically, parks a snapshot when the
+// context cancels, and on the next attempt restores mid-run — the restored
+// writer re-renders the already-reported prefix, so the artifact bytes are
+// identical to an uninterrupted run.
+func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execState) ([]byte, error) {
 	shape, err := cliutil.ParseShape(f.Shape)
 	if err != nil {
 		return nil, err
@@ -95,7 +112,7 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn) ([]byte, e
 	}
 	var lastCycle int64
 	var buf bytes.Buffer
-	outcome, err := campaign.RunSingle(campaign.SingleSpec{
+	sspec := campaign.SingleSpec{
 		Shape:      shape,
 		Events:     events,
 		Pattern:    pat,
@@ -104,12 +121,50 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn) ([]byte, e
 		PacketSize: f.PacketSize,
 		Horizon:    f.Horizon,
 		Inject:     f.Inject.options(),
-		Ctx:        ctx,
 		OnCycle: func(c int64, _ engine.Counters) {
 			progress(0, c-lastCycle)
 			lastCycle = c
 		},
-	}, &buf)
+	}
+	r, err := campaign.NewSingleRun(sspec, &buf)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if snap, ok := st.store.loadSingleSnap(st.hash); ok {
+			if err := r.Restore(snap); err == nil {
+				lastCycle = r.Cycle()
+			} else {
+				// A stale or corrupt snapshot (e.g. from an older binary) is
+				// not fatal — restart from cycle zero with a fresh writer.
+				buf.Reset()
+				if r, err = campaign.NewSingleRun(sspec, &buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	lastSnap := r.Cycle()
+	for !r.Step() {
+		if r.Cycle()%64 != 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if st != nil {
+				st.store.saveSingleSnap(st.hash, r.Snapshot())
+			}
+			return buf.Bytes(), err
+		}
+		if st != nil && st.every > 0 && r.Cycle()-lastSnap >= st.every {
+			if err := st.store.saveSingleSnap(st.hash, r.Snapshot()); err == nil {
+				lastSnap = r.Cycle()
+			}
+		}
+	}
+	outcome, err := r.Finish()
+	if st != nil {
+		st.store.removeSingleSnap(st.hash)
+	}
 	if err != nil {
 		return buf.Bytes(), err
 	}
@@ -123,8 +178,10 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn) ([]byte, e
 	return buf.Bytes(), nil
 }
 
-// runCampaign mirrors mdxfault -campaign.
-func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, parallel int, progress progressFn) ([]byte, error) {
+// runCampaign mirrors mdxfault -campaign. With st non-nil the campaign runs
+// against a per-execution cell store: completed cells are skipped on resume
+// and in-progress cells restart from their latest snapshot.
+func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, parallel int, progress progressFn, st *execState) ([]byte, error) {
 	shape, err := cliutil.ParseShape(c.Shape)
 	if err != nil {
 		return nil, err
@@ -137,7 +194,7 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		}
 		patterns = append(patterns, pat)
 	}
-	res, err := campaign.Run(campaign.Config{
+	cfg := campaign.Config{
 		Shape:      shape,
 		Epochs:     c.Epochs,
 		Patterns:   patterns,
@@ -150,7 +207,16 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		Ctx:        ctx,
 		Budget:     budget,
 		OnCell:     func(cycles int64) { progress(1, cycles) },
-	})
+	}
+	if st != nil {
+		store, err := campaign.OpenStore(st.store.cellsDir(st.hash))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+		cfg.CheckpointEvery = st.every
+	}
+	res, err := campaign.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,199 @@
+package jobs
+
+// Crash-safe job state. With Config.StateDir set, the manager persists
+// enough to survive a kill -TERM mid-run and finish every job with the
+// exact artifact the uninterrupted server would have produced:
+//
+//	<dir>/jobs/<id>.json        one record per submitted job (id -> spec)
+//	<dir>/execs/<h>/spec.json   the execution's canonical spec
+//	<dir>/execs/<h>/artifact    the final artifact (present <=> done)
+//	<dir>/execs/<h>/cells/      campaign checkpoint store (campaign kind)
+//	<dir>/execs/<h>/single.snap mid-run snapshot (fault kind)
+//
+// where <h> is the 64-bit FNV-1a of the canonical spec, in hex. On boot the
+// manager rescans: executions with an artifact are resurrected as completed
+// (resubmissions dedupe onto them), executions without one are re-enqueued
+// and resume from their checkpoints. All files are written atomically
+// (temp + rename), so a crash leaves old state or none, never torn state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type stateStore struct {
+	dir string
+}
+
+func openStateStore(dir string) (*stateStore, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "jobs"), filepath.Join(dir, "execs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: state dir: %w", err)
+		}
+	}
+	return &stateStore{dir: dir}, nil
+}
+
+func canonHash(canonical string) string {
+	h := fnv.New64a()
+	h.Write([]byte(canonical))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (s *stateStore) execDir(h string) string  { return filepath.Join(s.dir, "execs", h) }
+func (s *stateStore) cellsDir(h string) string { return filepath.Join(s.execDir(h), "cells") }
+func (s *stateStore) singleSnapPath(h string) string {
+	return filepath.Join(s.execDir(h), "single.snap")
+}
+
+// writeAtomic writes data via temp + rename inside the target's directory.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// saveExecSpec records a new execution's canonical spec.
+func (s *stateStore) saveExecSpec(h, canonical string) error {
+	if err := os.MkdirAll(s.execDir(h), 0o755); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.execDir(h), "spec.json"), []byte(canonical))
+}
+
+// saveArtifact marks an execution done.
+func (s *stateStore) saveArtifact(h string, artifact []byte) error {
+	return writeAtomic(filepath.Join(s.execDir(h), "artifact"), artifact)
+}
+
+// removeExec discards an execution's state (failed runs are not cached).
+func (s *stateStore) removeExec(h string) {
+	os.RemoveAll(s.execDir(h))
+}
+
+// removeSingleSnap retires a fault run's mid-run snapshot.
+func (s *stateStore) removeSingleSnap(h string) {
+	os.Remove(s.singleSnapPath(h))
+}
+
+// saveSingleSnap parks a fault run's mid-run snapshot.
+func (s *stateStore) saveSingleSnap(h string, data []byte) error {
+	return writeAtomic(s.singleSnapPath(h), data)
+}
+
+// loadSingleSnap fetches a fault run's snapshot, ok=false when absent.
+func (s *stateStore) loadSingleSnap(h string) ([]byte, bool) {
+	data, err := os.ReadFile(s.singleSnapPath(h))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// saveJob records one job id -> canonical spec binding.
+func (s *stateStore) saveJob(id, canonical string) error {
+	rec, err := json.Marshal(struct {
+		ID        string `json:"id"`
+		Canonical string `json:"canonical"`
+	}{id, canonical})
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.dir, "jobs", id+".json"), rec)
+}
+
+// rescanExec is one persisted execution found at boot.
+type rescanExec struct {
+	hash      string
+	canonical string
+	artifact  []byte // nil when the execution was interrupted
+}
+
+// rescanJob is one persisted job record found at boot.
+type rescanJob struct {
+	id        string
+	canonical string
+}
+
+// rescan loads every persisted execution and job record, dropping records
+// that fail to parse (a torn write from a crashed process) rather than
+// refusing to boot. Executions and jobs come back in deterministic
+// (lexical) order so re-enqueueing is reproducible.
+func (s *stateStore) rescan() ([]rescanExec, []rescanJob, error) {
+	var execs []rescanExec
+	ents, err := os.ReadDir(filepath.Join(s.dir, "execs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		h := ent.Name()
+		spec, err := os.ReadFile(filepath.Join(s.execDir(h), "spec.json"))
+		if err != nil {
+			s.removeExec(h)
+			continue
+		}
+		canonical := string(spec)
+		if canonHash(canonical) != h {
+			s.removeExec(h)
+			continue
+		}
+		re := rescanExec{hash: h, canonical: canonical}
+		if art, err := os.ReadFile(filepath.Join(s.execDir(h), "artifact")); err == nil {
+			re.artifact = art
+		}
+		execs = append(execs, re)
+	}
+	sort.Slice(execs, func(i, j int) bool { return execs[i].hash < execs[j].hash })
+
+	var jobsOut []rescanJob
+	jents, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range jents {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", name))
+		if err != nil {
+			continue
+		}
+		var rec struct {
+			ID        string `json:"id"`
+			Canonical string `json:"canonical"`
+		}
+		if json.Unmarshal(data, &rec) != nil || rec.ID == "" || rec.Canonical == "" {
+			os.Remove(filepath.Join(s.dir, "jobs", name))
+			continue
+		}
+		jobsOut = append(jobsOut, rescanJob{id: rec.ID, canonical: rec.Canonical})
+	}
+	sort.Slice(jobsOut, func(i, j int) bool { return jobsOut[i].id < jobsOut[j].id })
+	return execs, jobsOut, nil
+}
