@@ -15,6 +15,8 @@
 //	mdxfault -shape 8x8 -fail rtc:3,4@500 -waves 6 -retransmit
 //	mdxfault -shape 4x4 -fail xb:0:0,2@200 -fail rtc:1,1@400
 //	mdxfault -shape 8x8 -campaign -epochs 12,60 -patterns shift+5,reverse -retransmit
+//	mdxfault -shape 4x4 -dxb-separate -preset rtc:2,1 -patterns pair:0,1>2,2 \
+//	  -broadcast 3,2@0 -retransmit -retry-after 32 -recover
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 
 	"sr2201/internal/campaign"
 	"sr2201/internal/cliutil"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
 	"sr2201/internal/inject"
 	"sr2201/internal/sweep"
 )
@@ -46,9 +50,20 @@ func main() {
 		parallel   = flag.Int("parallel", sweep.DefaultParallel(), "campaign worker-pool width (1 = serial)")
 		stateDir   = flag.String("state-dir", "", "campaign checkpoint directory: completed cells persist and are skipped on re-run (campaign mode)")
 		ckptEvery  = flag.Int64("checkpoint-every", 4096, "mid-cell snapshot interval in cycles (with -state-dir; 0 = cell granularity only)")
+
+		doRecover  = flag.Bool("recover", false, "enable deadlock recovery: purge the lowest-ID packet on a confirmed wait cycle and retransmit it")
+		recStall   = flag.Int64("stall-threshold", 0, "recovery-watchdog zero-movement cycles before a purge (with -recover; 0 = default)")
+		recMax     = flag.Int("max-recoveries", 0, "per-packet sacrifice cap before the LIVELOCK verdict (with -recover; 0 = default)")
+		sxbStr     = flag.String("sxb", "", "static-routing crossbar coordinate, e.g. 0,0 (empty = default)")
+		dxbStr     = flag.String("dxb", "", "detour crossbar coordinate (with -dxb-separate; empty = default)")
+		dxbSep     = flag.Bool("dxb-separate", false, "use a separate detour crossbar (the paper's deadlocking D-XB != S-XB design)")
 		fails      failList
+		presets    failList
+		broadcasts failList
 	)
 	flag.Var(&fails, "fail", "fault schedule rtc:X,Y@CYCLE or xb:DIM:X,Y@CYCLE (repeatable; single mode)")
+	flag.Var(&presets, "preset", "fault installed before any traffic, rtc:X,Y or xb:DIM:X,Y (repeatable)")
+	flag.Var(&broadcasts, "broadcast", "broadcast schedule X,Y@CYCLE (repeatable)")
 	flag.Parse()
 
 	shape, err := cliutil.ParseShape(*shapeStr)
@@ -65,6 +80,40 @@ func main() {
 	patterns, err := campaign.ParsePatterns(*patsStr)
 	if err != nil {
 		fatal(err)
+	}
+	recOpt, err := cliutil.RecoveryOptions(*doRecover, *recStall, *recMax)
+	if err != nil {
+		fatal(err)
+	}
+	var sxb, dxb geom.Coord
+	if *sxbStr != "" {
+		if sxb, err = cliutil.ParseCoord(*sxbStr, shape.Dims()); err != nil {
+			fatal(err)
+		}
+	}
+	if *dxbStr != "" {
+		if !*dxbSep {
+			fatal(fmt.Errorf("-dxb needs -dxb-separate (the unified design has no second crossbar)"))
+		}
+		if dxb, err = cliutil.ParseCoord(*dxbStr, shape.Dims()); err != nil {
+			fatal(err)
+		}
+	}
+	var presetFaults []fault.Fault
+	for _, ps := range presets {
+		f, err := cliutil.ParseFaultIn(ps, shape)
+		if err != nil {
+			fatal(err)
+		}
+		presetFaults = append(presetFaults, f)
+	}
+	var bcasts []campaign.Broadcast
+	for _, bs := range broadcasts {
+		src, cycle, err := cliutil.ParseBroadcast(bs, shape)
+		if err != nil {
+			fatal(err)
+		}
+		bcasts = append(bcasts, campaign.Broadcast{Cycle: cycle, Src: src, Size: *packet})
 	}
 
 	if *doCampaign {
@@ -90,6 +139,12 @@ func main() {
 			PacketSize:      *packet,
 			Inject:          opt,
 			Horizon:         *horizon,
+			Recovery:        recOpt,
+			Preset:          presetFaults,
+			Broadcasts:      bcasts,
+			SXB:             sxb,
+			DXB:             dxb,
+			DXBSeparate:     *dxbSep,
 			Parallel:        *parallel,
 			Store:           store,
 			CheckpointEvery: *ckptEvery,
@@ -98,14 +153,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(res.String())
-		if res.Deadlocks() > 0 || res.Stalls() > 0 {
+		if res.Deadlocks() > 0 || res.Stalls() > 0 || res.Livelocked() > 0 {
 			os.Exit(1)
 		}
 		return
 	}
 
-	if len(fails) == 0 {
-		fatal(fmt.Errorf("single mode needs at least one -fail schedule (or use -campaign)"))
+	if len(fails) == 0 && len(presetFaults) == 0 && len(bcasts) == 0 {
+		fatal(fmt.Errorf("single mode needs a -fail schedule, -preset fault or -broadcast (or use -campaign)"))
 	}
 	if *stateDir != "" {
 		fatal(fmt.Errorf("-state-dir applies to campaign mode"))
@@ -122,14 +177,20 @@ func main() {
 		events = append(events, inject.Event{Cycle: cycle, Fault: f})
 	}
 	outcome, err := campaign.RunSingle(campaign.SingleSpec{
-		Shape:      shape,
-		Events:     events,
-		Pattern:    patterns[0],
-		Waves:      *waves,
-		Gap:        *gap,
-		PacketSize: *packet,
-		Horizon:    *horizon,
-		Inject:     opt,
+		Shape:       shape,
+		Events:      events,
+		Pattern:     patterns[0],
+		Waves:       *waves,
+		Gap:         *gap,
+		PacketSize:  *packet,
+		Horizon:     *horizon,
+		Inject:      opt,
+		Recovery:    recOpt,
+		Preset:      presetFaults,
+		Broadcasts:  bcasts,
+		SXB:         sxb,
+		DXB:         dxb,
+		DXBSeparate: *dxbSep,
 	}, os.Stdout)
 	if err != nil {
 		fatal(err)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"sr2201/internal/core"
@@ -19,6 +20,7 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/recovery"
 	"sr2201/internal/routing"
 	"sr2201/internal/stats"
 	"sr2201/internal/sweep"
@@ -55,6 +57,37 @@ func Reverse() Pattern {
 	}
 }
 
+// Pair returns the single-flow pattern: only src sends, to dst (every other
+// PE maps to itself and is skipped). It reproduces paper figures built
+// around one specific route — the R-series uses it for the Fig. 9 detoured
+// p2p.
+func Pair(src, dst geom.Coord, dims int) Pattern {
+	return Pattern{
+		// The name round-trips through ParsePattern: "pair:0,1>2,2".
+		Name: fmt.Sprintf("pair:%s>%s",
+			strings.Trim(src.In(dims), "()"), strings.Trim(dst.In(dims), "()")),
+		Dest: func(shape geom.Shape, s geom.Coord) geom.Coord {
+			if s == src {
+				return dst
+			}
+			return s
+		},
+	}
+}
+
+// Broadcast schedules one broadcast injection into a cell's workload: the
+// paper's Fig. 9 deadlock needs a broadcast crossing a detoured unicast, so
+// recovery cells mix both traffic kinds.
+type Broadcast struct {
+	// Cycle is the injection time (skipped broadcasts from dead sources are
+	// counted refused, not fatal).
+	Cycle int64
+	// Src is the broadcast origin PE.
+	Src geom.Coord
+	// Size in flits (0 = core default).
+	Size int
+}
+
 // Spec describes one campaign cell: a machine, a fault schedule, and a wave
 // workload.
 type Spec struct {
@@ -76,6 +109,17 @@ type Spec struct {
 	// KeepDeliveries retains per-delivery records (for latency-recovery
 	// curves); off by default to keep exhaustive campaigns lean.
 	KeepDeliveries bool
+	// Recovery enables the liveness layer: a confirmed wait cycle is
+	// dissolved by sacrificing the lowest-ID packet on it (retransmitted by
+	// the inject machinery), with livelock escalation at the per-packet cap.
+	Recovery recovery.Options
+	// Preset faults are installed before any traffic (static AddFault), the
+	// paper's fault-known-at-boot scenario; Events remain the dynamic
+	// mid-run schedule.
+	Preset []fault.Fault
+	// Broadcasts schedules broadcast injections alongside the unicast
+	// waves. Normalized into ascending cycle order.
+	Broadcasts []Broadcast
 	// SXB/DXB/DXBSeparate/NaiveBroadcast/PivotLastDim forward to core.Config,
 	// selecting the machine variant the cell runs on. Zero values are the
 	// paper's deadlock-free defaults. The replay tooling records them so a
@@ -102,6 +146,13 @@ func (s *Spec) normalize() error {
 	if s.Horizon <= 0 {
 		s.Horizon = 50_000
 	}
+	for _, b := range s.Broadcasts {
+		if b.Cycle < 0 {
+			return fmt.Errorf("campaign: negative broadcast cycle %d", b.Cycle)
+		}
+	}
+	// Cycle order, insertion order breaking ties — like the fault schedule.
+	sort.SliceStable(s.Broadcasts, func(i, j int) bool { return s.Broadcasts[i].Cycle < s.Broadcasts[j].Cycle })
 	return nil
 }
 
@@ -117,10 +168,36 @@ type CellResult struct {
 	// (must stay zero).
 	Offered, Accepted, Refused, RefusedOther int
 
-	// Delivered counts packets consumed at PEs (originals + recoveries).
+	// Delivered counts unicast packets consumed at PEs (originals +
+	// recoveries); broadcast copies are accounted separately so the
+	// availability ratio stays Delivered/Accepted.
 	Delivered int
 	// Stats is the injector's loss/recovery accounting.
 	Stats inject.Stats
+
+	// Broadcasts counts scheduled broadcast injections that were issued;
+	// BroadcastsRefused the ones the policy declined (dead origin).
+	// BroadcastCopiesExpected sums the copies each issued broadcast owed;
+	// BroadcastCopies the copies actually consumed at PEs.
+	Broadcasts              int
+	BroadcastsRefused       int
+	BroadcastCopiesExpected int
+	BroadcastCopies         int
+
+	// Recoveries counts deadlock victims sacrificed by the recovery layer;
+	// Livelocked marks a cell abandoned at the per-packet recovery cap
+	// (recovery.ErrLivelock class). Livelocked implies Stalled and
+	// Deadlocked.
+	Recoveries int
+	Livelocked bool
+
+	// SourceDeadPairs/DestDeadPairs/UnreachablePairs is the per-pair
+	// reachability classification of the pattern against the final fault
+	// set (recovery.AnalyzeReachability): exact graceful-degradation
+	// reporting when a second fault breaks the detour guarantee.
+	SourceDeadPairs  int
+	DestDeadPairs    int
+	UnreachablePairs int
 
 	// PredictedUnreachablePerWave is the static post-fault prediction: live
 	// source PEs whose pattern destination the rebuilt policy reports
@@ -158,10 +235,17 @@ type CellRun struct {
 	m    *core.Machine
 	inj  *inject.Injector
 	wd   *deadlock.Watchdog
+	sup  *recovery.Supervisor
 
-	res  CellResult
-	wave int
-	done bool
+	res   CellResult
+	wave  int
+	bNext int // next spec.Broadcasts index
+	done  bool
+
+	// preDenied is the per-wave refusal prediction against the preset-only
+	// fault set, captured before any dynamic event fires. Spec-derived
+	// (recomputed by NewCellRun), so it needs no snapshot entry.
+	preDenied int
 }
 
 // NewCellRun builds the cell's machine and fault schedule without stepping.
@@ -182,17 +266,40 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Preset faults are known before any traffic — the NIA's fault
+	// information is pre-set, so first-wave sends already consult it.
+	for _, f := range spec.Preset {
+		if err := m.AddFault(f); err != nil {
+			return nil, fmt.Errorf("campaign: preset fault: %w", err)
+		}
+	}
 	inj, err := inject.New(m, spec.Events, spec.Inject)
 	if err != nil {
 		return nil, err
 	}
 	c := &CellRun{spec: spec, m: m, inj: inj, wd: deadlock.NewWatchdog(m.Engine(), spec.Inject.StallThreshold)}
+	if spec.Recovery.Enabled {
+		c.sup = recovery.New(m, inj, spec.Recovery)
+	}
 	c.res = CellResult{Pattern: spec.Pattern.Name}
 	if len(spec.Events) > 0 {
 		c.res.Fault = spec.Events[0].Fault
 		c.res.Epoch = spec.Events[0].Cycle
+	} else if len(spec.Preset) > 0 {
+		c.res.Fault = spec.Preset[0]
 	}
+	c.preDenied = recovery.AnalyzeReachability(m, func(src geom.Coord) geom.Coord {
+		return spec.Pattern.Dest(spec.Shape, src)
+	}).Denied()
 	return c, nil
+}
+
+// OnRecovery registers a callback for every recovery event of this cell
+// (no-op unless Spec.Recovery is enabled). Must be set before stepping.
+func (c *CellRun) OnRecovery(fn func(recovery.Event)) {
+	if c.sup != nil {
+		c.sup.OnEvent(fn)
+	}
 }
 
 // Machine exposes the cell's machine (the replay tooling reads its engine).
@@ -242,12 +349,32 @@ func (c *CellRun) Step() bool {
 		})
 		c.wave++
 	}
-	if c.wave >= c.spec.Waves && eng.Quiescent() && !c.inj.Pending() {
+	for c.bNext < len(c.spec.Broadcasts) && c.spec.Broadcasts[c.bNext].Cycle <= eng.Cycle() {
+		b := c.spec.Broadcasts[c.bNext]
+		c.bNext++
+		if _, copies, err := c.m.Broadcast(b.Src, b.Size); err != nil {
+			c.res.BroadcastsRefused++
+		} else {
+			c.res.Broadcasts++
+			c.res.BroadcastCopiesExpected += copies
+		}
+	}
+	if c.wave >= c.spec.Waves && c.bNext >= len(c.spec.Broadcasts) && eng.Quiescent() && !c.inj.Pending() {
 		c.done = true
 		return true
 	}
 	c.m.Step()
-	if c.wd.Stalled() {
+	if c.sup != nil {
+		// The liveness layer owns the stall verdict: it recovers what it
+		// can and decides only when it cannot (wedge, undissolvable cycle,
+		// livelock cap).
+		if v := c.sup.Verdict(); v.Decided {
+			c.res.Stalled = true
+			c.res.Deadlocked = v.Deadlocked
+			c.res.Livelocked = v.Livelocked
+			c.done = true
+		}
+	} else if c.wd.Stalled() {
 		rep := deadlock.Analyze(eng)
 		c.res.Stalled = true
 		c.res.Deadlocked = rep.Deadlocked
@@ -267,10 +394,20 @@ func (c *CellRun) Result() (CellResult, error) {
 		return res, err
 	}
 	eng := c.m.Engine()
-	res.Drained = c.wave >= c.spec.Waves && eng.Quiescent() && !c.inj.Pending()
+	res.Drained = c.wave >= c.spec.Waves && c.bNext >= len(c.spec.Broadcasts) &&
+		eng.Quiescent() && !c.inj.Pending()
 	res.EndCycle = eng.Cycle()
-	res.Delivered = len(c.m.Deliveries())
+	for _, d := range c.m.Deliveries() {
+		if d.Broadcast {
+			res.BroadcastCopies++
+		} else {
+			res.Delivered++
+		}
+	}
 	res.Stats = c.inj.Stats()
+	if c.sup != nil {
+		res.Recoveries = c.sup.Stats().Recoveries
+	}
 	if c.spec.KeepDeliveries {
 		res.Deliveries = c.m.Deliveries()
 	}
@@ -279,23 +416,22 @@ func (c *CellRun) Result() (CellResult, error) {
 	// does the policy refuse? The unreachable-as-predicted verdict demands
 	// that the observed refusals are exactly these, once per post-fault
 	// wave. (Waves at or before the epoch are sent against the pre-fault
-	// policy, which refuses nothing on a healthy machine.)
-	predicted := 0
-	c.spec.Shape.Enumerate(func(src geom.Coord) bool {
-		if !c.m.Alive(src) {
-			return true
-		}
-		dst := c.spec.Pattern.Dest(c.spec.Shape, src)
-		if dst == src {
-			return true
-		}
-		if c.m.Policy().Reachable(src, dst) != nil {
-			predicted++
-		}
-		return true
+	// policy, which — with no preset faults — refuses nothing.) The
+	// reachability analyzer also supplies the per-pair classification for
+	// graceful multi-fault degradation reports.
+	reach := recovery.AnalyzeReachability(c.m, func(src geom.Coord) geom.Coord {
+		return c.spec.Pattern.Dest(c.spec.Shape, src)
 	})
-	res.PredictedUnreachablePerWave = predicted
-	res.UnreachableAsPredicted = res.Refused == predicted*res.WavesAfterFault && res.RefusedOther == 0
+	res.SourceDeadPairs = reach.SourceDead
+	res.DestDeadPairs = reach.DestDead
+	res.UnreachablePairs = reach.Unreachable
+	res.PredictedUnreachablePerWave = reach.Denied()
+	// Waves before the (first) dynamic fault see only the preset faults;
+	// waves after it see the final set. With no presets the pre-fault
+	// prediction is zero and this reduces to the original formula.
+	wavesBefore := c.wave - res.WavesAfterFault
+	predictedRefusals := c.preDenied*wavesBefore + res.PredictedUnreachablePerWave*res.WavesAfterFault
+	res.UnreachableAsPredicted = res.Refused == predictedRefusals && res.RefusedOther == 0
 	return res, nil
 }
 
@@ -338,6 +474,24 @@ type Config struct {
 	PacketSize int
 	Inject     inject.Options
 	Horizon    int64
+	// Recovery enables the liveness layer in every cell (see Spec.Recovery).
+	Recovery recovery.Options
+	// Preset faults are installed in every cell before traffic; placements
+	// that collide with a preset are skipped (the cell grid covers the
+	// *second* fault). See Spec.Preset.
+	Preset []fault.Fault
+	// Broadcasts schedules broadcast injections in every cell (see
+	// Spec.Broadcasts).
+	Broadcasts []Broadcast
+	// SXB/DXB/DXBSeparate/NaiveBroadcast/PivotLastDim select the machine
+	// variant every cell runs on (see Spec).
+	SXB, DXB       geom.Coord
+	DXBSeparate    bool
+	NaiveBroadcast bool
+	PivotLastDim   bool
+	// OnRecovery, if non-nil, is called for every recovery event of every
+	// cell, from worker goroutines (progress feed for the job server).
+	OnRecovery func(recovery.Event)
 	// Parallel caps the sweep worker pool (<= 0 = DefaultParallel, 1 = serial).
 	Parallel int
 	// Ctx, if non-nil, cancels the campaign between cells (running cells
@@ -384,8 +538,25 @@ func Run(cfg Config) (*Result, error) {
 		epoch int64
 		pat   Pattern
 	}
+	// Placements colliding with a preset fault cannot be scheduled on top
+	// of it: skip them, so a preset campaign sweeps every *additional*
+	// fault.
+	probe := fault.NewSet(cfg.Shape)
+	for _, f := range cfg.Preset {
+		if err := probe.Add(f); err != nil {
+			return nil, fmt.Errorf("campaign: preset fault: %w", err)
+		}
+	}
 	var grid []cellSpec
 	for _, f := range Placements(cfg.Shape) {
+		if len(cfg.Preset) > 0 {
+			// Add is idempotent, so collision means membership: a placement
+			// already in the preset set would re-break broken hardware.
+			if (f.Kind == fault.KindRouter && probe.RouterFaulty(f.Coord)) ||
+				(f.Kind == fault.KindXB && probe.XBFaulty(f.Line)) {
+				continue
+			}
+		}
 		for _, epoch := range cfg.Epochs {
 			for _, pat := range cfg.Patterns {
 				grid = append(grid, cellSpec{f: f, epoch: epoch, pat: pat})
@@ -395,14 +566,22 @@ func Run(cfg Config) (*Result, error) {
 	runCell := func(i int) (CellResult, error) {
 		g := grid[i]
 		spec := Spec{
-			Shape:      cfg.Shape,
-			Events:     []inject.Event{{Cycle: g.epoch, Fault: g.f}},
-			Pattern:    g.pat,
-			Waves:      cfg.Waves,
-			Gap:        cfg.Gap,
-			PacketSize: cfg.PacketSize,
-			Inject:     cfg.Inject,
-			Horizon:    cfg.Horizon,
+			Shape:          cfg.Shape,
+			Events:         []inject.Event{{Cycle: g.epoch, Fault: g.f}},
+			Pattern:        g.pat,
+			Waves:          cfg.Waves,
+			Gap:            cfg.Gap,
+			PacketSize:     cfg.PacketSize,
+			Inject:         cfg.Inject,
+			Horizon:        cfg.Horizon,
+			Recovery:       cfg.Recovery,
+			Preset:         cfg.Preset,
+			Broadcasts:     cfg.Broadcasts,
+			SXB:            cfg.SXB,
+			DXB:            cfg.DXB,
+			DXBSeparate:    cfg.DXBSeparate,
+			NaiveBroadcast: cfg.NaiveBroadcast,
+			PivotLastDim:   cfg.PivotLastDim,
 		}
 		res, err := runStoredCell(cfg, i, spec)
 		if cfg.OnCell != nil && err == nil {
@@ -427,26 +606,43 @@ func Run(cfg Config) (*Result, error) {
 // completed result or a mid-cell snapshot first, checkpointing periodically,
 // and parking a final snapshot when the context cancels mid-cell.
 func runStoredCell(cfg Config, i int, spec Spec) (CellResult, error) {
-	if cfg.Store == nil {
+	if cfg.Store == nil && cfg.OnRecovery == nil {
 		return RunCell(spec)
 	}
-	if res, ok, err := cfg.Store.LoadResult(i); err != nil {
-		return CellResult{}, err
-	} else if ok {
-		return res, nil
+	if cfg.Store != nil {
+		if res, ok, err := cfg.Store.LoadResult(i); err != nil {
+			return CellResult{}, err
+		} else if ok {
+			return res, nil
+		}
 	}
 	c, err := NewCellRun(spec)
 	if err != nil {
 		return CellResult{}, err
 	}
-	if data, ok := cfg.Store.LoadSnap(i); ok {
-		// A stale or corrupt snapshot (spec changed, torn write) is not
-		// fatal: fall back to running the cell from the start.
-		if rerr := c.Restore(data); rerr != nil {
-			if c, err = NewCellRun(spec); err != nil {
-				return CellResult{}, err
+	if cfg.Store != nil {
+		if data, ok := cfg.Store.LoadSnap(i); ok {
+			// A stale or corrupt snapshot (spec changed, torn write) is not
+			// fatal: fall back to running the cell from the start.
+			if rerr := c.Restore(data); rerr != nil {
+				if c, err = NewCellRun(spec); err != nil {
+					return CellResult{}, err
+				}
 			}
 		}
+	}
+	if cfg.OnRecovery != nil {
+		c.OnRecovery(cfg.OnRecovery)
+	}
+	if cfg.Store == nil {
+		for !c.Step() {
+			if cfg.Ctx != nil && c.Cycle()%64 == 0 {
+				if err := cfg.Ctx.Err(); err != nil {
+					return CellResult{}, err
+				}
+			}
+		}
+		return c.Result()
 	}
 	lastSnap := c.Cycle()
 	for !c.Step() {
@@ -497,6 +693,26 @@ func (r *Result) Stalls() int {
 	return n
 }
 
+// Recoveries sums deadlock victims sacrificed across all cells.
+func (r *Result) Recoveries() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Recoveries
+	}
+	return n
+}
+
+// Livelocked counts cells abandoned at the per-packet recovery cap.
+func (r *Result) Livelocked() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Livelocked {
+			n++
+		}
+	}
+	return n
+}
+
 // faultClass buckets a placement for aggregation: "rtc" or "xb-dim<k>".
 func faultClass(f fault.Fault) string {
 	if f.Kind == fault.KindRouter {
@@ -510,7 +726,7 @@ func faultClass(f fault.Fault) string {
 func (r *Result) Table() *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("single-fault campaign on %v (%d cells)", r.Shape, len(r.Cells)),
-		"class", "epoch", "pattern", "cells", "deadlock", "avail(min)", "avail(mean)",
+		"class", "epoch", "pattern", "cells", "deadlock", "dl-recov", "avail(min)", "avail(mean)",
 		"killed", "retx", "recovered", "lost-unreach", "dup", "as-predicted",
 	)
 	type key struct {
@@ -519,7 +735,7 @@ func (r *Result) Table() *stats.Table {
 		pattern string
 	}
 	type agg struct {
-		cells, deadlocks                     int
+		cells, deadlocks, recoveries         int
 		availSum, availMin                   float64
 		killed, retx, recovered, lostUnreach int
 		dup                                  int
@@ -539,6 +755,7 @@ func (r *Result) Table() *stats.Table {
 		if c.Deadlocked {
 			g.deadlocks++
 		}
+		g.recoveries += c.Recoveries
 		av := c.Availability()
 		g.availSum += av
 		if av < g.availMin {
@@ -555,7 +772,7 @@ func (r *Result) Table() *stats.Table {
 	}
 	for _, k := range order {
 		g := groups[k]
-		t.AddRow(k.class, k.epoch, k.pattern, g.cells, g.deadlocks,
+		t.AddRow(k.class, k.epoch, k.pattern, g.cells, g.deadlocks, g.recoveries,
 			g.availMin, g.availSum/float64(g.cells),
 			g.killed, g.retx, g.recovered, g.lostUnreach, g.dup,
 			fmt.Sprintf("%d/%d", g.predicted, g.cells))
@@ -568,8 +785,8 @@ func (r *Result) Table() *stats.Table {
 func (r *Result) String() string {
 	var b strings.Builder
 	b.WriteString(r.Table().String())
-	fmt.Fprintf(&b, "cells=%d deadlocks=%d stalls=%d undrained=%d\n",
-		len(r.Cells), r.Deadlocks(), r.Stalls(), r.undrained())
+	fmt.Fprintf(&b, "cells=%d deadlocks=%d stalls=%d undrained=%d recoveries=%d livelocked=%d\n",
+		len(r.Cells), r.Deadlocks(), r.Stalls(), r.undrained(), r.Recoveries(), r.Livelocked())
 	return b.String()
 }
 

@@ -12,14 +12,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
 	"sr2201/internal/core"
 	"sr2201/internal/deadlock"
 	"sr2201/internal/engine"
+	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/recovery"
 	"sr2201/internal/routing"
 	"sr2201/internal/stats"
 )
@@ -38,12 +41,29 @@ type SingleSpec struct {
 	Horizon    int64
 	// Inject tunes recovery (retransmission etc.).
 	Inject inject.Options
+	// Recovery enables the liveness layer (as in Spec.Recovery).
+	Recovery recovery.Options
+	// Preset faults are installed before any traffic.
+	Preset []fault.Fault
+	// Broadcasts schedules broadcast injections alongside the unicast
+	// waves, in ascending cycle order.
+	Broadcasts []Broadcast
+	// SXB/DXB/DXBSeparate/NaiveBroadcast/PivotLastDim forward to
+	// core.Config, selecting the crossbar design variant under test.
+	SXB            geom.Coord
+	DXB            geom.Coord
+	DXBSeparate    bool
+	NaiveBroadcast bool
+	PivotLastDim   bool
 	// Ctx, if non-nil, cancels the run between cycles; RunSingle then
 	// returns ctx.Err() with the report truncated mid-stream.
 	Ctx context.Context
 	// OnCycle, if non-nil, is called every progressInterval cycles with the
 	// engine's hot-path counters — the job server's progress feed.
 	OnCycle func(cycle int64, ctr engine.Counters)
+	// OnRecovery, if non-nil, is called for every recovery event, after the
+	// report line is written (the job server's recovery feed).
+	OnRecovery func(recovery.Event)
 }
 
 // progressInterval is how often RunSingle samples OnCycle.
@@ -58,12 +78,18 @@ type SingleRun struct {
 	m    *core.Machine
 	inj  *inject.Injector
 	wd   *deadlock.Watchdog
+	sup  *recovery.Supervisor
 	w    io.Writer
 
 	offered, accepted, refused int
+	bcasts, bcastsRefused      int
+	bcastCopiesExpected        int
 	reported                   int
+	reportedRecov              int
 	wave                       int
+	bNext                      int
 	outcome                    deadlock.Outcome
+	livelocked                 bool
 	done                       bool
 }
 
@@ -73,22 +99,64 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 	if spec.Horizon <= 0 {
 		spec.Horizon = 50_000
 	}
+	if len(spec.Broadcasts) > 0 {
+		for _, b := range spec.Broadcasts {
+			if b.Cycle < 0 {
+				return nil, fmt.Errorf("campaign: negative broadcast cycle %d", b.Cycle)
+			}
+		}
+		bs := append([]Broadcast(nil), spec.Broadcasts...)
+		sort.SliceStable(bs, func(i, j int) bool { return bs[i].Cycle < bs[j].Cycle })
+		spec.Broadcasts = bs
+	}
 	m, err := core.NewMachine(core.Config{
 		Shape:          spec.Shape,
+		SXB:            spec.SXB,
+		DXB:            spec.DXB,
+		DXBSeparate:    spec.DXBSeparate,
+		NaiveBroadcast: spec.NaiveBroadcast,
+		PivotLastDim:   spec.PivotLastDim,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 	})
 	if err != nil {
 		return nil, err
 	}
+	for _, f := range spec.Preset {
+		if err := m.AddFault(f); err != nil {
+			return nil, fmt.Errorf("campaign: preset fault: %w", err)
+		}
+	}
 	inj, err := inject.New(m, spec.Events, spec.Inject)
 	if err != nil {
 		return nil, err
 	}
+	r := &SingleRun{spec: spec, m: m, inj: inj, w: w}
+	if spec.Recovery.Enabled {
+		r.sup = recovery.New(m, inj, spec.Recovery)
+		r.sup.OnEvent(func(ev recovery.Event) {
+			fmt.Fprintf(w, "%s\n", ev)
+			r.reportedRecov++
+			if spec.OnRecovery != nil {
+				spec.OnRecovery(ev)
+			}
+		})
+	}
 	fmt.Fprintf(w, "shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
 		spec.Shape, spec.Pattern.Name, spec.Waves, spec.Gap, spec.Inject.Retransmit)
+	for _, f := range spec.Preset {
+		fmt.Fprintf(w, "preset: %s\n", f)
+	}
 	for _, ev := range spec.Events {
 		fmt.Fprintf(w, "scheduled: %s @ cycle %d\n", ev.Fault, ev.Cycle)
+	}
+	for _, b := range spec.Broadcasts {
+		fmt.Fprintf(w, "scheduled: broadcast from %v @ cycle %d\n", b.Src, b.Cycle)
+	}
+	if r.sup != nil {
+		opt := r.sup.Options()
+		fmt.Fprintf(w, "recovery: enabled (stall-threshold=%d max-recoveries=%d)\n",
+			opt.StallThreshold, opt.MaxRecoveries)
 	}
 
 	eng := m.Engine()
@@ -105,10 +173,8 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 			}
 		}
 	}
-	return &SingleRun{
-		spec: spec, m: m, inj: inj, w: w,
-		wd: deadlock.NewWatchdog(eng, spec.Inject.StallThreshold),
-	}, nil
+	r.wd = deadlock.NewWatchdog(eng, spec.Inject.StallThreshold)
+	return r, nil
 }
 
 // Machine exposes the run's machine (the replay tooling reads its engine).
@@ -119,6 +185,19 @@ func (r *SingleRun) Cycle() int64 { return r.m.Cycle() }
 
 // Done reports whether the run has reached its verdict.
 func (r *SingleRun) Done() bool { return r.done }
+
+// Livelocked reports whether the recovery layer escalated to the
+// ErrLivelock verdict (per-packet recovery cap exceeded).
+func (r *SingleRun) Livelocked() bool { return r.livelocked }
+
+// Recoveries returns the number of victims the recovery layer purged from
+// confirmed wait cycles (0 when recovery is disabled).
+func (r *SingleRun) Recoveries() int {
+	if r.sup == nil {
+		return 0
+	}
+	return r.sup.Stats().Recoveries
+}
 
 func (r *SingleRun) printCasualty(c inject.Casualty) {
 	fmt.Fprintf(r.w, "cycle %d: %s fails — %d packet(s) killed in flight\n",
@@ -166,7 +245,18 @@ func (r *SingleRun) Step() bool {
 		})
 		r.wave++
 	}
-	if r.wave >= r.spec.Waves && eng.Quiescent() && !r.inj.Pending() {
+	for r.bNext < len(r.spec.Broadcasts) && r.spec.Broadcasts[r.bNext].Cycle <= eng.Cycle() {
+		b := r.spec.Broadcasts[r.bNext]
+		r.bNext++
+		if _, copies, err := r.m.Broadcast(b.Src, b.Size); err != nil {
+			r.bcastsRefused++
+		} else {
+			r.bcasts++
+			r.bcastCopiesExpected += copies
+		}
+	}
+	if r.wave >= r.spec.Waves && r.bNext >= len(r.spec.Broadcasts) &&
+		eng.Quiescent() && !r.inj.Pending() {
 		r.outcome.Drained = true
 		r.done = true
 		return true
@@ -176,7 +266,16 @@ func (r *SingleRun) Step() bool {
 		r.printCasualty(c)
 		r.reported++
 	}
-	if r.wd.Stalled() {
+	if r.sup != nil {
+		// The liveness layer owns the stall verdict: it recovers what it
+		// can and decides only when it cannot.
+		if v := r.sup.Verdict(); v.Decided {
+			r.outcome.Stalled = true
+			r.outcome.Deadlocked = v.Deadlocked
+			r.livelocked = v.Livelocked
+			r.done = true
+		}
+	} else if r.wd.Stalled() {
 		rep := deadlock.Analyze(eng)
 		r.outcome.Stalled = true
 		r.outcome.Deadlocked = rep.Deadlocked
@@ -198,15 +297,30 @@ func (r *SingleRun) Finish() (deadlock.Outcome, error) {
 	r.outcome.Cycle = r.m.Engine().Cycle()
 
 	st := r.inj.Stats()
+	delivered, bcopies := 0, 0
+	for _, d := range r.m.Deliveries() {
+		if d.Broadcast {
+			bcopies++
+		} else {
+			delivered++
+		}
+	}
 	t := stats.NewTable("dynamic-fault accounting",
-		"offered", "accepted", "refused", "delivered",
-		"killed", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
-	t.AddRow(r.offered, r.accepted, r.refused, len(r.m.Deliveries()),
-		st.KilledInFlight+st.DropsEnRoute, st.Retransmits, st.Recovered,
+		"offered", "accepted", "refused", "bcast", "delivered", "bcopies",
+		"killed", "victims", "retx", "recovered", "lost-unreach", "lost-exhaust", "dup")
+	t.AddRow(r.offered, r.accepted, r.refused, r.bcasts, delivered, bcopies,
+		st.KilledInFlight+st.DropsEnRoute, st.Victims, st.Retransmits, st.Recovered,
 		st.LostUnreachable, st.LostExhausted, st.Duplicates)
 	fmt.Fprintln(r.w)
 	fmt.Fprint(r.w, t.String())
+	if r.sup != nil {
+		s := r.sup.Stats()
+		fmt.Fprintf(r.w, "recoveries: %d (stalls detected %d, unrecoverable %d)\n",
+			s.Recoveries, s.StallsDetected, s.VictimsUnrecoverable)
+	}
 	switch {
+	case r.livelocked:
+		fmt.Fprintf(r.w, "outcome: LIVELOCK at cycle %d (per-packet recovery cap exceeded)\n", r.outcome.Cycle)
 	case r.outcome.Deadlocked:
 		fmt.Fprintf(r.w, "outcome: DEADLOCK at cycle %d\n", r.outcome.Cycle)
 	case r.outcome.Stalled:
@@ -238,8 +352,27 @@ func RunSingle(spec SingleSpec, w io.Writer) (deadlock.Outcome, error) {
 	return r.Finish()
 }
 
-// ParsePattern parses one traffic-pattern name: shift+K | reverse. The CLI
-// and the job server share it so they accept identical spellings.
+// parsePairCoord parses one "2,1"-style endpoint of a pair pattern,
+// returning the coordinate and its dimensionality.
+func parsePairCoord(s string) (geom.Coord, int, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) < 1 || len(parts) > geom.MaxDims {
+		return geom.Coord{}, 0, fmt.Errorf("coordinate %q needs 1..%d components", s, geom.MaxDims)
+	}
+	var c geom.Coord
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return geom.Coord{}, 0, fmt.Errorf("bad coordinate component %q", p)
+		}
+		c[i] = v
+	}
+	return c, len(parts), nil
+}
+
+// ParsePattern parses one traffic-pattern name: shift+K | reverse |
+// pair:SRC>DST. The CLI and the job server share it so they accept
+// identical spellings.
 func ParsePattern(name string) (Pattern, error) {
 	name = strings.TrimSpace(name)
 	switch {
@@ -251,15 +384,58 @@ func ParsePattern(name string) (Pattern, error) {
 			return Pattern{}, fmt.Errorf("campaign: bad shift pattern %q", name)
 		}
 		return Shift(k), nil
+	case strings.HasPrefix(name, "pair:"):
+		rest := strings.TrimPrefix(name, "pair:")
+		halves := strings.Split(rest, ">")
+		if len(halves) != 2 {
+			return Pattern{}, fmt.Errorf("campaign: bad pair pattern %q (want pair:SRC>DST)", name)
+		}
+		src, sd, err := parsePairCoord(halves[0])
+		if err != nil {
+			return Pattern{}, fmt.Errorf("campaign: bad pair pattern %q: %v", name, err)
+		}
+		dst, dd, err := parsePairCoord(halves[1])
+		if err != nil {
+			return Pattern{}, fmt.Errorf("campaign: bad pair pattern %q: %v", name, err)
+		}
+		if sd != dd {
+			return Pattern{}, fmt.Errorf("campaign: pair pattern %q mixes %d- and %d-dimensional endpoints", name, sd, dd)
+		}
+		if src == dst {
+			return Pattern{}, fmt.Errorf("campaign: pair pattern %q sends to itself", name)
+		}
+		return Pair(src, dst, sd), nil
 	default:
-		return Pattern{}, fmt.Errorf("campaign: unknown pattern %q (shift+K | reverse)", name)
+		return Pattern{}, fmt.Errorf("campaign: unknown pattern %q (shift+K | reverse | pair:SRC>DST)", name)
 	}
 }
 
-// ParsePatterns parses a comma-separated pattern list.
+// pairComplete reports whether a "pair:..." spec has both endpoints: a '>'
+// with as many destination components as source components. ParsePatterns
+// uses it to re-join the comma-separated tokens of one pair spec.
+func pairComplete(s string) bool {
+	rest := strings.TrimPrefix(strings.TrimSpace(s), "pair:")
+	gt := strings.IndexByte(rest, '>')
+	if gt < 0 {
+		return false
+	}
+	return strings.Count(rest[gt+1:], ",") >= strings.Count(rest[:gt], ",")
+}
+
+// ParsePatterns parses a comma-separated pattern list. Pair specs contain
+// commas of their own ("pair:0,1>2,2"); their tokens are re-joined until the
+// destination is as long as the source.
 func ParsePatterns(s string) ([]Pattern, error) {
+	tokens := strings.Split(s, ",")
 	var out []Pattern
-	for _, name := range strings.Split(s, ",") {
+	for i := 0; i < len(tokens); i++ {
+		name := tokens[i]
+		if strings.HasPrefix(strings.TrimSpace(name), "pair:") {
+			for !pairComplete(name) && i+1 < len(tokens) {
+				i++
+				name += "," + tokens[i]
+			}
+		}
 		p, err := ParsePattern(name)
 		if err != nil {
 			return nil, err

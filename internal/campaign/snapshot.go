@@ -12,6 +12,7 @@ import (
 	"sr2201/internal/core"
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
+	"sr2201/internal/recovery"
 )
 
 const (
@@ -26,6 +27,7 @@ func (r *SingleRun) EncodeState(w *checkpoint.Writer) {
 	r.m.EncodeState(w)
 	r.inj.EncodeState(w)
 	e := w.Section(secSingle)
+	e.Uint(workloadHash(r.spec.Preset, r.spec.Broadcasts))
 	e.String(r.spec.Pattern.Name)
 	e.Int(int64(r.spec.Waves))
 	e.Int(r.spec.Gap)
@@ -34,12 +36,21 @@ func (r *SingleRun) EncodeState(w *checkpoint.Writer) {
 	e.Int(int64(r.offered))
 	e.Int(int64(r.accepted))
 	e.Int(int64(r.refused))
+	e.Int(int64(r.bcasts))
+	e.Int(int64(r.bcastsRefused))
+	e.Int(int64(r.bcastCopiesExpected))
 	e.Int(int64(r.reported))
+	e.Int(int64(r.reportedRecov))
 	e.Int(int64(r.wave))
+	e.Int(int64(r.bNext))
 	e.Bool(r.outcome.Drained)
 	e.Bool(r.outcome.Stalled)
 	e.Bool(r.outcome.Deadlocked)
+	e.Bool(r.livelocked)
 	e.Bool(r.done)
+	if r.sup != nil {
+		r.sup.EncodeState(w)
+	}
 }
 
 // Snapshot serializes the run into one container.
@@ -69,6 +80,9 @@ func (r *SingleRun) Restore(data []byte) error {
 	if err != nil {
 		return err
 	}
+	if got, want := d.Uint(), workloadHash(r.spec.Preset, r.spec.Broadcasts); d.Err() == nil && got != want {
+		return fmt.Errorf("checkpoint: section %q: workload fingerprint %016x does not match this run's %016x", secSingle, got, want)
+	}
 	if name := d.String(); d.Err() == nil && name != r.spec.Pattern.Name {
 		return fmt.Errorf("checkpoint: section %q: pattern %q does not match this run's %q", secSingle, name, r.spec.Pattern.Name)
 	}
@@ -79,11 +93,17 @@ func (r *SingleRun) Restore(data []byte) error {
 	offered := d.IntAsInt()
 	accepted := d.IntAsInt()
 	refused := d.IntAsInt()
+	bcasts := d.IntAsInt()
+	bcastsRefused := d.IntAsInt()
+	bcastCopiesExpected := d.IntAsInt()
 	reported := d.IntAsInt()
+	reportedRecov := d.IntAsInt()
 	wave := d.IntAsInt()
+	bNext := d.IntAsInt()
 	drained := d.Bool()
 	stalled := d.Bool()
 	deadlocked := d.Bool()
+	livelocked := d.Bool()
 	done := d.Bool()
 	if err := d.Finish(); err != nil {
 		return err
@@ -91,19 +111,90 @@ func (r *SingleRun) Restore(data []byte) error {
 	if wave < 0 || wave > r.spec.Waves {
 		return fmt.Errorf("checkpoint: section %q: wave %d outside [0,%d]", secSingle, wave, r.spec.Waves)
 	}
+	if bNext < 0 || bNext > len(r.spec.Broadcasts) {
+		return fmt.Errorf("checkpoint: section %q: broadcast index %d outside schedule of %d", secSingle, bNext, len(r.spec.Broadcasts))
+	}
 	if reported < 0 || reported > len(r.inj.Casualties()) {
 		return fmt.Errorf("checkpoint: section %q: reported %d outside casualty list of %d", secSingle, reported, len(r.inj.Casualties()))
 	}
+	if r.sup != nil {
+		if err := r.sup.DecodeState(rd); err != nil {
+			return err
+		}
+	}
+	maxRecov := 0
+	if r.sup != nil {
+		maxRecov = len(r.sup.Events())
+	}
+	if reportedRecov < 0 || reportedRecov > maxRecov {
+		return fmt.Errorf("checkpoint: section %q: reported recoveries %d outside event list of %d", secSingle, reportedRecov, maxRecov)
+	}
 	r.offered, r.accepted, r.refused = offered, accepted, refused
+	r.bcasts, r.bcastsRefused, r.bcastCopiesExpected = bcasts, bcastsRefused, bcastCopiesExpected
 	r.wave = wave
+	r.bNext = bNext
 	r.outcome.Drained, r.outcome.Stalled, r.outcome.Deadlocked = drained, stalled, deadlocked
+	r.livelocked = livelocked
 	r.done = done
-	r.reported = 0
-	for _, c := range r.inj.Casualties()[:reported] {
-		r.printCasualty(c)
-		r.reported++
+	// Re-render the already-reported casualty and recovery lines in the
+	// order the uninterrupted run printed them. A recovery at engine cycle
+	// rc prints during the step that ends at rc; a casualty recorded at
+	// cycle cc prints at the end of the step that advanced cc -> cc+1 — so
+	// the recovery line precedes every casualty with cc >= rc-1.
+	cas := r.inj.Casualties()[:reported]
+	var evs []recovery.Event
+	if r.sup != nil {
+		evs = r.sup.Events()[:reportedRecov]
+	}
+	r.reported, r.reportedRecov = 0, 0
+	for len(cas) > 0 || len(evs) > 0 {
+		if len(evs) > 0 && (len(cas) == 0 || evs[0].Cycle <= cas[0].Cycle+1) {
+			fmt.Fprintf(r.w, "%s\n", evs[0])
+			evs = evs[1:]
+			r.reportedRecov++
+		} else {
+			r.printCasualty(cas[0])
+			cas = cas[1:]
+			r.reported++
+		}
 	}
 	return nil
+}
+
+// workloadHash digests the preset faults and the broadcast schedule, the
+// spec inputs no other fingerprint covers (the machine hashes its config,
+// the injector its event schedule).
+func workloadHash(preset []fault.Fault, bcasts []Broadcast) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v int64) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	mix(int64(len(preset)))
+	for _, f := range preset {
+		mix(int64(f.Kind))
+		for _, v := range f.Coord {
+			mix(int64(v))
+		}
+		mix(int64(f.Line.Dim))
+		for _, v := range f.Line.Fixed {
+			mix(int64(v))
+		}
+	}
+	mix(int64(len(bcasts)))
+	for _, b := range bcasts {
+		mix(b.Cycle)
+		for _, v := range b.Src {
+			mix(int64(v))
+		}
+		mix(int64(b.Size))
+	}
+	return h
 }
 
 // EncodeState appends the cell's loop state plus its machine's, injector's
@@ -114,6 +205,7 @@ func (c *CellRun) EncodeState(w *checkpoint.Writer) {
 	e := w.Section(secCell)
 	// Spec guard: the machine and injector carry their own fingerprints;
 	// these cover the wave-loop knobs they cannot see.
+	e.Uint(workloadHash(c.spec.Preset, c.spec.Broadcasts))
 	e.String(c.spec.Pattern.Name)
 	e.Int(int64(c.spec.Waves))
 	e.Int(c.spec.Gap)
@@ -121,15 +213,21 @@ func (c *CellRun) EncodeState(w *checkpoint.Writer) {
 	e.Bool(c.spec.KeepDeliveries)
 	c.wd.EncodeState(e)
 	e.Int(int64(c.wave))
+	e.Int(int64(c.bNext))
 	e.Bool(c.done)
 	for _, v := range []int{
 		c.res.Offered, c.res.Accepted, c.res.Refused, c.res.RefusedOther,
-		c.res.WavesAfterFault,
+		c.res.WavesAfterFault, c.res.Broadcasts, c.res.BroadcastsRefused,
+		c.res.BroadcastCopiesExpected,
 	} {
 		e.Int(int64(v))
 	}
 	e.Bool(c.res.Stalled)
 	e.Bool(c.res.Deadlocked)
+	e.Bool(c.res.Livelocked)
+	if c.sup != nil {
+		c.sup.EncodeState(w)
+	}
 }
 
 // Snapshot serializes the cell into one container.
@@ -152,6 +250,9 @@ func (c *CellRun) DecodeState(r *checkpoint.Reader) error {
 	if err != nil {
 		return err
 	}
+	if got, want := d.Uint(), workloadHash(c.spec.Preset, c.spec.Broadcasts); d.Err() == nil && got != want {
+		return fmt.Errorf("checkpoint: section %q: workload fingerprint %016x does not match this cell's %016x", secCell, got, want)
+	}
 	if name := d.String(); d.Err() == nil && name != c.spec.Pattern.Name {
 		return fmt.Errorf("checkpoint: section %q: pattern %q does not match this cell's %q", secCell, name, c.spec.Pattern.Name)
 	}
@@ -163,28 +264,43 @@ func (c *CellRun) DecodeState(r *checkpoint.Reader) error {
 	}
 	c.wd.DecodeState(d)
 	wave := d.IntAsInt()
+	bNext := d.IntAsInt()
 	done := d.Bool()
-	var counters [5]int
+	var counters [8]int
 	for i := range counters {
 		counters[i] = d.IntAsInt()
 	}
 	stalled := d.Bool()
 	deadlocked := d.Bool()
+	livelocked := d.Bool()
 	if err := d.Finish(); err != nil {
 		return err
 	}
 	if wave < 0 || wave > c.spec.Waves {
 		return fmt.Errorf("checkpoint: section %q: wave %d outside [0,%d]", secCell, wave, c.spec.Waves)
 	}
+	if bNext < 0 || bNext > len(c.spec.Broadcasts) {
+		return fmt.Errorf("checkpoint: section %q: broadcast index %d outside schedule of %d", secCell, bNext, len(c.spec.Broadcasts))
+	}
+	if c.sup != nil {
+		if err := c.sup.DecodeState(r); err != nil {
+			return err
+		}
+	}
 	c.wave = wave
+	c.bNext = bNext
 	c.done = done
 	c.res.Offered = counters[0]
 	c.res.Accepted = counters[1]
 	c.res.Refused = counters[2]
 	c.res.RefusedOther = counters[3]
 	c.res.WavesAfterFault = counters[4]
+	c.res.Broadcasts = counters[5]
+	c.res.BroadcastsRefused = counters[6]
+	c.res.BroadcastCopiesExpected = counters[7]
 	c.res.Stalled = stalled
 	c.res.Deadlocked = deadlocked
+	c.res.Livelocked = livelocked
 	return nil
 }
 
@@ -209,6 +325,9 @@ func EncodeResult(res CellResult) []byte {
 	for _, v := range []int{
 		res.Offered, res.Accepted, res.Refused, res.RefusedOther,
 		res.Delivered, res.PredictedUnreachablePerWave, res.WavesAfterFault,
+		res.Broadcasts, res.BroadcastsRefused, res.BroadcastCopiesExpected,
+		res.BroadcastCopies, res.Recoveries,
+		res.SourceDeadPairs, res.DestDeadPairs, res.UnreachablePairs,
 	} {
 		e.Int(int64(v))
 	}
@@ -216,7 +335,7 @@ func EncodeResult(res CellResult) []byte {
 		res.Stats.EventsApplied, res.Stats.KilledInFlight, res.Stats.DropsEnRoute,
 		res.Stats.DropsOther, res.Stats.Retransmits, res.Stats.Recovered,
 		res.Stats.Duplicates, res.Stats.LostUnreachable, res.Stats.LostExhausted,
-		res.Stats.LostUntraceable,
+		res.Stats.LostUntraceable, res.Stats.Victims,
 	} {
 		e.Int(int64(v))
 	}
@@ -224,6 +343,7 @@ func EncodeResult(res CellResult) []byte {
 	e.Bool(res.Drained)
 	e.Bool(res.Stalled)
 	e.Bool(res.Deadlocked)
+	e.Bool(res.Livelocked)
 	e.Int(res.EndCycle)
 	e.Uint(uint64(len(res.Deliveries)))
 	for _, d := range res.Deliveries {
@@ -255,6 +375,9 @@ func DecodeResult(data []byte) (CellResult, error) {
 	for _, p := range []*int{
 		&res.Offered, &res.Accepted, &res.Refused, &res.RefusedOther,
 		&res.Delivered, &res.PredictedUnreachablePerWave, &res.WavesAfterFault,
+		&res.Broadcasts, &res.BroadcastsRefused, &res.BroadcastCopiesExpected,
+		&res.BroadcastCopies, &res.Recoveries,
+		&res.SourceDeadPairs, &res.DestDeadPairs, &res.UnreachablePairs,
 	} {
 		*p = d.IntAsInt()
 	}
@@ -262,7 +385,7 @@ func DecodeResult(data []byte) (CellResult, error) {
 		&res.Stats.EventsApplied, &res.Stats.KilledInFlight, &res.Stats.DropsEnRoute,
 		&res.Stats.DropsOther, &res.Stats.Retransmits, &res.Stats.Recovered,
 		&res.Stats.Duplicates, &res.Stats.LostUnreachable, &res.Stats.LostExhausted,
-		&res.Stats.LostUntraceable,
+		&res.Stats.LostUntraceable, &res.Stats.Victims,
 	} {
 		*p = d.IntAsInt()
 	}
@@ -270,6 +393,7 @@ func DecodeResult(data []byte) (CellResult, error) {
 	res.Drained = d.Bool()
 	res.Stalled = d.Bool()
 	res.Deadlocked = d.Bool()
+	res.Livelocked = d.Bool()
 	res.EndCycle = d.Int()
 	n := d.Len(8)
 	for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 // Package cliutil parses the small textual formats the command-line tools
 // share: shapes ("8x8"), coordinates ("2,1"), fault specifications
-// ("rtc:2,1" or "xb:0:0,1"), and fault schedules ("rtc:2,1@500").
+// ("rtc:2,1" or "xb:0:0,1"), fault schedules ("rtc:2,1@500"), broadcast
+// schedules ("3,2@250"), and the recovery-flag triple.
 package cliutil
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
+	"sr2201/internal/recovery"
 )
 
 // ParseShape parses "n1xn2x..." into a Shape, e.g. "8x8" or "4x4x4".
@@ -116,4 +118,59 @@ func ParseScheduledFault(s string, shape geom.Shape) (fault.Fault, int64, error)
 		return fault.Fault{}, 0, err
 	}
 	return f, cycle, nil
+}
+
+// ParseBroadcast parses a broadcast schedule specification:
+//
+//	X,Y@CYCLE   the PE at the coordinate broadcasts at CYCLE
+//
+// The source is validated against the shape; the cycle must be a
+// non-negative integer.
+func ParseBroadcast(s string, shape geom.Shape) (geom.Coord, int64, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 {
+		return geom.Coord{}, 0, fmt.Errorf("cliutil: broadcast %q needs SRC@CYCLE", s)
+	}
+	cycle, err := strconv.ParseInt(strings.TrimSpace(s[at+1:]), 10, 64)
+	if err != nil {
+		return geom.Coord{}, 0, fmt.Errorf("cliutil: bad cycle in broadcast %q: %v", s, err)
+	}
+	if cycle < 0 {
+		return geom.Coord{}, 0, fmt.Errorf("cliutil: negative cycle in broadcast %q", s)
+	}
+	src, err := ParseCoord(s[:at], shape.Dims())
+	if err != nil {
+		return geom.Coord{}, 0, err
+	}
+	if !shape.Contains(src) {
+		return geom.Coord{}, 0, fmt.Errorf("cliutil: broadcast source %q outside shape", s[:at])
+	}
+	return src, cycle, nil
+}
+
+// RecoveryOptions assembles the recovery.Options a CLI's flag triple
+// describes, rejecting the spellings that silently do nothing: negative
+// knobs, and tuning knobs without the enable switch. stallThreshold and
+// maxRecoveries of 0 select the package defaults.
+func RecoveryOptions(enable bool, stallThreshold int64, maxRecoveries int) (recovery.Options, error) {
+	if stallThreshold < 0 {
+		return recovery.Options{}, fmt.Errorf("cliutil: negative recovery stall threshold %d", stallThreshold)
+	}
+	if maxRecoveries < 0 {
+		return recovery.Options{}, fmt.Errorf("cliutil: negative recovery cap %d", maxRecoveries)
+	}
+	if !enable {
+		if stallThreshold != 0 {
+			return recovery.Options{}, fmt.Errorf("cliutil: recovery stall threshold %d needs -recover", stallThreshold)
+		}
+		if maxRecoveries != 0 {
+			return recovery.Options{}, fmt.Errorf("cliutil: recovery cap %d needs -recover", maxRecoveries)
+		}
+		return recovery.Options{}, nil
+	}
+	return recovery.Options{
+		Enabled:        true,
+		StallThreshold: stallThreshold,
+		MaxRecoveries:  maxRecoveries,
+	}, nil
 }

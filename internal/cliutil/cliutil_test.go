@@ -5,6 +5,7 @@ import (
 
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
+	"sr2201/internal/recovery"
 )
 
 func TestParseShape(t *testing.T) {
@@ -185,5 +186,84 @@ func TestParseCoordForms(t *testing.T) {
 		if c, err := ParseCoord(tc.in, tc.dims); err == nil {
 			t.Errorf("ParseCoord(%q, %d) = %v, want error", tc.in, tc.dims, c)
 		}
+	}
+}
+
+// TestParseBroadcast table-tests the SRC@CYCLE broadcast-schedule syntax,
+// error paths included.
+func TestParseBroadcast(t *testing.T) {
+	shape := geom.MustShape(4, 4)
+	good := []struct {
+		in    string
+		src   geom.Coord
+		cycle int64
+	}{
+		{"3,2@250", geom.Coord{3, 2}, 250},
+		{"0,0@0", geom.Coord{0, 0}, 0},
+		{" 1,3 @ 40 ", geom.Coord{1, 3}, 40},
+	}
+	for _, tc := range good {
+		src, cycle, err := ParseBroadcast(tc.in, shape)
+		if err != nil || src != tc.src || cycle != tc.cycle {
+			t.Errorf("ParseBroadcast(%q) = %v, %d, %v; want %v, %d", tc.in, src, cycle, err, tc.src, tc.cycle)
+		}
+	}
+	bad := []string{
+		"",         // empty
+		"3,2",      // no cycle
+		"@250",     // no source
+		"3,2@",     // empty cycle
+		"3,2@-1",   // negative cycle
+		"3,2@x",    // non-numeric cycle
+		"3@250",    // wrong dimensionality
+		"4,0@250",  // outside shape
+		"3,2@@250", // the last @ splits "3,2@" / "250"
+		"3;2@250",  // bad separator
+	}
+	for _, in := range bad {
+		if src, cycle, err := ParseBroadcast(in, shape); err == nil {
+			t.Errorf("ParseBroadcast(%q) = %v, %d, want error", in, src, cycle)
+		}
+	}
+}
+
+// TestRecoveryOptions table-tests the flag-triple assembly, in particular
+// the spellings that would otherwise silently do nothing.
+func TestRecoveryOptions(t *testing.T) {
+	tests := []struct {
+		name    string
+		enable  bool
+		stall   int64
+		cap_    int
+		wantErr bool
+		want    recovery.Options
+	}{
+		{name: "disabled zero value", want: recovery.Options{}},
+		{name: "enabled defaults", enable: true,
+			want: recovery.Options{Enabled: true}},
+		{name: "enabled tuned", enable: true, stall: 256, cap_: 5,
+			want: recovery.Options{Enabled: true, StallThreshold: 256, MaxRecoveries: 5}},
+		{name: "stall without enable", stall: 256, wantErr: true},
+		{name: "cap without enable", cap_: 5, wantErr: true},
+		{name: "negative stall", enable: true, stall: -1, wantErr: true},
+		{name: "negative cap", enable: true, cap_: -1, wantErr: true},
+		{name: "negative stall while disabled", stall: -1, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := RecoveryOptions(tc.enable, tc.stall, tc.cap_)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("RecoveryOptions = %+v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("RecoveryOptions = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }

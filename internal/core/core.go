@@ -274,6 +274,31 @@ func (m *Machine) FailNow(f fault.Fault) ([]Lost, error) {
 	return lost, nil
 }
 
+// PurgePacket removes one packet from the network with the engine's
+// credit-conserving purge (engine.KillPacket): every flit, cut-through
+// state and receive state the packet holds is released exactly as normal
+// forwarding would release it, so the packets that were waiting on its
+// resources resume. No switch is marked failed and the routing policy is
+// untouched. The recovery layer uses it to sacrifice a deadlock victim.
+//
+// The second return is false — and nothing changes — when no trace of the
+// packet remains in the network.
+func (m *Machine) PurgePacket(id uint64) (Lost, bool) {
+	k, ok := m.eng.KillPacket(id)
+	if !ok {
+		return Lost{}, false
+	}
+	l := Lost{PacketID: k.ID, AlreadyDropped: k.AlreadyDropped}
+	if h := k.Header; h != nil {
+		l.Known = true
+		l.Src, l.Dst, l.RC, l.Size = h.Src, h.Dst, h.RC, h.Size
+		if h.TwoPhase {
+			l.Dst = h.FinalDst
+		}
+	}
+	return l, true
+}
+
 // Send queues a point-to-point packet of the given size in flits (0 = the
 // configured default). It refuses — like the NIA consulting the pre-set
 // fault information — sends whose destination is unreachable, returning the

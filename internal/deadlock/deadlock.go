@@ -52,6 +52,16 @@ func (w *Watchdog) Stalled() bool {
 	return w.eng.Cycle()-w.lastChange >= w.threshold
 }
 
+// Reset re-arms the watchdog as if it had just been created: the current
+// cycle becomes the new baseline for the stall countdown. The recovery
+// layer calls it after purging a deadlock victim — the purge itself moves
+// no flits, so without a reset the watchdog would re-fire immediately and
+// re-diagnose the half-dissolved cycle.
+func (w *Watchdog) Reset() {
+	w.lastMoves = w.eng.Moves()
+	w.lastChange = w.eng.Cycle()
+}
+
 // WaitEdge is one arc of the wait-for graph: the packet blocked at From is
 // waiting for a resource whose release depends on the packet at To.
 type WaitEdge struct {

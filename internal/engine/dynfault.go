@@ -81,14 +81,70 @@ func (e *Engine) KillSwitch(n *Node) []KilledPacket {
 	if len(wounded) == 0 {
 		return nil
 	}
+	sunk, _ := e.purgeWounded(wounded)
+
+	ids := make([]uint64, 0, len(wounded))
+	for id := range wounded {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := make([]KilledPacket, 0, len(ids))
+	for _, id := range ids {
+		k := KilledPacket{ID: id, Header: wounded[id], AlreadyDropped: sunk[id]}
+		if !k.AlreadyDropped {
+			e.dropped++
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// KillPacket purges one packet — every flit, route state and receive state
+// it holds anywhere in the network — with the same credit-conserving
+// semantics as KillSwitch, but without marking any switch failed. The
+// recovery layer uses it to sacrifice a deadlock victim: all resources the
+// packet held are released exactly as normal forwarding would release them,
+// so the packets it was deadlocked against resume.
+//
+// The second return is false (and nothing is counted dropped) when no trace
+// of the packet remains in the network. As with KillSwitch, call between
+// Steps (or from the PreCycle/PostCycle hooks), never from within a phase;
+// OnDrop is not invoked.
+func (e *Engine) KillPacket(id uint64) (KilledPacket, bool) {
+	wounded := map[uint64]*flit.Header{id: nil}
+	sunk, removed := e.purgeWounded(wounded)
+	if removed == 0 {
+		return KilledPacket{}, false
+	}
+	k := KilledPacket{ID: id, Header: wounded[id], AlreadyDropped: sunk[id]}
+	if !k.AlreadyDropped {
+		e.dropped++
+	}
+	return k, true
+}
+
+// purgeWounded removes every trace of the wounded packets from the whole
+// network — source-queue tails, input buffers, link pipelines, cut-through
+// states and endpoint receive state — releasing each resource exactly as
+// normal forwarding would (buffer slots and in-flight reservations return
+// credits upstream, granted output ports are freed). It upgrades wounded's
+// header entries as better headers surface, returns the set of packets the
+// routing layer had already sunk (counted dropped before the purge), and
+// the number of flits/states physically removed.
+func (e *Engine) purgeWounded(wounded map[uint64]*flit.Header) (sunk map[uint64]bool, removed int) {
+	add := func(id uint64, h *flit.Header) {
+		if cur, ok := wounded[id]; !ok || (cur == nil && h != nil) {
+			wounded[id] = h
+		}
+	}
 	hit := func(id uint64) bool {
 		_, ok := wounded[id]
 		return ok
 	}
 
-	// Purge the wounded packets everywhere. sunk remembers packets the
-	// routing layer had already counted as dropped (sink states).
-	sunk := map[uint64]bool{}
+	// sunk remembers packets the routing layer had already counted as
+	// dropped (sink states).
+	sunk = map[uint64]bool{}
 	for _, nd := range e.nodes {
 		if nd.Kind == KindEndpoint && nd.InjectQueueLen() > 0 {
 			// Un-injected tails of wounded packets die in the source queue.
@@ -97,6 +153,7 @@ func (e *Engine) KillSwitch(n *Node) []KilledPacket {
 				if hit(f.PacketID) {
 					add(f.PacketID, f.Header)
 					e.resident--
+					removed++
 					continue
 				}
 				kept = append(kept, f)
@@ -120,6 +177,7 @@ func (e *Engine) KillSwitch(n *Node) []KilledPacket {
 							in.upstream.from.creditReturn()
 						}
 						e.resident--
+						removed++
 						continue
 					}
 					kept = append(kept, f)
@@ -139,10 +197,12 @@ func (e *Engine) KillSwitch(n *Node) []KilledPacket {
 				}
 				e.freeRouteState(rs)
 				in.route = nil
+				removed++
 			}
 			if in.recvHeader != nil && hit(in.recvHeader.PacketID) {
 				add(in.recvHeader.PacketID, in.recvHeader)
 				in.recvHeader = nil
+				removed++
 			}
 		}
 	}
@@ -158,25 +218,12 @@ func (e *Engine) KillSwitch(n *Node) []KilledPacket {
 				// A flit in flight holds a downstream buffer reservation.
 				l.from.creditReturn()
 				e.resident--
+				removed++
 				continue
 			}
 			kept = append(kept, en)
 		}
 		l.pipe = kept
 	}
-
-	ids := make([]uint64, 0, len(wounded))
-	for id := range wounded {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	out := make([]KilledPacket, 0, len(ids))
-	for _, id := range ids {
-		k := KilledPacket{ID: id, Header: wounded[id], AlreadyDropped: sunk[id]}
-		if !k.AlreadyDropped {
-			e.dropped++
-		}
-		out = append(out, k)
-	}
-	return out
+	return sunk, removed
 }

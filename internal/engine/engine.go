@@ -389,6 +389,13 @@ type Engine struct {
 	// the hook must be deterministic for the reproducibility guarantee to
 	// hold.
 	PreCycle func(cycle int64)
+	// PostCycle, if non-nil, runs at the bottom of every Step, after every
+	// phase and after the cycle counter has advanced. It is the only hook
+	// from which whole-network surgery (KillSwitch, KillPacket) is safe
+	// *after* observing the cycle's outcome — the recovery layer uses it to
+	// detect a stalled network and purge a deadlock victim between cycles.
+	// Like PreCycle, the hook must be deterministic.
+	PostCycle func(cycle int64)
 }
 
 // New creates an empty network with the given configuration.
@@ -543,6 +550,9 @@ func (e *Engine) Step() {
 	e.inject()
 	e.cycle++
 	e.ctr.Cycles++
+	if e.PostCycle != nil {
+		e.PostCycle(e.cycle)
+	}
 }
 
 // RunUntilQuiescent steps until the network drains or maxCycles elapse.

@@ -118,7 +118,7 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns every registered experiment, ordered by series (E, A, F, V)
+// All returns every registered experiment, ordered by series (E, A, F, V, R)
 // then numerically within the series.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
@@ -135,8 +135,10 @@ func All() []Experiment {
 			return 2
 		case 'V':
 			return 3
-		default:
+		case 'R':
 			return 4
+		default:
+			return 5
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -77,7 +77,7 @@ func jobDigest(t *testing.T, ids []string, parallel int) uint64 {
 }
 
 func TestGoldenDigestsJoinJobsLayer(t *testing.T) {
-	ids := []string{"E1", "E4", "F1"}
+	ids := []string{"E1", "E4", "F1", "R1"}
 	serial := directDigest(t, ids, 1)
 	for _, parallel := range []int{1, 4} {
 		if d := directDigest(t, ids, parallel); d != serial {

@@ -1,0 +1,65 @@
+package inject
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackoffDelayCap pins the capped exponential backoff at and around the
+// cap boundary. Before the cap existed, RetryAfter × Backoff^n grew without
+// limit and overflowed int64 after ~57 doublings.
+func TestBackoffDelayCap(t *testing.T) {
+	cases := []struct {
+		name       string
+		retryAfter int64
+		backoff    int
+		cap        int64
+		attempts   int
+		want       int64
+	}{
+		{"first attempt uncapped", 64, 2, 1 << 16, 0, 64},
+		{"second attempt doubles", 64, 2, 1 << 16, 1, 128},
+		{"last uncapped step", 64, 2, 1 << 16, 10, 1 << 16}, // 64·2^10 = cap exactly
+		{"one past the cap", 64, 2, 1 << 16, 11, 1 << 16},
+		{"far past the cap", 64, 2, 1 << 16, 1000, 1 << 16},
+		{"would overflow int64", 64, 2, 1 << 16, 64, 1 << 16},
+		{"base already over cap", 1 << 20, 2, 1 << 16, 0, 1 << 16},
+		{"cap not on the geometric grid", 100, 3, 1000, 3, 1000}, // 100,300,900,2700→cap
+		{"under off-grid cap", 100, 3, 1000, 2, 900},
+		{"backoff 1 never grows", 64, 1, 1 << 16, 1000, 64},
+		{"huge cap, modest attempts", 64, 2, math.MaxInt64, 4, 1024},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := backoffDelay(tc.retryAfter, tc.backoff, tc.cap, tc.attempts)
+			if got != tc.want {
+				t.Fatalf("backoffDelay(%d, %d, %d, %d) = %d, want %d",
+					tc.retryAfter, tc.backoff, tc.cap, tc.attempts, got, tc.want)
+			}
+			if got > tc.cap {
+				t.Fatalf("delay %d exceeds cap %d", got, tc.cap)
+			}
+		})
+	}
+}
+
+// TestBackoffDelayNeverOverflows sweeps attempt counts far beyond any real
+// schedule and checks monotone, bounded growth (an overflow would show up as
+// a negative or shrinking delay).
+func TestBackoffDelayNeverOverflows(t *testing.T) {
+	const cap = int64(1) << 40
+	prev := int64(0)
+	for n := 0; n < 500; n++ {
+		d := backoffDelay(64, 2, cap, n)
+		if d <= 0 || d > cap {
+			t.Fatalf("attempts=%d: delay %d outside (0, %d]", n, d, cap)
+		}
+		if d < prev {
+			t.Fatalf("attempts=%d: delay %d shrank from %d", n, d, prev)
+		}
+		prev = d
+	}
+	if prev != cap {
+		t.Fatalf("sweep never reached the cap: final delay %d", prev)
+	}
+}

@@ -45,9 +45,20 @@ type Options struct {
 	Backoff int
 	// MaxRetries caps retransmission attempts per packet. <= 0 selects 4.
 	MaxRetries int
+	// MaxRetryAfter caps the backed-off timeout: the delay before attempt n
+	// is min(RetryAfter × Backoff^(n-1), MaxRetryAfter). Without a cap the
+	// product grows without limit — and overflows int64 — once a packet is
+	// lost repeatedly (e.g. a victim purged on every recovery round). <= 0
+	// selects DefaultMaxRetryAfter.
+	MaxRetryAfter int64
 	// StallThreshold configures Run's deadlock watchdog (<= 0 = default).
 	StallThreshold int64
 }
+
+// DefaultMaxRetryAfter is the default ceiling on the backed-off
+// retransmission timeout (cycles). Large enough that default-tuned
+// schedules (RetryAfter 64, Backoff 2, MaxRetries 4) never hit it.
+const DefaultMaxRetryAfter = 1 << 16
 
 func (o *Options) normalize() {
 	if o.RetryAfter <= 0 {
@@ -58,6 +69,9 @@ func (o *Options) normalize() {
 	}
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 4
+	}
+	if o.MaxRetryAfter <= 0 {
+		o.MaxRetryAfter = DefaultMaxRetryAfter
 	}
 }
 
@@ -102,14 +116,20 @@ type Stats struct {
 	// LostUntraceable counts purged packets whose header was gone, so no
 	// retransmission was possible.
 	LostUntraceable int
+	// Victims counts packets sacrificed by the recovery layer to dissolve a
+	// wait cycle (LoseVictim). Each is also routed through the normal loss
+	// machinery, so it ends delivered-on-retry, LostExhausted,
+	// LostUnreachable, LostUntraceable or DropsOther like any other loss.
+	Victims int
 }
 
 // chain tracks one logical packet across its retransmission attempts.
 type chain struct {
-	src, dst  geom.Coord
-	size      int
-	attempts  int // retransmissions sent so far
-	delivered int
+	src, dst   geom.Coord
+	size       int
+	attempts   int // retransmissions sent so far
+	delivered  int
+	victimized int // times sacrificed by the recovery layer (LoseVictim)
 }
 
 // resend is one scheduled retransmission.
@@ -247,11 +267,68 @@ func (inj *Injector) lose(cycle int64, id uint64, src, dst geom.Coord, size int)
 	if !inj.opt.Retransmit {
 		return
 	}
-	delay := inj.opt.RetryAfter
-	for i := 0; i < ch.attempts; i++ {
-		delay *= int64(inj.opt.Backoff)
-	}
+	delay := backoffDelay(inj.opt.RetryAfter, inj.opt.Backoff, inj.opt.MaxRetryAfter, ch.attempts)
 	inj.pendingResends = append(inj.pendingResends, resend{due: cycle + delay, ch: ch})
+}
+
+// backoffDelay computes min(retryAfter × backoff^attempts, cap) without ever
+// overflowing: the product is abandoned the moment one more multiplication
+// would cross the cap, so the intermediate value never exceeds cap × backoff.
+func backoffDelay(retryAfter int64, backoff int, cap int64, attempts int) int64 {
+	delay := retryAfter
+	if delay > cap {
+		return cap
+	}
+	for i := 0; i < attempts; i++ {
+		if delay > cap/int64(backoff) {
+			return cap
+		}
+		delay *= int64(backoff)
+	}
+	return delay
+}
+
+// LoseVictim routes one recovery-purged packet (core.PurgePacket) into the
+// loss machinery, exactly as a fault casualty would be: accounted, and —
+// with retransmission enabled — scheduled for re-send with the usual
+// backoff. It returns true when a retransmission chain now covers the
+// packet (so the loss is recoverable), false when the loss is final
+// (untraceable header, or a non-unicast packet that is never
+// retransmitted). Safe to call for a packet whose drop was already
+// observed: the handled guard makes it a no-op, returning whether the
+// earlier processing left a live chain.
+func (inj *Injector) LoseVictim(cycle int64, l core.Lost) bool {
+	if inj.handled[l.PacketID] {
+		ch := inj.chains[l.PacketID]
+		return ch != nil && inj.opt.Retransmit
+	}
+	inj.handled[l.PacketID] = true
+	if !l.Known {
+		inj.stats.LostUntraceable++
+		return false
+	}
+	if l.RC != flit.RCNormal && l.RC != flit.RCDetour {
+		// Broadcast branches and other non-unicast traffic cannot be
+		// retransmitted; the sacrifice is final.
+		inj.stats.DropsOther++
+		return false
+	}
+	inj.stats.Victims++
+	inj.lose(cycle, l.PacketID, l.Src, l.Dst, l.Size)
+	if ch := inj.chains[l.PacketID]; ch != nil {
+		ch.victimized++
+	}
+	return inj.opt.Retransmit
+}
+
+// Victimized reports how many times the logical packet behind the given
+// attempt ID has been sacrificed by the recovery layer. Zero for unknown
+// packets.
+func (inj *Injector) Victimized(id uint64) int {
+	if ch := inj.chains[id]; ch != nil {
+		return ch.victimized
+	}
+	return 0
 }
 
 // retry re-sends one chain's packet, or abandons it.

@@ -57,6 +57,7 @@ func (inj *Injector) scheduleHash() uint64 {
 	mix(inj.opt.RetryAfter)
 	mix(int64(inj.opt.Backoff))
 	mix(int64(inj.opt.MaxRetries))
+	mix(inj.opt.MaxRetryAfter)
 	mix(inj.opt.StallThreshold)
 	return h
 }
@@ -105,6 +106,7 @@ func (inj *Injector) EncodeState(w *checkpoint.Writer) {
 		cs.Int(int64(ch.size))
 		cs.Int(int64(ch.attempts))
 		cs.Int(int64(ch.delivered))
+		cs.Int(int64(ch.victimized))
 	}
 	cs.Uint(uint64(len(ids)))
 	for _, id := range ids {
@@ -133,7 +135,7 @@ func (inj *Injector) EncodeState(w *checkpoint.Writer) {
 		inj.stats.EventsApplied, inj.stats.KilledInFlight, inj.stats.DropsEnRoute,
 		inj.stats.DropsOther, inj.stats.Retransmits, inj.stats.Recovered,
 		inj.stats.Duplicates, inj.stats.LostUnreachable, inj.stats.LostExhausted,
-		inj.stats.LostUntraceable,
+		inj.stats.LostUntraceable, inj.stats.Victims,
 	} {
 		st.Int(int64(v))
 	}
@@ -183,7 +185,7 @@ func (inj *Injector) DecodeState(r *checkpoint.Reader) error {
 	if err != nil {
 		return err
 	}
-	nc := cs.Len(5)
+	nc := cs.Len(6)
 	chains := make([]*chain, 0, nc)
 	for i := 0; i < nc; i++ {
 		ch := &chain{}
@@ -192,6 +194,7 @@ func (inj *Injector) DecodeState(r *checkpoint.Reader) error {
 		ch.size = cs.IntAsInt()
 		ch.attempts = cs.IntAsInt()
 		ch.delivered = cs.IntAsInt()
+		ch.victimized = cs.IntAsInt()
 		chains = append(chains, ch)
 	}
 	nm := cs.Len(2)
@@ -238,7 +241,7 @@ func (inj *Injector) DecodeState(r *checkpoint.Reader) error {
 		&stats.EventsApplied, &stats.KilledInFlight, &stats.DropsEnRoute,
 		&stats.DropsOther, &stats.Retransmits, &stats.Recovered,
 		&stats.Duplicates, &stats.LostUnreachable, &stats.LostExhausted,
-		&stats.LostUntraceable,
+		&stats.LostUntraceable, &stats.Victims,
 	} {
 		*p = st.IntAsInt()
 	}

@@ -106,6 +106,26 @@ func TestDifferentialCLIvsServer(t *testing.T) {
 			},
 		},
 		{
+			// The paper's Fig. 9 deadlocking configuration (separate detour
+			// crossbar) runs to completion under deadlock recovery; the
+			// recovery event lines must match the CLI byte for byte.
+			name: "mdxfault_fig9_recovery",
+			spec: Spec{Kind: KindFault, Fault: &FaultSpec{
+				Shape: "4x4", Pattern: "pair:0,1>2,2", Waves: 1, Gap: 1, PacketSize: 24,
+				Presets: []string{"rtc:2,1"}, Broadcasts: []string{"3,2@0"},
+				Inject:   InjectSpec{Retransmit: true, RetryAfter: 32, Stall: 256},
+				Recovery: RecoverySpec{Enabled: true, StallThreshold: 256},
+				Variant:  VariantSpec{SXB: "0,0", DXB: "0,3", DXBSeparate: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-shape", "4x4", "-dxb-separate",
+					"-sxb", "0,0", "-dxb", "0,3", "-preset", "rtc:2,1",
+					"-patterns", "pair:0,1>2,2", "-broadcast", "3,2@0", "-packet", "24",
+					"-waves", "1", "-gap", "1", "-retransmit", "-retry-after", "32",
+					"-stall", "256", "-recover", "-stall-threshold", "256"}
+			},
+		},
+		{
 			name: "mdxfault_campaign",
 			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
 				Shape: "4x4", Epochs: []int64{12, 60}, Patterns: []string{"shift+5", "reverse"},

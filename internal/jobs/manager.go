@@ -31,11 +31,14 @@ func (s Status) terminal() bool {
 // exactly one per event within a stream.
 type Event struct {
 	Seq   int64  `json:"seq"`
-	Type  string `json:"type"` // queued | started | progress | done | failed | canceled
+	Type  string `json:"type"` // queued | started | progress | recovery | done | failed | canceled
 	Cells int64  `json:"cells,omitempty"`
 	// Cycles is the cumulative simulated cycles retired by the execution.
-	Cycles int64  `json:"cycles,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Cycles int64 `json:"cycles,omitempty"`
+	// Recoveries is the cumulative deadlock recoveries taken by the
+	// liveness layer across the execution.
+	Recoveries int64  `json:"recoveries,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -55,16 +58,17 @@ type execution struct {
 	canonical string
 	spec      Spec
 
-	mu       sync.Mutex
-	state    Status
-	events   []Event
-	notify   chan struct{} // closed and renewed on every append
-	artifact []byte
-	err      error
-	cancel   context.CancelFunc
-	attached int // jobs still wanting this run
-	cells    int64
-	cycles   int64
+	mu         sync.Mutex
+	state      Status
+	events     []Event
+	notify     chan struct{} // closed and renewed on every append
+	artifact   []byte
+	err        error
+	cancel     context.CancelFunc
+	attached   int // jobs still wanting this run
+	cells      int64
+	cycles     int64
+	recoveries int64
 }
 
 // append adds one event (and optional state change) under ex.mu and wakes
@@ -82,6 +86,7 @@ func (ex *execution) appendLocked(state Status, ev Event) {
 	ev.Seq = int64(len(ex.events))
 	ev.Cells = ex.cells
 	ev.Cycles = ex.cycles
+	ev.Recoveries = ex.recoveries
 	ex.events = append(ex.events, ev)
 	close(ex.notify)
 	ex.notify = make(chan struct{})
@@ -168,18 +173,19 @@ type Manager struct {
 	byCanon  map[string]*execution
 
 	// Metrics, all guarded by mu except where noted.
-	started     time.Time
-	submitted   int64
-	dedupHits   int64
-	executions  int64
-	queuedCount int64
-	running     int64
-	done        int64
-	failed      int64
-	canceledEx  int64
-	totalCells  int64
-	totalCycles int64
-	durations   stats.Latency
+	started         time.Time
+	submitted       int64
+	dedupHits       int64
+	executions      int64
+	queuedCount     int64
+	running         int64
+	done            int64
+	failed          int64
+	canceledEx      int64
+	totalCells      int64
+	totalCycles     int64
+	totalRecoveries int64
+	durations       stats.Latency
 }
 
 // NewManager starts the worker pool and returns a ready manager. It cannot
@@ -388,13 +394,19 @@ func (m *Manager) runExecution(ex *execution) {
 
 	start := time.Now()
 	var lastEmit time.Time
-	progress := func(cells, cycles int64) {
+	progress := func(cells, cycles, recoveries int64) {
 		ex.mu.Lock()
 		ex.cells += cells
 		ex.cycles += cycles
-		// Throttle the stream: at most one progress event per 50ms keeps
-		// event logs bounded for big campaigns while staying live.
-		if time.Since(lastEmit) >= 50*time.Millisecond {
+		ex.recoveries += recoveries
+		switch {
+		case recoveries > 0:
+			// Recovery events are rare and diagnostic — emit unthrottled so
+			// a stream consumer sees every liveness intervention.
+			ex.appendLocked("", Event{Type: "recovery"})
+		case time.Since(lastEmit) >= 50*time.Millisecond:
+			// Throttle the stream: at most one progress event per 50ms keeps
+			// event logs bounded for big campaigns while staying live.
 			lastEmit = time.Now()
 			ex.appendLocked("", Event{Type: "progress"})
 		}
@@ -402,6 +414,7 @@ func (m *Manager) runExecution(ex *execution) {
 		m.mu.Lock()
 		m.totalCells += cells
 		m.totalCycles += cycles
+		m.totalRecoveries += recoveries
 		m.mu.Unlock()
 	}
 
@@ -518,6 +531,9 @@ type JobView struct {
 	Deduped bool   `json:"deduped,omitempty"`
 	Cells   int64  `json:"cells,omitempty"`
 	Cycles  int64  `json:"cycles,omitempty"`
+	// Recoveries is the count of deadlock recoveries the liveness layer took
+	// during the execution.
+	Recoveries int64 `json:"recoveries,omitempty"`
 	// ArtifactBytes is the artifact length once the job is terminal.
 	ArtifactBytes int    `json:"artifact_bytes,omitempty"`
 	Error         string `json:"error,omitempty"`
@@ -545,7 +561,7 @@ func (m *Manager) Lookup(id string) (JobView, error) {
 	v := JobView{ID: id, Kind: job.ex.spec.Kind, Deduped: job.deduped, Status: m.status(job)}
 	ex := job.ex
 	ex.mu.Lock()
-	v.Cells, v.Cycles = ex.cells, ex.cycles
+	v.Cells, v.Cycles, v.Recoveries = ex.cells, ex.cycles, ex.recoveries
 	v.ArtifactBytes = len(ex.artifact)
 	if ex.err != nil {
 		v.Error = ex.err.Error()
@@ -647,6 +663,9 @@ type Metrics struct {
 	CellsDone    int64   `json:"cells_done"`
 	CyclesDone   int64   `json:"cycles_done"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// RecoveriesDone is the total deadlock recoveries taken by the liveness
+	// layer across all executions since the manager started.
+	RecoveriesDone int64 `json:"recoveries_done"`
 
 	// Job wall-clock duration summary (milliseconds), nearest-rank
 	// percentiles via stats.Latency.
@@ -662,20 +681,21 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mt := Metrics{
-		QueueDepth:  len(m.queue),
-		QueueCap:    cap(m.queue),
-		Workers:     m.cfg.Workers,
-		Parallel:    m.cfg.Parallel,
-		Submitted:   m.submitted,
-		Deduped:     m.dedupHits,
-		Executions:  m.executions,
-		Running:     m.running,
-		Queued:      m.queuedCount,
-		Done:        m.done,
-		Failed:      m.failed,
-		CanceledExs: m.canceledEx,
-		CellsDone:   m.totalCells,
-		CyclesDone:  m.totalCycles,
+		QueueDepth:     len(m.queue),
+		QueueCap:       cap(m.queue),
+		Workers:        m.cfg.Workers,
+		Parallel:       m.cfg.Parallel,
+		Submitted:      m.submitted,
+		Deduped:        m.dedupHits,
+		Executions:     m.executions,
+		Running:        m.running,
+		Queued:         m.queuedCount,
+		Done:           m.done,
+		Failed:         m.failed,
+		CanceledExs:    m.canceledEx,
+		CellsDone:      m.totalCells,
+		CyclesDone:     m.totalCycles,
+		RecoveriesDone: m.totalRecoveries,
 	}
 	if m.submitted > 0 {
 		mt.CacheHitRate = float64(m.dedupHits) / float64(m.submitted)

@@ -9,15 +9,18 @@ import (
 	"sr2201/internal/cliutil"
 	"sr2201/internal/engine"
 	"sr2201/internal/experiments"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/recovery"
 	"sr2201/internal/sweep"
 )
 
 // progressFn receives completed work increments from inside a run: sweep
-// cells finished and simulated cycles retired. Calls arrive from worker
-// goroutines; the manager serializes them into the job's ordered event
-// stream.
-type progressFn func(cells, cycles int64)
+// cells finished, simulated cycles retired, and deadlock-recovery events
+// taken by the liveness layer. Calls arrive from worker goroutines; the
+// manager serializes them into the job's ordered event stream.
+type progressFn func(cells, cycles, recoveries int64)
 
 // execState is one execution's slice of the manager's state store: where
 // its checkpoints live and how often to write them. nil disables
@@ -65,7 +68,7 @@ func runExperiments(ctx context.Context, e *ExperimentsSpec, budget *sweep.Limit
 		Parallel: parallel,
 		Ctx:      ctx,
 		Budget:   budget,
-		OnCell:   func(cycles int64) { progress(1, cycles) },
+		OnCell:   func(cycles int64) { progress(1, cycles, 0) },
 	}
 	var buf bytes.Buffer
 	failed := 0
@@ -110,21 +113,40 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 	if err != nil {
 		return nil, err
 	}
+	presets, err := parsePresets(f.Presets, shape)
+	if err != nil {
+		return nil, err
+	}
+	bcasts, err := parseBroadcasts(f.Broadcasts, shape, f.PacketSize)
+	if err != nil {
+		return nil, err
+	}
+	sxb, dxb, err := f.Variant.coords(shape)
+	if err != nil {
+		return nil, err
+	}
 	var lastCycle int64
 	var buf bytes.Buffer
 	sspec := campaign.SingleSpec{
-		Shape:      shape,
-		Events:     events,
-		Pattern:    pat,
-		Waves:      f.Waves,
-		Gap:        f.Gap,
-		PacketSize: f.PacketSize,
-		Horizon:    f.Horizon,
-		Inject:     f.Inject.options(),
+		Shape:       shape,
+		Events:      events,
+		Pattern:     pat,
+		Waves:       f.Waves,
+		Gap:         f.Gap,
+		PacketSize:  f.PacketSize,
+		Horizon:     f.Horizon,
+		Inject:      f.Inject.options(),
+		Recovery:    f.Recovery.options(),
+		Preset:      presets,
+		Broadcasts:  bcasts,
+		SXB:         sxb,
+		DXB:         dxb,
+		DXBSeparate: f.Variant.DXBSeparate,
 		OnCycle: func(c int64, _ engine.Counters) {
-			progress(0, c-lastCycle)
+			progress(0, c-lastCycle, 0)
 			lastCycle = c
 		},
+		OnRecovery: func(recovery.Event) { progress(0, 0, 1) },
 	}
 	r, err := campaign.NewSingleRun(sspec, &buf)
 	if err != nil {
@@ -134,6 +156,9 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 		if snap, ok := st.store.loadSingleSnap(st.hash); ok {
 			if err := r.Restore(snap); err == nil {
 				lastCycle = r.Cycle()
+				// Recoveries taken before the interruption were restored with
+				// the supervisor state, not replayed through OnRecovery.
+				progress(0, 0, int64(r.Recoveries()))
 			} else {
 				// A stale or corrupt snapshot (e.g. from an older binary) is
 				// not fatal — restart from cycle zero with a fresh writer.
@@ -170,7 +195,11 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 	}
 	// Settle the totals: OnCycle fires every progressInterval cycles, so a
 	// short run (or the tail of a long one) is reported here.
-	progress(1, outcome.Cycle-lastCycle)
+	progress(1, outcome.Cycle-lastCycle, 0)
+	if r.Livelocked() {
+		return buf.Bytes(), fmt.Errorf("run did not drain: %w at cycle %d (%d recoveries)",
+			recovery.ErrLivelock, outcome.Cycle, r.Recoveries())
+	}
 	if !outcome.Drained {
 		return buf.Bytes(), fmt.Errorf("run did not drain (deadlocked=%v stalled=%v cycle=%d)",
 			outcome.Deadlocked, outcome.Stalled, outcome.Cycle)
@@ -194,19 +223,38 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		}
 		patterns = append(patterns, pat)
 	}
+	presets, err := parsePresets(c.Presets, shape)
+	if err != nil {
+		return nil, err
+	}
+	bcasts, err := parseBroadcasts(c.Broadcasts, shape, c.PacketSize)
+	if err != nil {
+		return nil, err
+	}
+	sxb, dxb, err := c.Variant.coords(shape)
+	if err != nil {
+		return nil, err
+	}
 	cfg := campaign.Config{
-		Shape:      shape,
-		Epochs:     c.Epochs,
-		Patterns:   patterns,
-		Waves:      c.Waves,
-		Gap:        c.Gap,
-		PacketSize: c.PacketSize,
-		Inject:     c.Inject.options(),
-		Horizon:    c.Horizon,
-		Parallel:   parallel,
-		Ctx:        ctx,
-		Budget:     budget,
-		OnCell:     func(cycles int64) { progress(1, cycles) },
+		Shape:       shape,
+		Epochs:      c.Epochs,
+		Patterns:    patterns,
+		Waves:       c.Waves,
+		Gap:         c.Gap,
+		PacketSize:  c.PacketSize,
+		Inject:      c.Inject.options(),
+		Recovery:    c.Recovery.options(),
+		Preset:      presets,
+		Broadcasts:  bcasts,
+		SXB:         sxb,
+		DXB:         dxb,
+		DXBSeparate: c.Variant.DXBSeparate,
+		Horizon:     c.Horizon,
+		Parallel:    parallel,
+		Ctx:         ctx,
+		Budget:      budget,
+		OnCell:      func(cycles int64) { progress(1, cycles, 0) },
+		OnRecovery:  func(recovery.Event) { progress(0, 0, 1) },
 	}
 	if st != nil {
 		store, err := campaign.OpenStore(st.store.cellsDir(st.hash))
@@ -221,8 +269,9 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		return nil, err
 	}
 	artifact := []byte(res.String())
-	if res.Deadlocks() > 0 || res.Stalls() > 0 {
-		return artifact, fmt.Errorf("campaign: %d deadlock(s), %d stall(s)", res.Deadlocks(), res.Stalls())
+	if res.Deadlocks() > 0 || res.Stalls() > 0 || res.Livelocked() > 0 {
+		return artifact, fmt.Errorf("campaign: %d deadlock(s), %d stall(s), %d livelocked",
+			res.Deadlocks(), res.Stalls(), res.Livelocked())
 	}
 	return artifact, nil
 }
@@ -236,4 +285,57 @@ func (in InjectSpec) options() inject.Options {
 		MaxRetries:     in.MaxRetries,
 		StallThreshold: in.Stall,
 	}
+}
+
+// options maps the wire spec onto recovery.Options. The spec is normalized,
+// so the cliutil assembly cannot fail.
+func (r RecoverySpec) options() recovery.Options {
+	opt, err := cliutil.RecoveryOptions(r.Enabled, r.StallThreshold, r.MaxRecoveries)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: unnormalized recovery spec: %v", err))
+	}
+	return opt
+}
+
+// coords parses the variant's crossbar coordinates (the spec is normalized,
+// so parse errors are unreachable for decoded submissions).
+func (v VariantSpec) coords(shape geom.Shape) (sxb, dxb geom.Coord, err error) {
+	if v.SXB != "" {
+		if sxb, err = cliutil.ParseCoord(v.SXB, shape.Dims()); err != nil {
+			return
+		}
+	}
+	if v.DXB != "" {
+		if dxb, err = cliutil.ParseCoord(v.DXB, shape.Dims()); err != nil {
+			return
+		}
+	}
+	return
+}
+
+// parsePresets maps the wire preset list onto fault values.
+func parsePresets(specs []string, shape geom.Shape) ([]fault.Fault, error) {
+	var out []fault.Fault
+	for _, ps := range specs {
+		f, err := cliutil.ParseFaultIn(ps, shape)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// parseBroadcasts maps the wire broadcast list onto campaign.Broadcast
+// values, with the run's packet size.
+func parseBroadcasts(specs []string, shape geom.Shape, packetSize int) ([]campaign.Broadcast, error) {
+	var out []campaign.Broadcast
+	for _, bs := range specs {
+		src, cycle, err := cliutil.ParseBroadcast(bs, shape)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, campaign.Broadcast{Cycle: cycle, Src: src, Size: packetSize})
+	}
+	return out, nil
 }

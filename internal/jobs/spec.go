@@ -58,7 +58,7 @@ type ExperimentsSpec struct {
 	Quick bool `json:"quick,omitempty"`
 }
 
-// InjectSpec mirrors mdxfault's recovery flags.
+// InjectSpec mirrors mdxfault's retransmission flags.
 type InjectSpec struct {
 	Retransmit bool  `json:"retransmit,omitempty"`
 	RetryAfter int64 `json:"retry_after,omitempty"`
@@ -67,31 +67,58 @@ type InjectSpec struct {
 	Stall      int64 `json:"stall,omitempty"`
 }
 
+// RecoverySpec mirrors mdxfault's -recover flag triple: the deadlock-recovery
+// liveness layer.
+type RecoverySpec struct {
+	Enabled        bool  `json:"enabled,omitempty"`
+	StallThreshold int64 `json:"stall_threshold,omitempty"`
+	MaxRecoveries  int   `json:"max_recoveries,omitempty"`
+}
+
+// VariantSpec selects the crossbar design under test (mdxfault's -sxb /
+// -dxb / -dxb-separate). The zero value is the default deadlock-free
+// D-XB = S-XB design.
+type VariantSpec struct {
+	SXB         string `json:"sxb,omitempty"`
+	DXB         string `json:"dxb,omitempty"`
+	DXBSeparate bool   `json:"dxb_separate,omitempty"`
+}
+
 // FaultSpec mirrors mdxfault single mode: one machine, a scheduled fault
 // sequence, one traffic pattern.
 type FaultSpec struct {
 	Shape string `json:"shape"`
 	// Fails lists fault schedules, e.g. "rtc:3,4@500" or "xb:0:0,2@200".
-	Fails []string `json:"fails"`
-	// Pattern is "shift+K" or "reverse".
-	Pattern    string     `json:"pattern"`
-	Waves      int        `json:"waves,omitempty"`
-	Gap        int64      `json:"gap,omitempty"`
-	PacketSize int        `json:"packet_size,omitempty"`
-	Horizon    int64      `json:"horizon,omitempty"`
-	Inject     InjectSpec `json:"inject,omitempty"`
+	Fails []string `json:"fails,omitempty"`
+	// Presets lists faults installed before any traffic, e.g. "rtc:2,1".
+	Presets []string `json:"presets,omitempty"`
+	// Broadcasts lists broadcast schedules, e.g. "3,2@250".
+	Broadcasts []string `json:"broadcasts,omitempty"`
+	// Pattern is "shift+K", "reverse" or "pair:SRC>DST".
+	Pattern    string       `json:"pattern"`
+	Waves      int          `json:"waves,omitempty"`
+	Gap        int64        `json:"gap,omitempty"`
+	PacketSize int          `json:"packet_size,omitempty"`
+	Horizon    int64        `json:"horizon,omitempty"`
+	Inject     InjectSpec   `json:"inject,omitempty"`
+	Recovery   RecoverySpec `json:"recovery,omitempty"`
+	Variant    VariantSpec  `json:"variant,omitempty"`
 }
 
 // CampaignSpec mirrors mdxfault -campaign: the exhaustive placement grid.
 type CampaignSpec struct {
-	Shape      string     `json:"shape"`
-	Epochs     []int64    `json:"epochs"`
-	Patterns   []string   `json:"patterns"`
-	Waves      int        `json:"waves,omitempty"`
-	Gap        int64      `json:"gap,omitempty"`
-	PacketSize int        `json:"packet_size,omitempty"`
-	Horizon    int64      `json:"horizon,omitempty"`
-	Inject     InjectSpec `json:"inject,omitempty"`
+	Shape      string       `json:"shape"`
+	Epochs     []int64      `json:"epochs"`
+	Patterns   []string     `json:"patterns"`
+	Presets    []string     `json:"presets,omitempty"`
+	Broadcasts []string     `json:"broadcasts,omitempty"`
+	Waves      int          `json:"waves,omitempty"`
+	Gap        int64        `json:"gap,omitempty"`
+	PacketSize int          `json:"packet_size,omitempty"`
+	Horizon    int64        `json:"horizon,omitempty"`
+	Inject     InjectSpec   `json:"inject,omitempty"`
+	Recovery   RecoverySpec `json:"recovery,omitempty"`
+	Variant    VariantSpec  `json:"variant,omitempty"`
 }
 
 // Clone returns a deep copy sharing no memory with s, so normalizing the
@@ -107,12 +134,16 @@ func (s Spec) Clone() Spec {
 	if s.Fault != nil {
 		f := *s.Fault
 		f.Fails = append([]string(nil), s.Fault.Fails...)
+		f.Presets = append([]string(nil), s.Fault.Presets...)
+		f.Broadcasts = append([]string(nil), s.Fault.Broadcasts...)
 		out.Fault = &f
 	}
 	if s.Campaign != nil {
 		c := *s.Campaign
 		c.Epochs = append([]int64(nil), s.Campaign.Epochs...)
 		c.Patterns = append([]string(nil), s.Campaign.Patterns...)
+		c.Presets = append([]string(nil), s.Campaign.Presets...)
+		c.Broadcasts = append([]string(nil), s.Campaign.Broadcasts...)
 		out.Campaign = &c
 	}
 	return out
@@ -149,6 +180,9 @@ const (
 	maxBackoffMul  = 64
 	maxRetries     = 64
 	maxStall       = 1 << 20
+	maxPresets     = 64
+	maxBroadcasts  = 64
+	maxRecoverCap  = 64
 )
 
 // DecodeSpec parses and validates a JSON submission. Unknown fields,
@@ -342,14 +376,80 @@ func (in *InjectSpec) normalize(prefix string) error {
 	return nil
 }
 
+func (r *RecoverySpec) normalize(prefix string) error {
+	if r.StallThreshold > maxStall {
+		return fieldErrf(prefix+".recovery.stall_threshold", "%d exceeds maximum %d", r.StallThreshold, maxStall)
+	}
+	if r.MaxRecoveries > maxRecoverCap {
+		return fieldErrf(prefix+".recovery.max_recoveries", "%d exceeds maximum %d", r.MaxRecoveries, maxRecoverCap)
+	}
+	// cliutil rejects negatives and tuning-without-enable, so a spec that
+	// silently does nothing is refused the same way the CLI refuses it.
+	if _, err := cliutil.RecoveryOptions(r.Enabled, r.StallThreshold, r.MaxRecoveries); err != nil {
+		return fieldErrf(prefix+".recovery", "%v", err)
+	}
+	return nil
+}
+
+func (v *VariantSpec) normalize(prefix string, shape geom.Shape) error {
+	v.SXB = strings.TrimSpace(v.SXB)
+	v.DXB = strings.TrimSpace(v.DXB)
+	if v.SXB != "" {
+		c, err := cliutil.ParseCoord(v.SXB, shape.Dims())
+		if err != nil {
+			return fieldErrf(prefix+".variant.sxb", "%v", err)
+		}
+		if !shape.Contains(c) {
+			return fieldErrf(prefix+".variant.sxb", "coordinate %q outside shape", v.SXB)
+		}
+	}
+	if v.DXB != "" {
+		if !v.DXBSeparate {
+			return fieldErrf(prefix+".variant.dxb", "needs dxb_separate (the unified design has no second crossbar)")
+		}
+		c, err := cliutil.ParseCoord(v.DXB, shape.Dims())
+		if err != nil {
+			return fieldErrf(prefix+".variant.dxb", "%v", err)
+		}
+		if !shape.Contains(c) {
+			return fieldErrf(prefix+".variant.dxb", "coordinate %q outside shape", v.DXB)
+		}
+	}
+	return nil
+}
+
+// normalizeWorkload validates the preset-fault and broadcast lists shared by
+// fault and campaign specs.
+func normalizeWorkload(prefix string, shape geom.Shape, presets, broadcasts []string) error {
+	if len(presets) > maxPresets {
+		return fieldErrf(prefix+".presets", "%d presets exceeds maximum %d", len(presets), maxPresets)
+	}
+	for i, ps := range presets {
+		presets[i] = strings.TrimSpace(ps)
+		if _, err := cliutil.ParseFaultIn(presets[i], shape); err != nil {
+			return fieldErrf(fmt.Sprintf("%s.presets[%d]", prefix, i), "%v", err)
+		}
+	}
+	if len(broadcasts) > maxBroadcasts {
+		return fieldErrf(prefix+".broadcasts", "%d broadcasts exceeds maximum %d", len(broadcasts), maxBroadcasts)
+	}
+	for i, bs := range broadcasts {
+		broadcasts[i] = strings.TrimSpace(bs)
+		if _, _, err := cliutil.ParseBroadcast(broadcasts[i], shape); err != nil {
+			return fieldErrf(fmt.Sprintf("%s.broadcasts[%d]", prefix, i), "%v", err)
+		}
+	}
+	return nil
+}
+
 func (f *FaultSpec) normalize() error {
 	shape, err := parseShape("fault.shape", f.Shape, maxPEs)
 	if err != nil {
 		return err
 	}
 	f.Shape = shape.String()
-	if len(f.Fails) == 0 {
-		return fieldErrf("fault.fails", "needs at least one FAULT@CYCLE schedule")
+	if len(f.Fails) == 0 && len(f.Presets) == 0 && len(f.Broadcasts) == 0 {
+		return fieldErrf("fault.fails", "needs a FAULT@CYCLE schedule, a preset fault or a broadcast")
 	}
 	if len(f.Fails) > maxFails {
 		return fieldErrf("fault.fails", "%d schedules exceeds maximum %d", len(f.Fails), maxFails)
@@ -361,11 +461,20 @@ func (f *FaultSpec) normalize() error {
 		}
 		f.Fails[i] = fs
 	}
+	if err := normalizeWorkload("fault", shape, f.Presets, f.Broadcasts); err != nil {
+		return err
+	}
 	f.Pattern = strings.TrimSpace(f.Pattern)
 	if _, err := campaign.ParsePattern(f.Pattern); err != nil {
 		return fieldErrf("fault.pattern", "%v", err)
 	}
 	if err := normalizeCommon("fault", &f.Waves, &f.Gap, &f.PacketSize, &f.Horizon); err != nil {
+		return err
+	}
+	if err := f.Recovery.normalize("fault"); err != nil {
+		return err
+	}
+	if err := f.Variant.normalize("fault", shape); err != nil {
 		return err
 	}
 	return f.Inject.normalize("fault")
@@ -401,7 +510,16 @@ func (c *CampaignSpec) normalize() error {
 		}
 		c.Patterns[i] = p
 	}
+	if err := normalizeWorkload("campaign", shape, c.Presets, c.Broadcasts); err != nil {
+		return err
+	}
 	if err := normalizeCommon("campaign", &c.Waves, &c.Gap, &c.PacketSize, &c.Horizon); err != nil {
+		return err
+	}
+	if err := c.Recovery.normalize("campaign"); err != nil {
+		return err
+	}
+	if err := c.Variant.normalize("campaign", shape); err != nil {
 		return err
 	}
 	return c.Inject.normalize("campaign")

@@ -67,6 +67,13 @@ func TestDecodeSpecRejectionsNameTheField(t *testing.T) {
 		{"negative epoch", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[-3],"patterns":["reverse"]}}`, "campaign.epochs[0]"},
 		{"empty patterns", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":[]}}`, "campaign.patterns"},
 		{"bad inject", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"inject":{"backoff":-2}}}`, "campaign.inject.backoff"},
+		{"recovery tuning without enable", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","recovery":{"stall_threshold":256}}}`, "fault.recovery"},
+		{"recovery cap over ceiling", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","recovery":{"enabled":true,"max_recoveries":65}}}`, "fault.recovery.max_recoveries"},
+		{"bad preset", `{"kind":"fault","fault":{"shape":"4x4","presets":["rtc:9,9"],"pattern":"reverse"}}`, "fault.presets[0]"},
+		{"bad broadcast", `{"kind":"fault","fault":{"shape":"4x4","broadcasts":["3,2"],"pattern":"reverse"}}`, "fault.broadcasts[0]"},
+		{"dxb without separate", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"dxb":"0,3"}}}`, "fault.variant.dxb"},
+		{"sxb outside shape", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"variant":{"sxb":"0,7"}}}`, "campaign.variant.sxb"},
+		{"bad pair pattern", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"pair:0,1>0,1"}}`, "fault.pattern"},
 		{"trailing data", `{"kind":"experiments","experiments":{"ids":["E1"]}} {"x":1}`, "body"},
 		{"not json", `hello`, "body"},
 	}

@@ -1,0 +1,99 @@
+package recovery
+
+import (
+	"fmt"
+
+	"sr2201/internal/core"
+	"sr2201/internal/geom"
+)
+
+// PairClass classifies one src/dst pair of a traffic pattern against the
+// faulted topology.
+type PairClass int
+
+const (
+	// PairReachable: the routing policy serves the pair (directly or via
+	// the hardware detour).
+	PairReachable PairClass = iota
+	// PairSourceDead: the source PE sits on a failed router; it cannot
+	// inject at all.
+	PairSourceDead
+	// PairDestDead: the destination PE sits on a failed router; the NIA
+	// refuses the send (ErrUnreachable) no matter the route.
+	PairDestDead
+	// PairUnreachable: both endpoints are alive, but the fault combination
+	// leaves no deadlock-free route — the detour a single fault would use
+	// is itself broken by a second fault.
+	PairUnreachable
+)
+
+func (c PairClass) String() string {
+	switch c {
+	case PairReachable:
+		return "reachable"
+	case PairSourceDead:
+		return "source-dead"
+	case PairDestDead:
+		return "dest-dead"
+	case PairUnreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("PairClass(%d)", int(c))
+}
+
+// Pair is one non-reachable src/dst pair and its classification.
+type Pair struct {
+	Src, Dst geom.Coord
+	Class    PairClass
+}
+
+// Reachability is the up-front classification of a traffic pattern over a
+// faulted machine: exact per-pair ErrUnreachable predictions, computed from
+// the rebuilt routing policy (the same pre-set fault information the NIA
+// consults), so campaigns report graceful degradation instead of stalling.
+type Reachability struct {
+	// Reachable, SourceDead, DestDead, Unreachable count the pairs per
+	// class. Self-addressed pairs (Dest(src) == src) are skipped, matching
+	// the wave workload.
+	Reachable   int
+	SourceDead  int
+	DestDead    int
+	Unreachable int
+	// Pairs lists every non-reachable pair in shape enumeration order.
+	Pairs []Pair
+}
+
+// Denied is the number of pattern sends the machine will refuse per wave:
+// the pairs whose live source will be told ErrUnreachable. Dead sources
+// never send, so they are not counted here.
+func (r Reachability) Denied() int { return r.DestDead + r.Unreachable }
+
+// AnalyzeReachability classifies every src/dst pair of dest against the
+// machine's current fault set and routing policy. dest is the pattern
+// function with the shape already bound. The analysis is static — it reads
+// the policy, never the in-flight state — so it may run at any time after
+// the last fault of interest is installed.
+func AnalyzeReachability(m *core.Machine, dest func(src geom.Coord) geom.Coord) Reachability {
+	var r Reachability
+	m.Shape().Enumerate(func(src geom.Coord) bool {
+		dst := dest(src)
+		if dst.Equal(src) {
+			return true
+		}
+		switch {
+		case !m.Alive(src):
+			r.SourceDead++
+			r.Pairs = append(r.Pairs, Pair{Src: src, Dst: dst, Class: PairSourceDead})
+		case !m.Alive(dst):
+			r.DestDead++
+			r.Pairs = append(r.Pairs, Pair{Src: src, Dst: dst, Class: PairDestDead})
+		case m.Policy().Reachable(src, dst) != nil:
+			r.Unreachable++
+			r.Pairs = append(r.Pairs, Pair{Src: src, Dst: dst, Class: PairUnreachable})
+		default:
+			r.Reachable++
+		}
+		return true
+	})
+	return r
+}

@@ -1,0 +1,91 @@
+package recovery
+
+import (
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/geom"
+)
+
+// Supervisor snapshot/restore. The options are spec (a restore target is
+// built with New against the same options — Expect-guarded), everything the
+// supervisor has *done* is state: the watchdog's progress memory, the
+// accounting, the verdict flags and the event log. A snapshot taken
+// mid-recovery therefore restores to the identical per-cycle StateHash
+// stream and the identical event/report text.
+//
+// Verdict.Report is deliberately not encoded: it holds live engine
+// pointers and exists only for diagnostics at the instant the verdict is
+// printed; a decided verdict ends the run, so resumable snapshots never
+// depend on it.
+
+const secRecoverySup = "recovery.sup"
+
+// EncodeState appends the supervisor's dynamic state as the
+// "recovery.sup" section.
+func (s *Supervisor) EncodeState(w *checkpoint.Writer) {
+	e := w.Section(secRecoverySup)
+	e.Int(s.opt.StallThreshold)
+	e.Int(int64(s.opt.MaxRecoveries))
+	s.wd.EncodeState(e)
+	e.Int(int64(s.stats.StallsDetected))
+	e.Int(int64(s.stats.Recoveries))
+	e.Int(int64(s.stats.VictimsUnrecoverable))
+	e.Bool(s.verdict.Decided)
+	e.Bool(s.verdict.Deadlocked)
+	e.Bool(s.verdict.Livelocked)
+	e.Int(s.verdict.Cycle)
+	e.Uint(uint64(len(s.events)))
+	for _, ev := range s.events {
+		e.Int(ev.Cycle)
+		e.Uint(ev.Victim)
+		e.Bool(ev.Known)
+		geom.EncodeCoord(e, ev.Src)
+		geom.EncodeCoord(e, ev.Dst)
+		e.Int(int64(ev.Size))
+		e.Int(int64(ev.CycleLen))
+		e.Int(int64(ev.Attempt))
+		e.Bool(ev.Retransmit)
+	}
+}
+
+// DecodeState restores the "recovery.sup" section into this supervisor,
+// which must have been built with New against the same options.
+func (s *Supervisor) DecodeState(r *checkpoint.Reader) error {
+	d, err := r.Section(secRecoverySup)
+	if err != nil {
+		return err
+	}
+	d.Expect(s.opt.StallThreshold, "recovery stall threshold")
+	d.Expect(int64(s.opt.MaxRecoveries), "recovery max-recoveries cap")
+	s.wd.DecodeState(d)
+	var stats Stats
+	stats.StallsDetected = d.IntAsInt()
+	stats.Recoveries = d.IntAsInt()
+	stats.VictimsUnrecoverable = d.IntAsInt()
+	var v Verdict
+	v.Decided = d.Bool()
+	v.Deadlocked = d.Bool()
+	v.Livelocked = d.Bool()
+	v.Cycle = d.Int()
+	n := d.Len(8)
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var ev Event
+		ev.Cycle = d.Int()
+		ev.Victim = d.Uint()
+		ev.Known = d.Bool()
+		ev.Src = geom.DecodeCoord(d)
+		ev.Dst = geom.DecodeCoord(d)
+		ev.Size = d.IntAsInt()
+		ev.CycleLen = d.IntAsInt()
+		ev.Attempt = d.IntAsInt()
+		ev.Retransmit = d.Bool()
+		events = append(events, ev)
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	s.stats = stats
+	s.verdict = v
+	s.events = events
+	return nil
+}
