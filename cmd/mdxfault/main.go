@@ -57,6 +57,7 @@ func main() {
 		sxbStr     = flag.String("sxb", "", "static-routing crossbar coordinate, e.g. 0,0 (empty = default)")
 		dxbStr     = flag.String("dxb", "", "detour crossbar coordinate (with -dxb-separate; empty = default)")
 		dxbSep     = flag.Bool("dxb-separate", false, "use a separate detour crossbar (the paper's deadlocking D-XB != S-XB design)")
+		shards     = flag.Int("shards", 0, "spatial shards per machine (<= 1 = serial stepper; output is identical at any count)")
 		fails      failList
 		presets    failList
 		broadcasts failList
@@ -145,6 +146,7 @@ func main() {
 			SXB:             sxb,
 			DXB:             dxb,
 			DXBSeparate:     *dxbSep,
+			Shards:          *shards,
 			Parallel:        *parallel,
 			Store:           store,
 			CheckpointEvery: *ckptEvery,
@@ -191,6 +193,7 @@ func main() {
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: *dxbSep,
+		Shards:      *shards,
 	}, os.Stdout)
 	if err != nil {
 		fatal(err)

@@ -128,6 +128,10 @@ type Spec struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// Shards steps the cell's machine on that many spatial shards (see
+	// core.Config.Shards). The verdict — like everything downstream of the
+	// kernel — is identical at any shard count.
+	Shards int
 }
 
 func (s *Spec) normalize() error {
@@ -262,6 +266,7 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 		PivotLastDim:   spec.PivotLastDim,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
+		Shards:         spec.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -489,6 +494,9 @@ type Config struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// Shards steps every cell's machine on that many spatial shards (see
+	// Spec.Shards); results are identical at any shard count.
+	Shards int
 	// OnRecovery, if non-nil, is called for every recovery event of every
 	// cell, from worker goroutines (progress feed for the job server).
 	OnRecovery func(recovery.Event)
@@ -582,6 +590,7 @@ func Run(cfg Config) (*Result, error) {
 			DXBSeparate:    cfg.DXBSeparate,
 			NaiveBroadcast: cfg.NaiveBroadcast,
 			PivotLastDim:   cfg.PivotLastDim,
+			Shards:         cfg.Shards,
 		}
 		res, err := runStoredCell(cfg, i, spec)
 		if cfg.OnCell != nil && err == nil {

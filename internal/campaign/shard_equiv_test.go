@@ -1,0 +1,194 @@
+package campaign
+
+// The campaign-level face of the sharded-vs-serial equivalence wall: every
+// cell workload kind this package can express — traffic patterns, preset and
+// mid-run fault schedules, retransmission, broadcasts, deadlock recovery —
+// must produce a per-cycle engine StateHash stream byte-identical to the
+// serial run at every shard count, and a checkpoint taken under one shard
+// count must restore under any other and stay on the same stream.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/recovery"
+)
+
+// shardWorkloads is the cross-kind workload matrix. Shapes stay small so the
+// full matrix × shard counts runs in test time; every fault/recovery feature
+// of the cell runner appears in at least one entry.
+func shardWorkloads() map[string]Spec {
+	return map[string]Spec{
+		"shift-fault-retx": {
+			Shape:   geom.MustShape(4, 4),
+			Events:  []inject.Event{{Cycle: 12, Fault: fault.RouterFault(geom.Coord{1, 1})}},
+			Pattern: Shift(5),
+			Waves:   3,
+			Gap:     16,
+			Inject:  inject.Options{Retransmit: true, RetryAfter: 48, MaxRetries: 3},
+		},
+		"reverse-preset-bcast": {
+			Shape:      geom.MustShape(4, 4),
+			Pattern:    Reverse(),
+			Waves:      2,
+			Gap:        24,
+			Preset:     []fault.Fault{fault.XBFault(geom.Line{Dim: 1, Fixed: geom.Coord{2}})},
+			Broadcasts: []Broadcast{{Cycle: 8, Src: geom.Coord{0, 0}}, {Cycle: 40, Src: geom.Coord{3, 3}}},
+		},
+		"pair-3d-xbfault": {
+			Shape:   geom.MustShape(3, 3, 2),
+			Events:  []inject.Event{{Cycle: 20, Fault: fault.XBFault(geom.Line{Dim: 0, Fixed: geom.Coord{0, 1, 1}})}},
+			Pattern: Pair(geom.Coord{0, 0, 0}, geom.Coord{2, 2, 1}, 3),
+			Waves:   4,
+			Gap:     12,
+			Inject:  inject.Options{Retransmit: true, RetryAfter: 32},
+		},
+		"recovery-deadlock": {
+			// The Fig. 9 deadlock-prone variant with recovery enabled: the
+			// liveness layer's purge/retransmit decisions must replay
+			// identically under sharding.
+			Shape:       geom.MustShape(4, 4),
+			Pattern:     Shift(3),
+			Waves:       3,
+			Gap:         8,
+			DXBSeparate: true,
+			DXB:         geom.Coord{0, 2},
+			Events:      []inject.Event{{Cycle: 10, Fault: fault.RouterFault(geom.Coord{2, 2})}},
+			Inject:      inject.Options{Retransmit: true, RetryAfter: 40},
+			Recovery:    recovery.Options{Enabled: true},
+			Horizon:     8_000,
+		},
+	}
+}
+
+// cellStream runs the cell to completion, recording the engine StateHash
+// after every Step, and returns the stream plus the verdict.
+func cellStream(t *testing.T, spec Spec) ([]uint64, CellResult) {
+	t.Helper()
+	c, err := NewCellRun(spec)
+	if err != nil {
+		t.Fatalf("NewCellRun: %v", err)
+	}
+	var stream []uint64
+	for !c.Step() {
+		stream = append(stream, c.Machine().Engine().StateHash())
+	}
+	stream = append(stream, c.Machine().Engine().StateHash())
+	res, err := c.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return stream, res
+}
+
+func TestShardEquivalenceAcrossWorkloads(t *testing.T) {
+	for name, spec := range shardWorkloads() {
+		name, spec := name, spec
+		t.Run(name, func(t *testing.T) {
+			serialStream, serialRes := cellStream(t, spec)
+			for _, shards := range []int{1, 2, 3, 4} {
+				s := spec
+				s.Shards = shards
+				stream, res := cellStream(t, s)
+				if len(stream) != len(serialStream) {
+					t.Fatalf("shards=%d: %d cycles, serial ran %d", shards, len(stream), len(serialStream))
+				}
+				for i := range stream {
+					if stream[i] != serialStream[i] {
+						t.Fatalf("shards=%d: hash stream diverged at cycle %d: %#x vs %#x",
+							shards, i+1, stream[i], serialStream[i])
+					}
+				}
+				if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", serialRes) {
+					t.Errorf("shards=%d: verdict diverged:\nserial:  %+v\nsharded: %+v", shards, serialRes, res)
+				}
+			}
+		})
+	}
+}
+
+func TestShardCheckpointCrossCount(t *testing.T) {
+	// A checkpoint taken mid-run under one shard count restores under any
+	// other and continues on the serial byte stream.
+	spec := shardWorkloads()["shift-fault-retx"]
+	donorSpec := spec
+	donorSpec.Shards = 3
+	donor, err := NewCellRun(donorSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewCellRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if donor.Step() || serial.Step() {
+			t.Fatal("cell finished before the checkpoint point; slow the workload down")
+		}
+	}
+	snap := donor.Snapshot()
+	for _, shards := range []int{0, 2, 4} {
+		rs := spec
+		rs.Shards = shards
+		restored, err := NewCellRun(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("restore at shards=%d: %v", shards, err)
+		}
+		ref, err := NewCellRun(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		for cycle := 0; ; cycle++ {
+			da, db := ref.Step(), restored.Step()
+			if ha, hb := ref.Machine().Engine().StateHash(), restored.Machine().Engine().StateHash(); ha != hb {
+				t.Fatalf("shards=%d: diverged %d cycles after restore: %#x vs %#x", shards, cycle+1, ha, hb)
+			}
+			if da != db {
+				t.Fatalf("shards=%d: termination skew %d cycles after restore", shards, cycle+1)
+			}
+			if da {
+				break
+			}
+		}
+	}
+}
+
+func TestSingleRunShardedBytesIdentical(t *testing.T) {
+	// RunSingle's whole printed report — casualty lines, recovery events,
+	// accounting table, outcome — is byte-identical at any shard count.
+	base := SingleSpec{
+		Shape:      geom.MustShape(4, 4),
+		Events:     []inject.Event{{Cycle: 18, Fault: fault.RouterFault(geom.Coord{2, 1})}},
+		Pattern:    Shift(5),
+		Waves:      3,
+		Gap:        16,
+		Inject:     inject.Options{Retransmit: true, RetryAfter: 48},
+		Recovery:   recovery.Options{Enabled: true},
+		Broadcasts: []Broadcast{{Cycle: 30, Src: geom.Coord{0, 3}}},
+	}
+	render := func(shards int) string {
+		var b strings.Builder
+		spec := base
+		spec.Shards = shards
+		if _, err := RunSingle(spec, &b); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return b.String()
+	}
+	ref := render(0)
+	for _, shards := range []int{2, 3, 4} {
+		if got := render(shards); got != ref {
+			t.Errorf("shards=%d report differs from serial:\n--- serial ---\n%s--- shards=%d ---\n%s", shards, ref, shards, got)
+		}
+	}
+}

@@ -55,6 +55,9 @@ type SingleSpec struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// Shards steps the machine on that many spatial shards (see
+	// core.Config.Shards); the report bytes are identical at any count.
+	Shards int
 	// Ctx, if non-nil, cancels the run between cycles; RunSingle then
 	// returns ctx.Err() with the report truncated mid-stream.
 	Ctx context.Context
@@ -118,6 +121,7 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 		PivotLastDim:   spec.PivotLastDim,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
+		Shards:         spec.Shards,
 	})
 	if err != nil {
 		return nil, err

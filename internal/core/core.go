@@ -57,6 +57,11 @@ type Config struct {
 	PacketSize int
 	// StallThreshold configures the deadlock watchdog (0 = package default).
 	StallThreshold int64
+	// Shards partitions the lattice into that many spatial shards stepped
+	// concurrently (mdxb.ShardAssign); 0 or 1 selects the serial stepper.
+	// The per-cycle simulation state is identical either way — sharding is
+	// purely a wall-clock optimization.
+	Shards int
 }
 
 // Delivery records one packet consumed by a PE.
@@ -122,6 +127,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		faults: fault.NewSet(cfg.Shape),
 	}
 	m.net = mdxb.Build(m.eng, cfg.Shape)
+	if cfg.Shards > 1 {
+		if err := m.eng.SetShards(mdxb.ShardAssign(m.net, cfg.Shards)); err != nil {
+			return nil, fmt.Errorf("core: sharding: %w", err)
+		}
+	}
 	if err := m.rebuildPolicy(); err != nil {
 		return nil, err
 	}

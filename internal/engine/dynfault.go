@@ -195,7 +195,7 @@ func (e *Engine) purgeWounded(wounded map[uint64]*flit.Header) (sunk map[uint64]
 						}
 					}
 				}
-				e.freeRouteState(rs)
+				e.freeRouteStateAt(nd, rs)
 				in.route = nil
 				removed++
 			}

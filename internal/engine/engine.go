@@ -21,7 +21,10 @@
 // arbiters, so simulations are bit-for-bit reproducible. The hot path visits
 // only active elements each cycle (see scheduler.go); the active sets are
 // exact predicates of each phase's no-op conditions and are kept in index
-// order, so skipping idle elements cannot change any outcome.
+// order, so skipping idle elements cannot change any outcome. A run can
+// additionally be partitioned into spatial shards that step concurrently
+// under a deterministic barrier protocol (see shard.go); results are
+// bit-for-bit independent of the shard count.
 package engine
 
 import (
@@ -120,7 +123,9 @@ type Decision struct {
 
 // RouteFunc computes the forwarding decision for a packet header arriving on
 // input port in of switch n. It must be deterministic and side-effect free.
-// A returned error drops the packet and surfaces through OnDrop.
+// (Sharded runs additionally rely on this: routing functions may be called
+// from several goroutines at once, one per shard.) A returned error drops
+// the packet and surfaces through OnDrop.
 type RouteFunc func(n *Node, in int, h *flit.Header) (Decision, error)
 
 // PortRef names one directed port of one node.
@@ -137,7 +142,7 @@ func (p PortRef) String() string {
 }
 
 // routeState tracks the active packet on one switch input port from header
-// grant until the tail flit leaves. States are pooled per engine; the outs
+// grant until the tail flit leaves. States are pooled per shard; the outs
 // and granted slices are reused across packets.
 type routeState struct {
 	header    *flit.Header
@@ -169,10 +174,10 @@ type InPort struct {
 	// recvHeader remembers the header of the packet currently being consumed
 	// by an endpoint (set when the header flit is ejected).
 	recvHeader *flit.Header
-	// active marks membership in the engine's active input-port list (switch
-	// inports only); idle counts consecutive workless visits (eviction
-	// hysteresis); ordKey fixes the list's iteration order to match the
-	// full switch/port scan.
+	// active marks membership in the owning shard's active input-port list
+	// (switch inports only); idle counts consecutive workless visits
+	// (eviction hysteresis); ordKey fixes the list's iteration order to
+	// match the full switch/port scan.
 	active bool
 	idle   uint8
 	ordKey int64
@@ -191,16 +196,6 @@ func (p *InPort) front() *flit.Flit {
 		return nil
 	}
 	return &p.buf[0]
-}
-
-func (p *InPort) pop() flit.Flit {
-	f := p.buf[0]
-	copy(p.buf, p.buf[1:])
-	p.buf = p.buf[:len(p.buf)-1]
-	if p.upstream != nil {
-		p.upstream.from.creditReturn()
-	}
-	return f
 }
 
 // OutPort is a switch or endpoint output: the upstream end of one link, with
@@ -261,6 +256,8 @@ type Node struct {
 	route RouteFunc
 
 	eng *Engine
+	// shard is the index of the shard that owns this node (shard.go).
+	shard int32
 
 	// Endpoint state. The source queue is injectQ[injectHead:]; consuming
 	// advances the head and the buffer is rewound once empty, so steady
@@ -290,10 +287,14 @@ type Link struct {
 	delay int
 	// pipe holds in-flight flits; age counts elapsed cycles.
 	pipe []linkEntry
-	// active marks membership in the engine's active link list; idle counts
-	// consecutive empty visits (eviction hysteresis, see scheduler.go).
+	// active marks membership in the owning shard's active link list; idle
+	// counts consecutive empty visits (eviction hysteresis, see
+	// scheduler.go).
 	active bool
 	idle   uint8
+	// shard caches the owning shard — the shard of the destination node, so
+	// delivery always lands flits into shard-local buffers.
+	shard int32
 }
 
 type linkEntry struct {
@@ -302,7 +303,9 @@ type linkEntry struct {
 }
 
 // PhysChannel is a group of output ports sharing one flit per cycle of
-// physical bandwidth (virtual channels over one wire).
+// physical bandwidth (virtual channels over one wire). All member ports must
+// belong to nodes of one shard (enforced by SetShards), which keeps the
+// channel arbitration shard-local.
 type PhysChannel struct {
 	members []*OutPort
 	arb     int
@@ -342,7 +345,7 @@ type Engine struct {
 	phys      []*PhysChannel
 	nSwitchIn int // total switch input ports, for the visit counters
 	// fullIn lists every switch input port in full-scan order, for the
-	// DisableActiveSet reference mode.
+	// DisableActiveSet reference mode and snapshot/hash walks.
 	fullIn []*InPort
 
 	cycle    int64
@@ -351,28 +354,19 @@ type Engine struct {
 
 	dropped int64
 
-	// Active sets (scheduler.go): the subsets of links, switch input ports
-	// and endpoints that can possibly do work this cycle, each kept sorted
-	// in full-scan iteration order.
-	activeLinks  []*Link
-	activeAlloc  []*InPort
-	activeEject  []*Node
-	activeInject []*Node
-	// pend* buffer fresh activations until the owning phase merges them
-	// (one sort + linear merge per phase per cycle instead of a sorted
-	// insert per activation).
-	pendLinks  []*Link
-	pendAlloc  []*InPort
-	pendEject  []*Node
-	pendInject []*Node
-
-	// Scratch slices reused across cycles so the steady-state allocate and
-	// traverse phases allocate nothing.
-	reqScratch   []*InPort
-	readyScratch []*InPort
-	outScratch   []*OutPort
-	physScratch  []*PhysChannel
-	rsFree       []*routeState
+	// Sharded execution (shard.go): shards holds the built per-shard
+	// scheduler/scratch state, rebuilt lazily after topology growth or
+	// SetShards; shardN is the configured shard count (0 or 1 = serial);
+	// direct marks the one-shard path (phases on the caller's goroutine,
+	// hooks inline, outboxes empty). poolSpill preserves pooled route states
+	// across shard rebuilds; the ev* slices are barrier event-flush scratch.
+	shardN    int
+	shards    []*engShard
+	direct    bool
+	poolSpill []*routeState
+	evDeliver []Delivery
+	evDrop    []pendingDrop
+	evForward []pendingForward
 
 	ctr Counters
 
@@ -425,6 +419,7 @@ func (e *Engine) AddSwitch(name string, ports int, route RouteFunc, meta any) *N
 	e.switches = append(e.switches, n)
 	e.nSwitchIn += ports
 	e.fullIn = append(e.fullIn, n.In...)
+	e.invalidateShards()
 	return n
 }
 
@@ -435,6 +430,7 @@ func (e *Engine) AddEndpoint(name string, meta any) *Node {
 	n.Out = append(n.Out, &OutPort{node: n, idx: 0, lastReqCycle: -1, reservedCycle: -1, pendStamp: -1})
 	e.nodes = append(e.nodes, n)
 	e.endpoints = append(e.endpoints, n)
+	e.invalidateShards()
 	return n
 }
 
@@ -462,6 +458,7 @@ func (e *Engine) ConnectDirected(a *Node, ap int, b *Node, bp int) *Link {
 	out.credits = in.cap
 	in.upstream = l
 	e.links = append(e.links, l)
+	e.invalidateShards()
 	return l
 }
 
@@ -482,6 +479,7 @@ func (e *Engine) SharePhysical(ports ...*OutPort) *PhysChannel {
 		p.phys = pc
 	}
 	e.phys = append(e.phys, pc)
+	e.invalidateShards()
 	return pc
 }
 
@@ -538,16 +536,26 @@ func (e *Engine) Quiescent() bool { return e.resident == 0 }
 
 // Step advances the simulation by one cycle. Phase order (fixed): the
 // PreCycle hook, then link delivery, ejection, allocation, traversal,
-// injection.
+// injection. With more than one shard the phases run concurrently across
+// shards under the barrier protocol of shard.go; the observable state after
+// Step is bit-for-bit identical either way.
 func (e *Engine) Step() {
+	e.ensureShards()
 	if e.PreCycle != nil {
 		e.PreCycle(e.cycle)
+		e.ensureShards()
 	}
-	e.deliverLinks()
-	e.eject()
-	e.allocate()
-	e.traverse()
-	e.inject()
+	if e.direct {
+		s := e.shards[0]
+		s.deliverLinks()
+		s.eject()
+		s.allocate()
+		s.traverse()
+		s.inject()
+	} else {
+		e.stepSharded()
+	}
+	e.foldShards()
 	e.cycle++
 	e.ctr.Cycles++
 	if e.PostCycle != nil {
@@ -568,19 +576,20 @@ func (e *Engine) RunUntilQuiescent(maxCycles int64) bool {
 }
 
 // deliverLinks ages in-flight flits and lands the ones whose delay elapsed.
-// Credits guarantee the destination buffer has room.
-func (e *Engine) deliverLinks() {
-	e.mergeLinks()
-	if e.cfg.DisableActiveSet {
-		for _, l := range e.links {
-			e.deliverLink(l)
+// Credits guarantee the destination buffer has room. Links are owned by
+// their destination node's shard, so every landing is shard-local.
+func (s *engShard) deliverLinks() {
+	s.mergeLinks()
+	if s.e.cfg.DisableActiveSet {
+		for _, l := range s.links {
+			s.deliverLink(l)
 		}
-		e.ctr.LinkVisits += int64(len(e.links))
+		s.ctr.LinkVisits += int64(len(s.links))
 		return
 	}
-	kept := e.activeLinks[:0]
-	for _, l := range e.activeLinks {
-		e.deliverLink(l)
+	kept := s.activeLinks[:0]
+	for _, l := range s.activeLinks {
+		s.deliverLink(l)
 		if len(l.pipe) > 0 {
 			l.idle = 0
 			kept = append(kept, l)
@@ -592,12 +601,12 @@ func (e *Engine) deliverLinks() {
 			l.active = false
 		}
 	}
-	e.ctr.LinkVisits += int64(len(e.activeLinks))
-	e.ctr.LinkVisitsSkipped += int64(len(e.links) - len(e.activeLinks))
-	e.activeLinks = kept
+	s.ctr.LinkVisits += int64(len(s.activeLinks))
+	s.ctr.LinkVisitsSkipped += int64(len(s.links) - len(s.activeLinks))
+	s.activeLinks = kept
 }
 
-func (e *Engine) deliverLink(l *Link) {
+func (s *engShard) deliverLink(l *Link) {
 	if len(l.pipe) == 0 {
 		return
 	}
@@ -619,26 +628,26 @@ func (e *Engine) deliverLink(l *Link) {
 	l.pipe = kept
 	if landed {
 		if l.to.node.Kind == KindSwitch {
-			e.activateAlloc(l.to)
+			s.activateAlloc(l.to)
 		} else {
-			e.activateEject(l.to.node)
+			s.activateEject(l.to.node)
 		}
 	}
 }
 
 // eject consumes arrived flits at endpoints.
-func (e *Engine) eject() {
-	e.mergeEject()
-	if e.cfg.DisableActiveSet {
-		for _, ep := range e.endpoints {
-			e.ejectAt(ep)
+func (s *engShard) eject() {
+	s.mergeEject()
+	if s.e.cfg.DisableActiveSet {
+		for _, ep := range s.endpoints {
+			s.ejectAt(ep)
 		}
-		e.ctr.EjectVisits += int64(len(e.endpoints))
+		s.ctr.EjectVisits += int64(len(s.endpoints))
 		return
 	}
-	kept := e.activeEject[:0]
-	for _, ep := range e.activeEject {
-		e.ejectAt(ep)
+	kept := s.activeEject[:0]
+	for _, ep := range s.activeEject {
+		s.ejectAt(ep)
 		if len(ep.In[0].buf) > 0 {
 			ep.ejectIdle = 0
 			kept = append(kept, ep)
@@ -650,29 +659,28 @@ func (e *Engine) eject() {
 			ep.ejectActive = false
 		}
 	}
-	e.ctr.EjectVisits += int64(len(e.activeEject))
-	e.ctr.EjectVisitsSkipped += int64(len(e.endpoints) - len(e.activeEject))
-	e.activeEject = kept
+	s.ctr.EjectVisits += int64(len(s.activeEject))
+	s.ctr.EjectVisitsSkipped += int64(len(s.endpoints) - len(s.activeEject))
+	s.activeEject = kept
 }
 
-func (e *Engine) ejectAt(ep *Node) {
+func (s *engShard) ejectAt(ep *Node) {
+	e := s.e
 	in := ep.In[0]
 	budget := e.cfg.EjectRate
 	for len(in.buf) > 0 {
 		if budget == 0 && e.cfg.EjectRate != 0 {
 			break
 		}
-		f := in.pop()
-		e.moves++
-		e.resident--
+		f := s.pop(in)
+		s.moves++
+		s.resident--
 		if f.Header != nil {
 			in.recvHeader = f.Header
 		}
 		if f.Last {
 			ep.Received++
-			if e.OnDeliver != nil {
-				e.OnDeliver(Delivery{At: ep, Header: in.recvHeader, Cycle: e.cycle})
-			}
+			s.emitDeliver(ep, in.recvHeader)
 			in.recvHeader = nil
 		}
 		if e.cfg.EjectRate != 0 {
@@ -681,24 +689,27 @@ func (e *Engine) ejectAt(ep *Node) {
 	}
 }
 
-// allocate routes fresh headers and arbitrates output ports.
-func (e *Engine) allocate() {
-	e.mergeAlloc()
+// allocate routes fresh headers and arbitrates output ports. Allocation is
+// node-local — requests, grants, reservations and conflict counts all live
+// on the ports of the node being visited — so shards allocate independently.
+func (s *engShard) allocate() {
+	e := s.e
+	s.mergeAlloc()
 	// Gather requests. A request is an input port whose front flit is an
 	// unserved header, or whose routeState still has ungranted outputs.
-	requests := e.reqScratch[:0]
+	requests := s.reqScratch[:0]
 	if e.cfg.DisableActiveSet {
-		for _, in := range e.fullIn {
-			_, wants := e.allocPrep(in)
+		for _, in := range s.fullIn {
+			_, wants := s.allocPrep(in)
 			if wants {
 				requests = append(requests, in)
 			}
 		}
-		e.ctr.SwitchPortVisits += int64(e.nSwitchIn)
+		s.ctr.SwitchPortVisits += int64(s.nSwitchIn)
 	} else {
-		kept := e.activeAlloc[:0]
-		for _, in := range e.activeAlloc {
-			live, wants := e.allocPrep(in)
+		kept := s.activeAlloc[:0]
+		for _, in := range s.activeAlloc {
+			live, wants := s.allocPrep(in)
 			if live {
 				in.idle = 0
 				kept = append(kept, in)
@@ -713,11 +724,11 @@ func (e *Engine) allocate() {
 				requests = append(requests, in)
 			}
 		}
-		e.ctr.SwitchPortVisits += int64(len(e.activeAlloc))
-		e.ctr.SwitchPortVisitsSkipped += int64(e.nSwitchIn - len(e.activeAlloc))
-		e.activeAlloc = kept
+		s.ctr.SwitchPortVisits += int64(len(s.activeAlloc))
+		s.ctr.SwitchPortVisitsSkipped += int64(s.nSwitchIn - len(s.activeAlloc))
+		s.activeAlloc = kept
 	}
-	e.reqScratch = requests
+	s.reqScratch = requests
 	if len(requests) == 0 {
 		return
 	}
@@ -739,16 +750,16 @@ func (e *Engine) allocate() {
 
 	switch e.cfg.Acquire {
 	case AcquireAtomic:
-		e.allocateAtomic(requests)
+		s.allocateAtomic(requests)
 	default:
-		e.allocateIncremental(requests)
+		s.allocateIncremental(requests)
 	}
 }
 
 // allocPrep routes the buffered header of an idle port, then reports whether
 // the port remains live (holds route state or flits) and whether it competes
 // for output ports this cycle.
-func (e *Engine) allocPrep(in *InPort) (live, wants bool) {
+func (s *engShard) allocPrep(in *InPort) (live, wants bool) {
 	if in.route == nil {
 		f := in.front()
 		if f == nil {
@@ -757,11 +768,11 @@ func (e *Engine) allocPrep(in *InPort) (live, wants bool) {
 		if f.Header == nil {
 			panic(fmt.Sprintf("engine: mid-packet flit %s at %s.%d with no route state", f, in.node.Name, in.idx))
 		}
-		in.route = e.routeHeader(in.node, in, f.Header)
+		in.route = s.routeHeader(in.node, in, f.Header)
 		// Keep the active-set invariant (route state ⇒ listed) even when
 		// this prep ran from a full scan, so the modes can be toggled
 		// mid-run. A no-op when the port is already listed.
-		e.activateAlloc(in)
+		s.activateAlloc(in)
 	}
 	rs := in.route
 	return true, !rs.sink && !rs.allGranted()
@@ -783,9 +794,9 @@ func (o *OutPort) arbRequests(cycle int64) {
 
 // allocateIncremental grants each free requested output to one requester
 // (round-robin), letting fan-outs hold partial sets.
-func (e *Engine) allocateIncremental(requests []*InPort) {
+func (s *engShard) allocateIncremental(requests []*InPort) {
 	// Build per-output requester lists in request order.
-	order := e.outScratch[:0]
+	order := s.outScratch[:0]
 	for _, in := range requests {
 		rs := in.route
 		for i, o := range rs.outs {
@@ -796,8 +807,8 @@ func (e *Engine) allocateIncremental(requests []*InPort) {
 			if op.owner != nil {
 				continue
 			}
-			if op.pendStamp != e.cycle {
-				op.pendStamp = e.cycle
+			if op.pendStamp != s.e.cycle {
+				op.pendStamp = s.e.cycle
 				op.pend = op.pend[:0]
 				order = append(order, op)
 			}
@@ -816,7 +827,7 @@ func (e *Engine) allocateIncremental(requests []*InPort) {
 			}
 		}
 	}
-	e.outScratch = order[:0]
+	s.outScratch = order[:0]
 }
 
 // allocateAtomic grants a request only when every output it needs is free,
@@ -829,7 +840,13 @@ func (e *Engine) allocateIncremental(requests []*InPort) {
 // a globally consistent tie-break would (unrealistically) hand one broadcast
 // every crossbar at once, masking the cyclic-acquisition deadlock of paper
 // Fig. 5.
-func (e *Engine) allocateAtomic(requests []*InPort) {
+//
+// The sort key (since, node ID, rotated port) is a total order over all
+// requests in the network, and grants touch only the request's own node, so
+// sorting any node-respecting subset — a shard's — grants exactly what the
+// global sort would.
+func (s *engShard) allocateAtomic(requests []*InPort) {
+	e := s.e
 	tieKey := func(in *InPort) int {
 		return (in.idx + in.node.ID) % len(in.node.In)
 	}
@@ -874,23 +891,23 @@ func (e *Engine) allocateAtomic(requests []*InPort) {
 // routeHeader runs the switch routing function and validates the decision,
 // returning the port's new cut-through state (a sink state when the packet
 // is dropped).
-func (e *Engine) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState {
+func (s *engShard) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState {
 	if sw.Failed {
-		return e.sinkPacket(sw, in, h, "arrived at failed switch")
+		return s.sinkPacket(sw, in, h, "arrived at failed switch")
 	}
 	dec, err := sw.route(sw, in.idx, h)
 	if err != nil {
-		return e.sinkPacket(sw, in, h, err.Error())
+		return s.sinkPacket(sw, in, h, err.Error())
 	}
 	if dec.Drop {
 		reason := dec.DropReason
 		if reason == "" {
 			reason = "dropped by routing function"
 		}
-		return e.sinkPacket(sw, in, h, reason)
+		return s.sinkPacket(sw, in, h, reason)
 	}
 	if len(dec.Outs) == 0 {
-		return e.sinkPacket(sw, in, h, "routing function returned no outputs")
+		return s.sinkPacket(sw, in, h, "routing function returned no outputs")
 	}
 	for i, o := range dec.Outs {
 		if o < 0 || o >= len(sw.Out) {
@@ -905,43 +922,41 @@ func (e *Engine) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState {
 			}
 		}
 	}
-	rs := e.newRouteState()
+	rs := s.newRouteState()
 	rs.header = h
 	rs.outs = append(rs.outs, dec.Outs...)
 	for range dec.Outs {
 		rs.granted = append(rs.granted, false)
 	}
 	rs.transform = dec.Transform
-	rs.since = e.cycle
+	rs.since = s.e.cycle
 	return rs
 }
 
 // sinkPacket puts the input port into drop mode for the current packet.
-func (e *Engine) sinkPacket(sw *Node, in *InPort, h *flit.Header, reason string) *routeState {
-	e.dropped++
-	if e.OnDrop != nil {
-		e.OnDrop(Drop{At: sw, Header: h, Cycle: e.cycle, Reason: reason})
-	}
-	rs := e.newRouteState()
+func (s *engShard) sinkPacket(sw *Node, in *InPort, h *flit.Header, reason string) *routeState {
+	s.dropped++
+	s.emitDrop(in, Drop{At: sw, Header: h, Cycle: s.e.cycle, Reason: reason})
+	rs := s.newRouteState()
 	rs.header = h
 	rs.sink = true
 	return rs
 }
 
-// newRouteState takes a state from the pool (or allocates the pool's first).
-func (e *Engine) newRouteState() *routeState {
-	if n := len(e.rsFree); n > 0 {
-		rs := e.rsFree[n-1]
-		e.rsFree = e.rsFree[:n-1]
-		e.ctr.RouteStatesReused++
+// newRouteState takes a state from the shard's pool (or allocates).
+func (s *engShard) newRouteState() *routeState {
+	if n := len(s.rsFree); n > 0 {
+		rs := s.rsFree[n-1]
+		s.rsFree = s.rsFree[:n-1]
+		s.ctr.RouteStatesReused++
 		return rs
 	}
-	e.ctr.RouteStatesAllocated++
+	s.ctr.RouteStatesAllocated++
 	return &routeState{}
 }
 
-// freeRouteState clears a completed state and returns it to the pool.
-func (e *Engine) freeRouteState(rs *routeState) {
+// freeRouteState clears a completed state and returns it to the shard pool.
+func (s *engShard) freeRouteState(rs *routeState) {
 	rs.header = nil
 	rs.transform = nil
 	rs.outs = rs.outs[:0]
@@ -949,17 +964,30 @@ func (e *Engine) freeRouteState(rs *routeState) {
 	rs.nGranted = 0
 	rs.sink = false
 	rs.since = 0
-	e.rsFree = append(e.rsFree, rs)
+	s.rsFree = append(s.rsFree, rs)
 }
 
-// traverse moves one flit per fully-granted input across its switch.
-func (e *Engine) traverse() {
+// freeRouteStateAt returns rs to the pool of the shard owning nd. For the
+// purge paths only — safe from single-threaded contexts (between Steps,
+// PreCycle/PostCycle), never from within a phase.
+func (e *Engine) freeRouteStateAt(nd *Node, rs *routeState) {
+	e.ensureShards()
+	e.shards[nd.shard].freeRouteState(rs)
+}
+
+// traverse moves one flit per fully-granted input across its switch. Every
+// read is node-local (readiness checks the node's own credit counters,
+// physical channels are shard-co-located); the writes that can cross the
+// boundary — credit returns from advancing tails and pushes onto outgoing
+// links — go to the shard outboxes.
+func (s *engShard) traverse() {
+	e := s.e
 	// Phase A: find ready inputs and stage physical-channel requests.
-	readies := e.readyScratch[:0]
-	physOrder := e.physScratch[:0]
-	ports := e.activeAlloc
+	readies := s.readyScratch[:0]
+	physOrder := s.physScratch[:0]
+	ports := s.activeAlloc
 	if e.cfg.DisableActiveSet {
-		ports = e.fullIn
+		ports = s.fullIn
 	}
 	for _, in := range ports {
 		rs := in.route
@@ -970,7 +998,7 @@ func (e *Engine) traverse() {
 		if rs.sink {
 			// Drain dropped packets at one flit per cycle.
 			if f != nil {
-				e.consumeSunk(in, *f)
+				s.consumeSunk(in, *f)
 			}
 			continue
 		}
@@ -1043,10 +1071,10 @@ func (e *Engine) traverse() {
 			in.BlockedCycles++
 			continue
 		}
-		f := in.pop()
-		e.moves++
+		f := s.pop(in)
+		s.moves++
 		// Fan-out duplicates flits: resident grows by branches-1.
-		e.resident += int64(len(rs.outs) - 1)
+		s.resident += int64(len(rs.outs) - 1)
 		for _, o := range rs.outs {
 			op := in.node.Out[o]
 			branch := f
@@ -1058,12 +1086,9 @@ func (e *Engine) traverse() {
 					h = h.Clone()
 				}
 				branch.Header = h
-				if e.OnForward != nil {
-					e.OnForward(in.node, o, h, e.cycle)
-				}
+				s.emitForward(in.node, o, h, in.ordKey)
 			}
-			op.link.pipe = append(op.link.pipe, linkEntry{f: branch})
-			e.activateLink(op.link)
+			s.pushLink(op.link, branch)
 			op.credits--
 			op.BusyCycles++
 		}
@@ -1071,12 +1096,30 @@ func (e *Engine) traverse() {
 			for _, o := range rs.outs {
 				in.node.Out[o].owner = nil
 			}
-			e.freeRouteState(rs)
+			s.freeRouteState(rs)
 			in.route = nil
 		}
 	}
-	e.readyScratch = readies[:0]
-	e.physScratch = physOrder[:0]
+	// Credits freed by sunk drains become visible at the end of the
+	// traversal phase (DESIGN.md §10), so their effect cannot depend on the
+	// scan order of ports — which a shard partition does not preserve.
+	for _, op := range s.sunkCredits {
+		s.credit(op)
+	}
+	s.sunkCredits = s.sunkCredits[:0]
+	s.readyScratch = readies[:0]
+	s.physScratch = physOrder[:0]
+}
+
+// pushLink appends a flit to a link's pipeline: directly when the link is
+// shard-local, via the outbox when its destination lives in another shard.
+func (s *engShard) pushLink(l *Link, f flit.Flit) {
+	if l.shard == s.idx {
+		l.pipe = append(l.pipe, linkEntry{f: f})
+		s.activateLink(l)
+		return
+	}
+	s.flitOut = append(s.flitOut, flitPush{l: l, f: f})
 }
 
 // grants reports whether the channel granted this port in the given cycle.
@@ -1085,29 +1128,29 @@ func (pc *PhysChannel) grants(op *OutPort, cycle int64) bool {
 }
 
 // consumeSunk drains one flit of a dropped packet.
-func (e *Engine) consumeSunk(in *InPort, f flit.Flit) {
-	in.pop()
-	e.moves++
-	e.resident--
+func (s *engShard) consumeSunk(in *InPort, f flit.Flit) {
+	s.popSunk(in)
+	s.moves++
+	s.resident--
 	if f.Last {
-		e.freeRouteState(in.route)
+		s.freeRouteState(in.route)
 		in.route = nil
 	}
 }
 
 // inject moves endpoint source-queue flits onto their links.
-func (e *Engine) inject() {
-	e.mergeInject()
-	if e.cfg.DisableActiveSet {
-		for _, ep := range e.endpoints {
-			e.injectAt(ep)
+func (s *engShard) inject() {
+	s.mergeInject()
+	if s.e.cfg.DisableActiveSet {
+		for _, ep := range s.endpoints {
+			s.injectAt(ep)
 		}
-		e.ctr.InjectVisits += int64(len(e.endpoints))
+		s.ctr.InjectVisits += int64(len(s.endpoints))
 		return
 	}
-	kept := e.activeInject[:0]
-	for _, ep := range e.activeInject {
-		e.injectAt(ep)
+	kept := s.activeInject[:0]
+	for _, ep := range s.activeInject {
+		s.injectAt(ep)
 		if ep.InjectQueueLen() > 0 {
 			ep.injectIdle = 0
 			kept = append(kept, ep)
@@ -1119,12 +1162,13 @@ func (e *Engine) inject() {
 			ep.injectActive = false
 		}
 	}
-	e.ctr.InjectVisits += int64(len(e.activeInject))
-	e.ctr.InjectVisitsSkipped += int64(len(e.endpoints) - len(e.activeInject))
-	e.activeInject = kept
+	s.ctr.InjectVisits += int64(len(s.activeInject))
+	s.ctr.InjectVisitsSkipped += int64(len(s.endpoints) - len(s.activeInject))
+	s.activeInject = kept
 }
 
-func (e *Engine) injectAt(ep *Node) {
+func (s *engShard) injectAt(ep *Node) {
+	e := s.e
 	if ep.injectHead >= len(ep.injectQ) {
 		return
 	}
@@ -1148,14 +1192,13 @@ func (e *Engine) injectAt(ep *Node) {
 		ep.injectQ = ep.injectQ[:0]
 		ep.injectHead = 0
 	}
-	if f.Header != nil && e.OnForward != nil {
-		e.OnForward(ep, 0, f.Header, e.cycle)
+	if f.Header != nil {
+		s.emitForward(ep, 0, f.Header, int64(ep.ID))
 	}
-	out.link.pipe = append(out.link.pipe, linkEntry{f: f})
-	e.activateLink(out.link)
+	s.pushLink(out.link, f)
 	out.credits--
 	out.BusyCycles++
-	e.moves++
+	s.moves++
 	if f.Last {
 		ep.Sent++
 	}

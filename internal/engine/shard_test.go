@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sr2201/internal/flit"
+	"sr2201/internal/geom"
+)
+
+// shardPlans enumerates the partitions the equivalence tests exercise on an
+// n-node engine: the generic contiguous planner at several counts (even and
+// odd) and a deliberately adversarial round-robin scatter that maximizes
+// boundary links.
+func shardPlans(e *Engine, counts ...int) map[string]ShardPlan {
+	plans := map[string]ShardPlan{}
+	for _, c := range counts {
+		plans[fmt.Sprintf("plan%d", c)] = e.PlanShards(c)
+	}
+	for _, c := range counts {
+		if c < 2 {
+			continue
+		}
+		assign := make([]int, len(e.Nodes()))
+		for i := range assign {
+			assign[i] = i % c
+		}
+		plans[fmt.Sprintf("scatter%d", c)] = ShardPlan{N: c, Assign: assign}
+	}
+	return plans
+}
+
+// lockstepCompare steps both engines together, comparing the full state hash
+// every cycle, until both drain or the cycle budget runs out.
+func lockstepCompare(t *testing.T, ref, got *Engine, cycles int, what string) {
+	t.Helper()
+	for c := 0; c < cycles; c++ {
+		ref.Step()
+		got.Step()
+		if hr, hg := ref.StateHash(), got.StateHash(); hr != hg {
+			t.Fatalf("%s diverged at cycle %d: serial=%#x sharded=%#x", what, c+1, hr, hg)
+		}
+		if ref.Quiescent() && got.Quiescent() {
+			return
+		}
+	}
+	t.Fatalf("%s did not drain in %d cycles", what, cycles)
+}
+
+func TestShardEquivalenceChain(t *testing.T) {
+	// The sharded stepper must emit a per-cycle StateHash stream
+	// byte-identical to the serial engine, for every shard count and for
+	// arbitrary (not just contiguous) node assignments, under the same
+	// config matrix the active-set differential test uses.
+	cfgs := []Config{
+		{BufferDepth: 1, LinkDelay: 1, Acquire: AcquireAtomic},
+		{BufferDepth: 2, LinkDelay: 1, Acquire: AcquireAtomic},
+		{BufferDepth: 4, LinkDelay: 3, Acquire: AcquireIncremental},
+		{BufferDepth: 8, LinkDelay: 2, Acquire: AcquireAtomic, EjectRate: 1},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		probe, _ := chainScenario(cfg, 8)
+		for name, plan := range shardPlans(probe, 1, 2, 3, 4) {
+			plan := plan
+			t.Run(fmt.Sprintf("depth%d_delay%d_%s", cfg.BufferDepth, cfg.LinkDelay, name), func(t *testing.T) {
+				serial, _ := chainScenario(cfg, 8)
+				sharded, _ := chainScenario(cfg, 8)
+				if err := sharded.SetShards(plan); err != nil {
+					t.Fatalf("SetShards: %v", err)
+				}
+				lockstepCompare(t, serial, sharded, 600, "chain")
+			})
+		}
+	}
+}
+
+func TestShardEquivalenceFullScan(t *testing.T) {
+	// Sharding composes with the full-scan reference mode: serial
+	// active-set vs sharded full-scan must still agree.
+	serial, _ := chainScenario(DefaultConfig(), 8)
+	off := DefaultConfig()
+	off.DisableActiveSet = true
+	sharded, _ := chainScenario(off, 8)
+	if err := sharded.SetShards(sharded.PlanShards(3)); err != nil {
+		t.Fatalf("SetShards: %v", err)
+	}
+	lockstepCompare(t, serial, sharded, 600, "fullscan")
+}
+
+func TestShardCountersEquivalence(t *testing.T) {
+	// The phase visit counters fold across shards to exactly the serial
+	// totals (the route-state pool counters are per-shard and exempt).
+	serial, _ := chainScenario(DefaultConfig(), 8)
+	sharded, _ := chainScenario(DefaultConfig(), 8)
+	if err := sharded.SetShards(sharded.PlanShards(4)); err != nil {
+		t.Fatalf("SetShards: %v", err)
+	}
+	lockstepCompare(t, serial, sharded, 600, "counters run")
+	cs, cd := serial.Counters(), sharded.Counters()
+	cs.RouteStatesAllocated, cd.RouteStatesAllocated = 0, 0
+	cs.RouteStatesReused, cd.RouteStatesReused = 0, 0
+	if cs != cd {
+		t.Errorf("visit counters diverged:\nserial:  %+v\nsharded: %+v", cs, cd)
+	}
+}
+
+func TestShardMidRunReshard(t *testing.T) {
+	// Re-partitioning between Steps is invisible to the simulation: run
+	// serial for a while, switch to 3 shards, back to 2, and the stream
+	// must track a never-sharded engine bit for bit.
+	serial, _ := chainScenario(DefaultConfig(), 8)
+	resharded, _ := chainScenario(DefaultConfig(), 8)
+	for c := 0; c < 600; c++ {
+		switch c {
+		case 40:
+			if err := resharded.SetShards(resharded.PlanShards(3)); err != nil {
+				t.Fatalf("SetShards(3): %v", err)
+			}
+		case 90:
+			if err := resharded.SetShards(resharded.PlanShards(2)); err != nil {
+				t.Fatalf("SetShards(2): %v", err)
+			}
+		}
+		serial.Step()
+		resharded.Step()
+		if hs, hr := serial.StateHash(), resharded.StateHash(); hs != hr {
+			t.Fatalf("diverged at cycle %d: serial=%#x resharded=%#x", c+1, hs, hr)
+		}
+		if serial.Quiescent() && resharded.Quiescent() {
+			return
+		}
+	}
+	t.Fatal("scenario did not drain in 600 cycles")
+}
+
+func TestShardSnapshotCrossShardCount(t *testing.T) {
+	// A snapshot of a sharded run restores into an engine at any other
+	// shard count and the stream stays identical to serial — the snapshot
+	// format carries no trace of the partition.
+	serial, _ := chainScenario(DefaultConfig(), 8)
+	donor, _ := chainScenario(DefaultConfig(), 8)
+	if err := donor.SetShards(donor.PlanShards(4)); err != nil {
+		t.Fatalf("SetShards: %v", err)
+	}
+	for c := 0; c < 25; c++ {
+		serial.Step()
+		donor.Step()
+	}
+	snap := donor.Snapshot()
+	for _, n := range []int{1, 2, 3} {
+		restored, _ := chainScenario(DefaultConfig(), 8)
+		if err := restored.SetShards(restored.PlanShards(n)); err != nil {
+			t.Fatalf("SetShards(%d): %v", n, err)
+		}
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("restore into %d shards: %v", n, err)
+		}
+		if hs, hr := serial.StateHash(), restored.StateHash(); hs != hr {
+			t.Fatalf("restored state at %d shards hashes %#x, serial %#x", n, hr, hs)
+		}
+		ref, _ := chainScenario(DefaultConfig(), 8)
+		if err := ref.Restore(snap); err != nil {
+			t.Fatalf("restore serial ref: %v", err)
+		}
+		lockstepCompare(t, ref, restored, 600, fmt.Sprintf("restored@%d", n))
+	}
+}
+
+func TestSetShardsValidation(t *testing.T) {
+	e, _ := chainScenario(DefaultConfig(), 4)
+	nodes := len(e.Nodes())
+	if err := e.SetShards(ShardPlan{N: 0}); err == nil {
+		t.Error("accepted shard count 0")
+	}
+	if err := e.SetShards(ShardPlan{N: 2}); err == nil {
+		t.Error("accepted 2 shards without an assignment")
+	}
+	if err := e.SetShards(ShardPlan{N: 2, Assign: make([]int, nodes-1)}); err == nil {
+		t.Error("accepted a short assignment")
+	}
+	bad := make([]int, nodes)
+	bad[1] = 2
+	if err := e.SetShards(ShardPlan{N: 2, Assign: bad}); err == nil {
+		t.Error("accepted an out-of-range shard index")
+	}
+	// A failed SetShards leaves the engine runnable.
+	ref, _ := chainScenario(DefaultConfig(), 4)
+	lockstepCompare(t, ref, e, 400, "after rejected plans")
+
+	// Splitting a physical channel across shards is rejected.
+	pe := New(DefaultConfig())
+	swA := pe.AddSwitch("A", 2, func(nd *Node, in int, h *flit.Header) (Decision, error) {
+		return Decision{Outs: []int{in}}, nil
+	}, nil)
+	epA := pe.AddEndpoint("pA", nil)
+	epB := pe.AddEndpoint("pB", nil)
+	pe.Connect(epA, 0, swA, 0)
+	pe.Connect(epB, 0, swA, 1)
+	pe.SharePhysical(swA.Out[0], swA.Out[1])
+	pe.SharePhysical(epA.Out[0], epB.Out[0])
+	if err := pe.SetShards(ShardPlan{N: 2, Assign: []int{0, 0, 1}}); err == nil {
+		t.Error("accepted a physical channel spanning two shards")
+	}
+	if err := pe.SetShards(ShardPlan{N: 2, Assign: []int{0, 1, 1}}); err != nil {
+		t.Errorf("rejected a channel-respecting plan: %v", err)
+	}
+}
+
+func TestPlanShardsProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 100} {
+		e, _ := chainScenario(DefaultConfig(), 8)
+		p := e.PlanShards(n)
+		if len(p.Assign) != len(e.Nodes()) {
+			t.Fatalf("PlanShards(%d): %d assignments for %d nodes", n, len(p.Assign), len(e.Nodes()))
+		}
+		seen := make([]int, p.N)
+		for id, s := range p.Assign {
+			if s < 0 || s >= p.N {
+				t.Fatalf("PlanShards(%d): node %d in shard %d of %d", n, id, s, p.N)
+			}
+			seen[s]++
+		}
+		for s, c := range seen {
+			if c == 0 {
+				t.Errorf("PlanShards(%d): shard %d owns no nodes", n, s)
+			}
+		}
+		if err := e.SetShards(p); err != nil {
+			t.Fatalf("PlanShards(%d) plan rejected: %v", n, err)
+		}
+	}
+}
+
+func TestShardStressKillAndSnapshot(t *testing.T) {
+	// Barrier/exchange stress for the race detector: a heavily sharded run
+	// (more shards than the chain has natural cuts, scatter assignment)
+	// with mid-run KillSwitch fault injection, KillPacket purges and
+	// snapshots between Steps. Invariants — credit conservation, no
+	// lost/duplicated flits (resident accounting), ownership consistency —
+	// are audited every few cycles, and the surviving traffic must drain to
+	// the same state as an identically-abused serial engine.
+	run := func(shards int) (*Engine, []uint64) {
+		cfg := Config{BufferDepth: 2, LinkDelay: 2, Acquire: AcquireAtomic}
+		e, eps := chainScenario(cfg, 12)
+		if shards > 1 {
+			assign := make([]int, len(e.Nodes()))
+			for i := range assign {
+				assign[i] = i % shards
+			}
+			if err := e.SetShards(ShardPlan{N: shards, Assign: assign}); err != nil {
+				panic(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		var stream []uint64
+		nextID := uint64(1000)
+		for c := 0; c < 400; c++ {
+			if c == 60 {
+				e.KillSwitch(e.Switches()[5])
+			}
+			if c == 120 {
+				e.KillPacket(3)
+			}
+			if c%17 == 0 {
+				src := rng.Intn(len(eps) - 1)
+				dst := src + 1 + rng.Intn(len(eps)-1-src)
+				nextID++
+				e.Inject(eps[src], flit.NewPacket(&flit.Header{PacketID: nextID, Dst: geom.Coord{dst}}, 4))
+			}
+			e.Step()
+			stream = append(stream, e.StateHash())
+			if c%5 == 0 {
+				if err := e.CheckInvariants(); err != nil {
+					panic(fmt.Sprintf("cycle %d: %v", c, err))
+				}
+				_ = e.Snapshot()
+			}
+		}
+		return e, stream
+	}
+	ref, want := run(1)
+	for _, shards := range []int{2, 5, 8} {
+		got, stream := run(shards)
+		for i := range want {
+			if stream[i] != want[i] {
+				t.Fatalf("%d shards diverged at cycle %d: %#x vs %#x", shards, i+1, stream[i], want[i])
+			}
+		}
+		if got.Resident() != ref.Resident() || got.Dropped() != ref.Dropped() {
+			t.Fatalf("%d shards: resident=%d dropped=%d, serial resident=%d dropped=%d",
+				shards, got.Resident(), got.Dropped(), ref.Resident(), ref.Dropped())
+		}
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("%d shards: final invariants: %v", shards, err)
+		}
+	}
+}
+
+func TestShardBoundaryAccounting(t *testing.T) {
+	e, _ := chainScenario(DefaultConfig(), 8)
+	if b := e.BoundaryLinks(); b != 0 {
+		t.Fatalf("serial engine reports %d boundary links", b)
+	}
+	if err := e.SetShards(e.PlanShards(2)); err != nil {
+		t.Fatal(err)
+	}
+	if b := e.BoundaryLinks(); b == 0 {
+		t.Fatal("2-shard chain reports no boundary links")
+	}
+	if e.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", e.ShardCount())
+	}
+}

@@ -1,0 +1,81 @@
+package geom
+
+import "fmt"
+
+// Partition splits a lattice into contiguous slabs perpendicular to one
+// dimension. It is the geometric half of shard planning: the network layers
+// map each slab to one engine shard, so every intra-slab link stays
+// shard-local and only the crossbars that run along the cut dimension carry
+// cross-shard traffic.
+type Partition struct {
+	// Shape is the lattice being partitioned.
+	Shape Shape
+	// Dim is the dimension perpendicular to the cuts.
+	Dim int
+	// Bounds has one entry per slab boundary: slab s covers the coordinate
+	// range [Bounds[s], Bounds[s+1]) along Dim. len(Bounds) == Slabs()+1,
+	// Bounds[0] == 0 and Bounds[Slabs()] == Shape[Dim].
+	Bounds []int
+}
+
+// Slabs reports the number of slabs.
+func (p Partition) Slabs() int { return len(p.Bounds) - 1 }
+
+// SlabOf returns the slab index owning coordinate c.
+func (p Partition) SlabOf(c Coord) int {
+	v := c[p.Dim]
+	// Slab widths differ by at most one, so a direct computation would be
+	// possible, but the bounds walk stays correct for any future uneven
+	// split and the slab count is tiny.
+	for s := 1; s < len(p.Bounds); s++ {
+		if v < p.Bounds[s] {
+			return s - 1
+		}
+	}
+	panic(fmt.Sprintf("geom: coordinate %s outside partition of %s", c.In(p.Shape.Dims()), p.Shape))
+}
+
+// SlabWidth reports the extent of slab s along the cut dimension.
+func (p Partition) SlabWidth(s int) int { return p.Bounds[s+1] - p.Bounds[s] }
+
+// Partition cuts the lattice into n contiguous slabs perpendicular to its
+// longest dimension (ties broken toward the highest dimension, which varies
+// slowest in Index order, so slabs are contiguous index ranges). Slab widths
+// differ by at most one point. n is clamped to [1, extent of the cut
+// dimension]: asking for more slabs than the dimension has points yields one
+// slab per point.
+func (s Shape) Partition(n int) Partition {
+	dim := 0
+	for d := 1; d < s.Dims(); d++ {
+		if s[d] >= s[dim] {
+			dim = d
+		}
+	}
+	return s.PartitionAlong(dim, n)
+}
+
+// PartitionAlong cuts the lattice into n near-equal contiguous slabs
+// perpendicular to the given dimension, clamping n to [1, s[dim]].
+func (s Shape) PartitionAlong(dim, n int) Partition {
+	if dim < 0 || dim >= s.Dims() {
+		panic(fmt.Sprintf("geom: PartitionAlong dimension %d of %s", dim, s))
+	}
+	extent := s[dim]
+	if n < 1 {
+		n = 1
+	}
+	if n > extent {
+		n = extent
+	}
+	// Slab widths extent/n, with the first extent%n slabs one point wider.
+	bounds := make([]int, n+1)
+	base, extra := extent/n, extent%n
+	for i := 1; i <= n; i++ {
+		w := base
+		if i <= extra {
+			w++
+		}
+		bounds[i] = bounds[i-1] + w
+	}
+	return Partition{Shape: s, Dim: dim, Bounds: bounds}
+}

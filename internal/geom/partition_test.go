@@ -1,0 +1,83 @@
+package geom
+
+import "testing"
+
+func TestPartitionBasics(t *testing.T) {
+	s := MustShape(8, 16, 16)
+	p := s.Partition(4)
+	if p.Dim != 2 {
+		t.Errorf("Partition of %s cut dim %d, want the longest (ties high) dim 2", s, p.Dim)
+	}
+	if p.Slabs() != 4 {
+		t.Fatalf("Slabs() = %d, want 4", p.Slabs())
+	}
+	for i := 0; i < p.Slabs(); i++ {
+		if w := p.SlabWidth(i); w != 4 {
+			t.Errorf("slab %d width %d, want 4", i, w)
+		}
+	}
+	if p.Bounds[0] != 0 || p.Bounds[p.Slabs()] != 16 {
+		t.Errorf("bounds %v do not cover [0,16)", p.Bounds)
+	}
+}
+
+func TestPartitionUneven(t *testing.T) {
+	// 7 points over 3 slabs: widths 3,2,2 and every point owned by exactly
+	// the slab whose range covers it.
+	p := MustShape(7).PartitionAlong(0, 3)
+	widths := []int{3, 2, 2}
+	for i, w := range widths {
+		if p.SlabWidth(i) != w {
+			t.Errorf("slab %d width %d, want %d", i, p.SlabWidth(i), w)
+		}
+	}
+	owners := []int{0, 0, 0, 1, 1, 2, 2}
+	for v, want := range owners {
+		if got := p.SlabOf(Coord{v}); got != want {
+			t.Errorf("SlabOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPartitionClamps(t *testing.T) {
+	s := MustShape(4, 3)
+	if p := s.Partition(0); p.Slabs() != 1 {
+		t.Errorf("Partition(0) yields %d slabs, want 1", p.Slabs())
+	}
+	// The longest dimension here is dim 0 (extent 4); asking for 100 slabs
+	// clamps to one slab per point.
+	if p := s.Partition(100); p.Slabs() != 4 {
+		t.Errorf("Partition(100) yields %d slabs, want 4", p.Slabs())
+	}
+	p := s.PartitionAlong(1, 9)
+	if p.Slabs() != 3 {
+		t.Errorf("PartitionAlong(1, 9) yields %d slabs, want 3", p.Slabs())
+	}
+	for i := 0; i < p.Slabs(); i++ {
+		if p.SlabWidth(i) != 1 {
+			t.Errorf("slab %d width %d, want 1", i, p.SlabWidth(i))
+		}
+	}
+}
+
+func TestPartitionCoversEveryPoint(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		s := MustShape(5, 4, 3)
+		p := s.Partition(n)
+		counts := make([]int, p.Slabs())
+		s.Enumerate(func(c Coord) bool {
+			counts[p.SlabOf(c)]++
+			return true
+		})
+		total := 0
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("n=%d: slab %d owns no points", n, i)
+			}
+			total += c
+		}
+		if total != s.Size() {
+			t.Errorf("n=%d: %d points assigned, lattice has %d", n, total, s.Size())
+		}
+	}
+}

@@ -142,6 +142,7 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: f.Variant.DXBSeparate,
+		Shards:      f.Shards,
 		OnCycle: func(c int64, _ engine.Counters) {
 			progress(0, c-lastCycle, 0)
 			lastCycle = c
@@ -249,6 +250,7 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: c.Variant.DXBSeparate,
+		Shards:      c.Shards,
 		Horizon:     c.Horizon,
 		Parallel:    parallel,
 		Ctx:         ctx,

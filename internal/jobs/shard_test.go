@@ -1,0 +1,96 @@
+package jobs
+
+// The service-layer face of the sharded-vs-serial equivalence wall: a job
+// submitted with "shards" set produces an artifact byte-identical to the
+// serial submission, for both the single-fault and campaign kinds, and the
+// decoder polices the field like every other resource knob.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestShardedJobArtifactBytesIdentical(t *testing.T) {
+	faultSpec := func(shards int) Spec {
+		return Spec{Kind: KindFault, Fault: &FaultSpec{
+			Shape:   "4x4",
+			Fails:   []string{"rtc:1,1@40"},
+			Pattern: "shift+5",
+			Waves:   3,
+			Gap:     16,
+			Inject:  InjectSpec{Retransmit: true},
+			Shards:  shards,
+		}}
+	}
+	campaignSpec := func(shards int) Spec {
+		return Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
+			Shape:    "4x4",
+			Epochs:   []int64{12, 60},
+			Patterns: []string{"shift+5", "reverse"},
+			Inject:   InjectSpec{Retransmit: true},
+			Shards:   shards,
+		}}
+	}
+	for _, tc := range []struct {
+		name string
+		spec func(shards int) Spec
+	}{
+		{"fault", faultSpec},
+		{"campaign", campaignSpec},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial := jobArtifact(t, tc.spec(0), 2)
+			for _, shards := range []int{2, 3} {
+				if got := jobArtifact(t, tc.spec(shards), 2); !bytes.Equal(got, serial) {
+					t.Errorf("shards=%d artifact differs from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+						shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+func TestShardSpecValidation(t *testing.T) {
+	decode := func(body string) error {
+		_, err := DecodeSpec([]byte(body))
+		return err
+	}
+	base := `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[12],"patterns":["shift+5"],"shards":%s}}`
+	for _, tc := range []struct {
+		shards string
+		field  string // empty = must be accepted
+	}{
+		{"3", ""},
+		{"0", ""},
+		{"-1", "campaign.shards"},
+		{"65", "campaign.shards"},
+	} {
+		err := decode(strings.Replace(base, "%s", tc.shards, 1))
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("shards=%s: unexpected rejection: %v", tc.shards, err)
+			}
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) || fe.Field != tc.field {
+			t.Errorf("shards=%s: want FieldError on %q, got %v", tc.shards, tc.field, err)
+		}
+	}
+	if err := decode(`{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","shards":-2}}`); err == nil {
+		t.Error("negative fault.shards accepted")
+	}
+
+	// The count survives canonicalization, so a persisted execution resumes
+	// under the shard count it was submitted with.
+	spec, err := DecodeSpec([]byte(strings.Replace(base, "%s", "3", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spec.Canonical(), `"shards":3`) {
+		t.Errorf("canonical encoding dropped shards: %s", spec.Canonical())
+	}
+}

@@ -103,6 +103,13 @@ type FaultSpec struct {
 	Inject     InjectSpec   `json:"inject,omitempty"`
 	Recovery   RecoverySpec `json:"recovery,omitempty"`
 	Variant    VariantSpec  `json:"variant,omitempty"`
+	// Shards partitions the machine into spatial shards stepped concurrently
+	// (mdxfault -shards). A pure wall-clock knob: the artifact is
+	// byte-identical at every count, so it does NOT participate in dedup
+	// identity any more than parallelism would — but it is kept in the
+	// canonical encoding so a resumed execution re-runs under the count it
+	// was submitted with.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CampaignSpec mirrors mdxfault -campaign: the exhaustive placement grid.
@@ -119,6 +126,9 @@ type CampaignSpec struct {
 	Inject     InjectSpec   `json:"inject,omitempty"`
 	Recovery   RecoverySpec `json:"recovery,omitempty"`
 	Variant    VariantSpec  `json:"variant,omitempty"`
+	// Shards partitions each cell's machine into spatial shards (mdxfault
+	// -campaign -shards). Byte-identical output at every count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Clone returns a deep copy sharing no memory with s, so normalizing the
@@ -183,7 +193,21 @@ const (
 	maxPresets     = 64
 	maxBroadcasts  = 64
 	maxRecoverCap  = 64
+	maxShards      = 64
 )
+
+// normalizeShards checks a spec's shard count. More shards than the service
+// ceiling is rejected; the shard planner clamps counts above the lattice
+// extent, so anything under the ceiling is runnable.
+func normalizeShards(field string, shards int) error {
+	if shards < 0 {
+		return fieldErrf(field, "must be non-negative")
+	}
+	if shards > maxShards {
+		return fieldErrf(field, "%d exceeds maximum %d", shards, maxShards)
+	}
+	return nil
+}
 
 // DecodeSpec parses and validates a JSON submission. Unknown fields,
 // trailing data, type mismatches, and semantic violations are all rejected
@@ -477,6 +501,9 @@ func (f *FaultSpec) normalize() error {
 	if err := f.Variant.normalize("fault", shape); err != nil {
 		return err
 	}
+	if err := normalizeShards("fault.shards", f.Shards); err != nil {
+		return err
+	}
 	return f.Inject.normalize("fault")
 }
 
@@ -520,6 +547,9 @@ func (c *CampaignSpec) normalize() error {
 		return err
 	}
 	if err := c.Variant.normalize("campaign", shape); err != nil {
+		return err
+	}
+	if err := normalizeShards("campaign.shards", c.Shards); err != nil {
 		return err
 	}
 	return c.Inject.normalize("campaign")

@@ -1,0 +1,72 @@
+package mdxb
+
+// Topology-aware shard planning: the engine's generic PlanShards balances
+// port counts over creation order, but the MD crossbar lattice has a much
+// better partition available in its geometry. ShardAssign slices the lattice
+// into contiguous slabs perpendicular to its longest dimension and keeps
+// every element with a definite slab — PEs, routers, and the crossbars whose
+// line lies inside one slab — co-resident with its slab. Only the crossbars
+// running along the cut dimension genuinely span slabs; those are dealt
+// round-robin across shards so their load spreads evenly. The result: every
+// PE–router link and every router↔XB link of a non-cut dimension is
+// shard-local, and the boundary set is exactly the ports of the cut-dimension
+// crossbars — the same locality structure the real machine's cabinet
+// partitioning exploits.
+
+import (
+	"sr2201/internal/engine"
+	"sr2201/internal/geom"
+)
+
+// ShardAssign builds an engine.ShardPlan that partitions the network into n
+// spatial shards (clamped to the extent of the longest dimension). Pass the
+// result to net.Eng.SetShards. With n <= 1 the plan is a single shard.
+func ShardAssign(net *Network, n int) engine.ShardPlan {
+	part := net.Shape.Partition(n)
+	n = part.Slabs()
+	assign := make([]int, len(net.Eng.Nodes()))
+	net.Shape.Enumerate(func(c geom.Coord) bool {
+		s := part.SlabOf(c)
+		assign[net.PE(c).ID] = s
+		assign[net.Router(c).ID] = s
+		return true
+	})
+	for dim := 0; dim < net.Dims(); dim++ {
+		for i, xb := range net.XBs(dim) {
+			if dim == part.Dim {
+				// The line runs along the cut: it touches every slab, so
+				// no placement is local. Deal these boundary crossbars
+				// round-robin for load balance.
+				assign[xb.ID] = i % n
+			} else {
+				// The line lies inside the slab of its fixed cut-dimension
+				// coordinate; placing it there keeps all its links local.
+				assign[xb.ID] = part.SlabOf(xbFixed(net, dim, i))
+			}
+		}
+	}
+	return engine.ShardPlan{N: n, Assign: assign}
+}
+
+// xbFixed recovers the fixed coordinates of the i'th crossbar line along dim
+// (the inverse of Shape.LineIndex).
+func xbFixed(net *Network, dim, i int) geom.Coord {
+	reduced := make(geom.Shape, 0, net.Dims())
+	for d, e := range net.Shape {
+		if d == dim {
+			continue
+		}
+		reduced = append(reduced, e)
+	}
+	rc := reduced.CoordOf(i)
+	var fixed geom.Coord
+	j := 0
+	for d := 0; d < net.Dims(); d++ {
+		if d == dim {
+			continue
+		}
+		fixed[d] = rc[j]
+		j++
+	}
+	return fixed
+}

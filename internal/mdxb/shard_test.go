@@ -1,0 +1,141 @@
+package mdxb
+
+import (
+	"testing"
+
+	"sr2201/internal/engine"
+	"sr2201/internal/geom"
+)
+
+// crossShardPairs counts, from the wiring contract alone, the connected node
+// pairs a plan splits across shards: PE–router pairs, and router–crossbar
+// pairs for every dimension. Each such pair contributes exactly two directed
+// engine links (one per direction), so the engine's boundary-link count must
+// equal twice this number — and the count is symmetric by construction since
+// every connection is bidirectional.
+func crossShardPairs(net *Network, p engine.ShardPlan) int {
+	cross := 0
+	net.Shape.Enumerate(func(c geom.Coord) bool {
+		rtr := p.Assign[net.Router(c).ID]
+		if p.Assign[net.PE(c).ID] != rtr {
+			cross++
+		}
+		for k := 0; k < net.Dims(); k++ {
+			if p.Assign[net.XBThrough(c, k).ID] != rtr {
+				cross++
+			}
+		}
+		return true
+	})
+	return cross
+}
+
+func TestShardAssignLocality(t *testing.T) {
+	// The spatial plan keeps each PE with its router and every off-cut
+	// crossbar with its slab, so the only boundary pairs are routers
+	// attached to cut-dimension crossbars.
+	net, eng := build(t, 4, 3, 3)
+	part := net.Shape.Partition(2) // cuts dim 0 (longest), slabs of width 2
+	plan := ShardAssign(net, 2)
+	if err := eng.SetShards(plan); err != nil {
+		t.Fatalf("SetShards: %v", err)
+	}
+	net.Shape.Enumerate(func(c geom.Coord) bool {
+		slab := part.SlabOf(c)
+		if got := plan.Assign[net.PE(c).ID]; got != slab {
+			t.Errorf("PE%v in shard %d, slab is %d", c.In(3), got, slab)
+		}
+		if got := plan.Assign[net.Router(c).ID]; got != slab {
+			t.Errorf("RTC%v in shard %d, slab is %d", c.In(3), got, slab)
+		}
+		for k := 0; k < net.Dims(); k++ {
+			if k == part.Dim {
+				continue
+			}
+			if got := plan.Assign[net.XBThrough(c, k).ID]; got != slab {
+				t.Errorf("dim-%d crossbar through %v in shard %d, slab is %d", k, c.In(3), got, slab)
+			}
+		}
+		return true
+	})
+	if got, want := eng.BoundaryLinks(), 2*crossShardPairs(net, plan); got != want {
+		t.Errorf("engine reports %d boundary links, wiring contract implies %d", got, want)
+	}
+	// Only cut-dimension crossbar attachments may cross: with slab-local
+	// routers, PE pairs and off-cut XB pairs never do, so the boundary is
+	// bounded by routers × 1 cut dimension.
+	if max := 2 * net.Shape.Size(); eng.BoundaryLinks() > max {
+		t.Errorf("%d boundary links exceed the cut-dimension bound %d", eng.BoundaryLinks(), max)
+	}
+}
+
+// checkPlan asserts the universal ShardAssign properties for one (shape, n)
+// and returns the plan.
+func checkPlan(t *testing.T, net *Network, eng *engine.Engine, n int) engine.ShardPlan {
+	t.Helper()
+	plan := ShardAssign(net, n)
+	if len(plan.Assign) != len(eng.Nodes()) {
+		t.Fatalf("shape %v n=%d: %d assignments for %d nodes", net.Shape, n, len(plan.Assign), len(eng.Nodes()))
+	}
+	pop := make([]int, plan.N)
+	for id, s := range plan.Assign {
+		if s < 0 || s >= plan.N {
+			t.Fatalf("shape %v n=%d: node %d assigned to shard %d of %d", net.Shape, n, id, s, plan.N)
+		}
+		pop[s]++
+	}
+	for s, c := range pop {
+		if c == 0 {
+			t.Fatalf("shape %v n=%d: shard %d owns no nodes", net.Shape, n, s)
+		}
+	}
+	if err := eng.SetShards(plan); err != nil {
+		t.Fatalf("shape %v n=%d: SetShards rejected the plan: %v", net.Shape, n, err)
+	}
+	if got, want := eng.BoundaryLinks(), 2*crossShardPairs(net, plan); got != want {
+		t.Fatalf("shape %v n=%d: %d boundary links, wiring contract implies %d", net.Shape, n, got, want)
+	}
+	return plan
+}
+
+func TestShardAssignShapes(t *testing.T) {
+	for _, extents := range [][]int{{5}, {4, 3}, {2, 2}, {3, 2, 2}, {2, 3, 4}, {8, 16, 16}} {
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			net, eng := build(t, extents...)
+			checkPlan(t, net, eng, n)
+		}
+	}
+}
+
+// FuzzShardPlan drives ShardAssign over arbitrary small shapes and shard
+// counts: it must never panic, must cover every node with exactly one
+// in-range shard, must leave no shard empty, must satisfy the engine's plan
+// validation, and the engine's boundary-link accounting must match the count
+// the wiring contract implies (which is symmetric between any two shards
+// because every connection is a bidirectional pair).
+func FuzzShardPlan(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(0), uint8(0), uint8(2))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(0), uint8(3))
+	f.Add(uint8(5), uint8(1), uint8(1), uint8(1), uint8(7))
+	f.Add(uint8(3), uint8(4), uint8(0), uint8(0), uint8(1))
+	f.Add(uint8(1), uint8(0), uint8(0), uint8(0), uint8(200))
+	f.Fuzz(func(t *testing.T, a, b, c, d, n uint8) {
+		var extents []int
+		for _, e := range []uint8{a, b, c, d} {
+			if e == 0 {
+				break
+			}
+			// Cap extents so the fuzzer explores shapes, not build time.
+			extents = append(extents, int(e%5)+1)
+		}
+		if len(extents) == 0 {
+			t.Skip()
+		}
+		eng := engine.New(engine.DefaultConfig())
+		net := Build(eng, geom.MustShape(extents...))
+		plan := checkPlan(t, net, eng, int(n%9))
+		// Re-planning at a different count on a live engine must also hold.
+		checkPlan(t, net, eng, int(n%9)+1)
+		_ = plan
+	})
+}

@@ -57,6 +57,11 @@ type RunSpec struct {
 	DXBSeparate    bool   `json:"dxb_separate,omitempty"`
 	NaiveBroadcast bool   `json:"naive_broadcast,omitempty"`
 	PivotLastDim   bool   `json:"pivot_last_dim,omitempty"`
+
+	// Shards steps the machine on that many spatial shards. Recordings made
+	// at different shard counts are expected hash-identical; Bisect across a
+	// shard-count change names the first cycle where that promise breaks.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CellSpec parses the wire spec into a runnable campaign cell spec.
@@ -108,6 +113,7 @@ func (s RunSpec) CellSpec() (campaign.Spec, error) {
 		DXBSeparate:    s.DXBSeparate,
 		NaiveBroadcast: s.NaiveBroadcast,
 		PivotLastDim:   s.PivotLastDim,
+		Shards:         s.Shards,
 	}, nil
 }
 

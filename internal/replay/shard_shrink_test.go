@@ -1,0 +1,192 @@
+package replay
+
+// Random-topology sharded-vs-serial shrinker: seeded rand generates RunSpecs
+// over random shapes, fault schedules and shard counts; each spec is recorded
+// serial and sharded, and the hash ladders plus finals must agree. On a
+// divergence the harness does what a human debugging a shard regression
+// would: Bisect names the exact first divergent cycle, then the spec is
+// shrunk — waves down, faults dropped, shards reduced — to the smallest
+// still-diverging reproducer before failing with its JSON (ready to pin in
+// testdata). One previously interesting spec is pinned as a regression
+// corpus so the exact scenario keeps being re-checked forever.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomShardSpec draws one RunSpec from the generator distribution: 1-3
+// dimensions of extent 2-4, up to two scheduled faults, a random pattern and
+// retransmission tuning, and a random shard count 2-5.
+func randomShardSpec(rng *rand.Rand) RunSpec {
+	dims := 1 + rng.Intn(3)
+	extents := make([]int, dims)
+	shape := ""
+	for i := range extents {
+		extents[i] = 2 + rng.Intn(3)
+		if i > 0 {
+			shape += "x"
+		}
+		shape += fmt.Sprint(extents[i])
+	}
+	spec := RunSpec{
+		Shape:   shape,
+		Pattern: fmt.Sprintf("shift+%d", 1+rng.Intn(5)),
+		Waves:   1 + rng.Intn(3),
+		Gap:     int64(8 + rng.Intn(24)),
+		Horizon: 20_000,
+		Shards:  2 + rng.Intn(4),
+	}
+	if rng.Intn(2) == 0 {
+		spec.Pattern = "reverse"
+	}
+	if rng.Intn(2) == 0 {
+		spec.Retransmit = true
+		spec.RetryAfter = int64(24 + rng.Intn(48))
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		cycle := rng.Intn(60)
+		if rng.Intn(2) == 0 {
+			coord := ""
+			for i := range extents {
+				if i > 0 {
+					coord += ","
+				}
+				coord += fmt.Sprint(rng.Intn(extents[i]))
+			}
+			spec.Fails = append(spec.Fails, fmt.Sprintf("rtc:%s@%d", coord, cycle))
+		} else {
+			dim := rng.Intn(dims)
+			coord := ""
+			for i := range extents {
+				if i > 0 {
+					coord += ","
+				}
+				if i == dim {
+					coord += "0" // the line's own dimension is zero by convention
+				} else {
+					coord += fmt.Sprint(rng.Intn(extents[i]))
+				}
+			}
+			spec.Fails = append(spec.Fails, fmt.Sprintf("xb:%d:%s@%d", dim, coord, cycle))
+		}
+	}
+	return spec
+}
+
+// shardDivergence records the spec serial and sharded and, when the streams
+// differ, Bisects to the first divergent cycle. ok=false only on divergence.
+func shardDivergence(t *testing.T, spec RunSpec) (Divergence, bool) {
+	t.Helper()
+	serial := spec
+	serial.Shards = 0
+	ra, err := Record(serial, 16, 0, t.TempDir())
+	if err != nil {
+		t.Fatalf("record serial %+v: %v", spec, err)
+	}
+	rb, err := Record(spec, 16, 0, t.TempDir())
+	if err != nil {
+		t.Fatalf("record sharded %+v: %v", spec, err)
+	}
+	d, err := Bisect(ra, rb)
+	if err != nil {
+		t.Fatalf("bisect %+v: %v", spec, err)
+	}
+	return d, !d.Diverged
+}
+
+// shrinkShardSpec greedily minimizes a diverging spec: fewer waves, fewer
+// faults, fewer shards — keeping each reduction only while it still
+// diverges.
+func shrinkShardSpec(t *testing.T, spec RunSpec) RunSpec {
+	t.Helper()
+	improved := true
+	for improved {
+		improved = false
+		for spec.Waves > 1 {
+			c := spec
+			c.Waves--
+			if _, ok := shardDivergence(t, c); !ok {
+				spec = c
+				improved = true
+			} else {
+				break
+			}
+		}
+		for i := 0; i < len(spec.Fails); i++ {
+			c := spec
+			c.Fails = append(append([]string(nil), spec.Fails[:i]...), spec.Fails[i+1:]...)
+			if _, ok := shardDivergence(t, c); !ok {
+				spec = c
+				improved = true
+				i--
+			}
+		}
+		for spec.Shards > 2 {
+			c := spec
+			c.Shards--
+			if _, ok := shardDivergence(t, c); !ok {
+				spec = c
+				improved = true
+			} else {
+				break
+			}
+		}
+		if spec.Retransmit {
+			c := spec
+			c.Retransmit = false
+			c.RetryAfter = 0
+			if _, ok := shardDivergence(t, c); !ok {
+				spec = c
+				improved = true
+			}
+		}
+	}
+	return spec
+}
+
+func TestShardShrinkerRandomSpecs(t *testing.T) {
+	// The generator seed is fixed so the corpus is stable; bumping the seed
+	// or count is how a suspicious engine change widens the net.
+	rng := rand.New(rand.NewSource(20260808))
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		spec := randomShardSpec(rng)
+		d, ok := shardDivergence(t, spec)
+		if !ok {
+			min := shrinkShardSpec(t, spec)
+			dm, _ := shardDivergence(t, min)
+			js, _ := json.Marshal(min)
+			t.Fatalf("sharded run diverged from serial at cycle %d (hash %s vs %s)\nminimal reproducer (pin in testdata/shard_regression.json):\n%s\n(original spec diverged at cycle %d)",
+				dm.Cycle, dm.HashA, dm.HashB, js, d.Cycle)
+		}
+	}
+}
+
+func TestShardRegressionCorpus(t *testing.T) {
+	// The pinned corpus spec: an asymmetric 3-D shape with a mid-run
+	// crossbar fault, retransmission, and an odd shard count — the kind of
+	// cell the random generator found most delicate. It must stay
+	// hash-identical to serial forever.
+	data, err := os.ReadFile(filepath.Join("testdata", "shard_regression.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec RunSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards < 2 {
+		t.Fatalf("corpus spec lost its shard count: %+v", spec)
+	}
+	if d, ok := shardDivergence(t, spec); !ok {
+		t.Fatalf("pinned corpus spec diverged at cycle %d (%s vs %s)", d.Cycle, d.HashA, d.HashB)
+	}
+}
