@@ -37,6 +37,7 @@ func main() {
 		parallel    = flag.Int("parallel", sweep.DefaultParallel(), "worker-pool width for experiments and their sweep cells (1 = serial)")
 		shards      = flag.Int("shards", 0, "spatial shards per machine where supported (E14 scale run, -bench-shards); <= 1 = serial stepper")
 		benchShardP = flag.String("bench-shards", "", "write serial-vs-sharded cycle-rate snapshots to this JSON file and exit (e.g. BENCH_shard.json)")
+		benchCoreP  = flag.String("bench-core", "", "write core cycle-rate snapshots (E6, E11, kernel step loop) to this JSON file and exit (e.g. BENCH_core.json)")
 		list        = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -51,6 +52,14 @@ func main() {
 	if *benchShardP != "" {
 		if err := benchShards(*benchShardP, *shards, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mdxbench: bench-shards: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCoreP != "" {
+		if err := benchCore(*benchCoreP, *quick, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "mdxbench: bench-core: %v\n", err)
 			os.Exit(1)
 		}
 		return

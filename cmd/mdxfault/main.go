@@ -17,6 +17,8 @@
 //	mdxfault -shape 8x8 -campaign -epochs 12,60 -patterns shift+5,reverse -retransmit
 //	mdxfault -shape 4x4 -dxb-separate -preset rtc:2,1 -patterns pair:0,1>2,2 \
 //	  -broadcast 3,2@0 -retransmit -retry-after 32 -recover
+//	mdxfault -shape 4x4 -topo hyperx -fail link:0,0-3,0@200 -retransmit
+//	mdxfault -shape 8 -topo fullmesh -campaign -epochs 12 -patterns shift+3
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"sr2201/internal/campaign"
 	"sr2201/internal/cliutil"
+	"sr2201/internal/core"
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
@@ -35,6 +38,7 @@ import (
 func main() {
 	var (
 		shapeStr   = flag.String("shape", "8x8", "lattice shape, e.g. 8x8 or 4x4x4")
+		topoStr    = flag.String("topo", "", "interconnect topology: mdx | hyperx | fullmesh (default mdx)")
 		doCampaign = flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one schedule")
 		epochsStr  = flag.String("epochs", "12", "campaign fault-activation cycles, comma-separated")
 		patsStr    = flag.String("patterns", "shift+5", "traffic patterns, comma-separated: shift+K | reverse")
@@ -71,6 +75,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topology, err := cliutil.ParseTopology(*topoStr)
+	if err != nil {
+		fatal(err)
+	}
+	if topology != core.TopologyMDX {
+		switch {
+		case *sxbStr != "" || *dxbStr != "" || *dxbSep:
+			fatal(fmt.Errorf("-sxb/-dxb/-dxb-separate configure crossbars; topology %q has none", topology))
+		case len(broadcasts) > 0:
+			fatal(fmt.Errorf("-broadcast needs the mdx hardware broadcast; topology %q has none", topology))
+		}
+	}
 	opt := inject.Options{
 		Retransmit:     *retransmit,
 		RetryAfter:     *retryAfter,
@@ -106,6 +122,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if err := cliutil.CheckFaultTopology(f, topology); err != nil {
+			fatal(err)
+		}
 		presetFaults = append(presetFaults, f)
 	}
 	var bcasts []campaign.Broadcast
@@ -133,6 +152,7 @@ func main() {
 		}
 		res, err := campaign.Run(campaign.Config{
 			Shape:           shape,
+			Topology:        topology,
 			Epochs:          epochs,
 			Patterns:        patterns,
 			Waves:           *waves,
@@ -176,10 +196,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if err := cliutil.CheckFaultTopology(f, topology); err != nil {
+			fatal(err)
+		}
 		events = append(events, inject.Event{Cycle: cycle, Fault: f})
 	}
 	outcome, err := campaign.RunSingle(campaign.SingleSpec{
 		Shape:       shape,
+		Topology:    topology,
 		Events:      events,
 		Pattern:     patterns[0],
 		Waves:       *waves,

@@ -92,6 +92,12 @@ type Broadcast struct {
 // workload.
 type Spec struct {
 	Shape geom.Shape
+	// Topology selects the cell's interconnect (see core.Config.Topology):
+	// "" or "mdx" is the paper's MD crossbar, "hyperx" and "fullmesh" the
+	// direct-link lattices. Crossbar-only workload features (broadcasts,
+	// S-XB/D-XB variants, the pivot extension) are rejected on direct-link
+	// topologies.
+	Topology string
 	// Events is the fault schedule (usually a single placement at one epoch).
 	Events []inject.Event
 	// Pattern chooses each wave's destinations.
@@ -149,6 +155,9 @@ func (s *Spec) normalize() error {
 	}
 	if s.Horizon <= 0 {
 		s.Horizon = 50_000
+	}
+	if s.Topology != "" && s.Topology != core.TopologyMDX && len(s.Broadcasts) > 0 {
+		return fmt.Errorf("campaign: topology %q has no hardware broadcast; remove the broadcast schedule", s.Topology)
 	}
 	for _, b := range s.Broadcasts {
 		if b.Cycle < 0 {
@@ -259,6 +268,7 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 	}
 	m, err := core.NewMachine(core.Config{
 		Shape:          spec.Shape,
+		Topology:       spec.Topology,
 		SXB:            spec.SXB,
 		DXB:            spec.DXB,
 		DXBSeparate:    spec.DXBSeparate,
@@ -451,8 +461,9 @@ func RunCell(spec Spec) (CellResult, error) {
 	return c.Result()
 }
 
-// Placements enumerates every single-fault position: all routers, then all
-// crossbar lines dimension by dimension, in lattice enumeration order.
+// Placements enumerates every single-fault position of the MD crossbar:
+// all routers, then all crossbar lines dimension by dimension, in lattice
+// enumeration order.
 func Placements(shape geom.Shape) []fault.Fault {
 	var out []fault.Fault
 	shape.Enumerate(func(c geom.Coord) bool {
@@ -465,10 +476,39 @@ func Placements(shape geom.Shape) []fault.Fault {
 	return out
 }
 
+// PlacementsFor enumerates every single-fault position of the named
+// topology: the MD crossbar has routers and shared crossbars; direct-link
+// topologies have routers and per-pair links (all routers first, then
+// dimension by dimension every in-line pair, in lattice enumeration order).
+func PlacementsFor(topology string, shape geom.Shape) []fault.Fault {
+	if topology == "" || topology == core.TopologyMDX {
+		return Placements(shape)
+	}
+	var out []fault.Fault
+	shape.Enumerate(func(c geom.Coord) bool {
+		out = append(out, fault.RouterFault(c))
+		return true
+	})
+	for dim := 0; dim < shape.Dims(); dim++ {
+		for _, l := range shape.LinesAlong(dim) {
+			for a := 0; a < shape[dim]; a++ {
+				for b := a + 1; b < shape[dim]; b++ {
+					out = append(out, fault.LinkFault(l.Point(a), l.Point(b)))
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Config describes a whole campaign: the placement grid crossed with epochs
 // and patterns.
 type Config struct {
 	Shape geom.Shape
+	// Topology selects every cell's interconnect (see Spec.Topology) and
+	// the placement grid: router+crossbar faults on the MD crossbar,
+	// router+link faults on the direct-link topologies.
+	Topology string
 	// Epochs are the fault-activation cycles to sweep.
 	Epochs []int64
 	// Patterns are the traffic patterns to sweep.
@@ -556,12 +596,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	var grid []cellSpec
-	for _, f := range Placements(cfg.Shape) {
+	for _, f := range PlacementsFor(cfg.Topology, cfg.Shape) {
 		if len(cfg.Preset) > 0 {
 			// Add is idempotent, so collision means membership: a placement
 			// already in the preset set would re-break broken hardware.
 			if (f.Kind == fault.KindRouter && probe.RouterFaulty(f.Coord)) ||
-				(f.Kind == fault.KindXB && probe.XBFaulty(f.Line)) {
+				(f.Kind == fault.KindXB && probe.XBFaulty(f.Line)) ||
+				(f.Kind == fault.KindLink && probe.LinkFaulty(f.Coord, f.To)) {
 				continue
 			}
 		}
@@ -575,6 +616,7 @@ func Run(cfg Config) (*Result, error) {
 		g := grid[i]
 		spec := Spec{
 			Shape:          cfg.Shape,
+			Topology:       cfg.Topology,
 			Events:         []inject.Event{{Cycle: g.epoch, Fault: g.f}},
 			Pattern:        g.pat,
 			Waves:          cfg.Waves,
@@ -722,10 +764,14 @@ func (r *Result) Livelocked() int {
 	return n
 }
 
-// faultClass buckets a placement for aggregation: "rtc" or "xb-dim<k>".
+// faultClass buckets a placement for aggregation: "rtc", "xb-dim<k>" or
+// "link-dim<k>".
 func faultClass(f fault.Fault) string {
-	if f.Kind == fault.KindRouter {
+	switch f.Kind {
+	case fault.KindRouter:
 		return "rtc"
+	case fault.KindLink:
+		return fmt.Sprintf("link-dim%d", f.Coord.FirstDiff(f.To, geom.MaxDims))
 	}
 	return fmt.Sprintf("xb-dim%d", f.Line.Dim)
 }

@@ -30,6 +30,8 @@ import (
 // SingleSpec describes one single-schedule run.
 type SingleSpec struct {
 	Shape geom.Shape
+	// Topology selects the machine's interconnect (see Spec.Topology).
+	Topology string
 	// Events is the fault schedule, in activation order.
 	Events []inject.Event
 	// Pattern chooses each wave's destinations.
@@ -102,6 +104,9 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 	if spec.Horizon <= 0 {
 		spec.Horizon = 50_000
 	}
+	if spec.Topology != "" && spec.Topology != core.TopologyMDX && len(spec.Broadcasts) > 0 {
+		return nil, fmt.Errorf("campaign: topology %q has no hardware broadcast; remove the broadcast schedule", spec.Topology)
+	}
 	if len(spec.Broadcasts) > 0 {
 		for _, b := range spec.Broadcasts {
 			if b.Cycle < 0 {
@@ -114,6 +119,7 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 	}
 	m, err := core.NewMachine(core.Config{
 		Shape:          spec.Shape,
+		Topology:       spec.Topology,
 		SXB:            spec.SXB,
 		DXB:            spec.DXB,
 		DXBSeparate:    spec.DXBSeparate,
@@ -145,6 +151,9 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 				spec.OnRecovery(ev)
 			}
 		})
+	}
+	if spec.Topology != "" && spec.Topology != core.TopologyMDX {
+		fmt.Fprintf(w, "topology=%s\n", spec.Topology)
 	}
 	fmt.Fprintf(w, "shape=%v pattern=%s waves=%d gap=%d retransmit=%v\n",
 		spec.Shape, spec.Pattern.Name, spec.Waves, spec.Gap, spec.Inject.Retransmit)

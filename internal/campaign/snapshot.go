@@ -185,6 +185,11 @@ func workloadHash(preset []fault.Fault, bcasts []Broadcast) uint64 {
 		for _, v := range f.Line.Fixed {
 			mix(int64(v))
 		}
+		if f.Kind == fault.KindLink {
+			for _, v := range f.To {
+				mix(int64(v))
+			}
+		}
 	}
 	mix(int64(len(bcasts)))
 	for _, b := range bcasts {

@@ -24,11 +24,11 @@ package cdg
 
 import (
 	"fmt"
-	"sort"
 
 	"sr2201/internal/flit"
 	"sr2201/internal/geom"
 	"sr2201/internal/routing"
+	"sr2201/internal/topo"
 )
 
 // Channel identifies one directed network channel: the out-port of a router
@@ -73,13 +73,62 @@ const treeName = "BROADCAST-TREE"
 
 // Analyze builds the CDG for the policy over the given shape and checks it.
 // naive selects the unserialized broadcast analysis. Sources for broadcasts
-// default to every healthy PE.
+// default to every healthy PE. The graph accumulates in a topo.Builder —
+// the same prover every registered scheme certifies against — and the
+// verdict is its Certificate, re-expressed in the historical Result form.
 func Analyze(p *routing.Policy, shape geom.Shape, naive bool) (Result, error) {
-	b := newBuilder()
+	b := topo.NewBuilder()
+	if naive {
+		registerUnicast(b, p, shape)
+		return analyzeNaive(b, p, shape)
+	}
+	if err := RegisterDependences(b, p, shape); err != nil {
+		return Result{}, err
+	}
+	cert := b.Certificate(SchemeName(p, shape))
+	return Result{Channels: cert.Channels, Edges: cert.Edges, Acyclic: cert.Acyclic, Cycle: cert.Cycle}, nil
+}
 
-	// Point-to-point classes: every reachable pair contributes its path;
-	// with the pivot extension enabled, otherwise-unreachable pairs
-	// contribute their two-phase route.
+// SchemeName names the policy instance for certificates, e.g.
+// "mdx-unified-4x4" or "mdx-separate-dxb-4x4".
+func SchemeName(p *routing.Policy, shape geom.Shape) string {
+	variant := "unified"
+	if p.EffectiveSXB() != p.EffectiveDXB() {
+		variant = "separate-dxb"
+	}
+	return fmt.Sprintf("mdx-%s-%s", variant, shape)
+}
+
+// RegisterDependences records the paper's serialized scheme in the
+// builder: every point-to-point class, every broadcast request leg, and
+// the broadcast fan tree contracted into one composite vertex (the S-XB
+// serializes broadcasts, so the whole tree is one resource). This is the
+// construction Analyze certifies and the topo registry re-certifies in CI.
+func RegisterDependences(b *topo.Builder, p *routing.Policy, shape geom.Shape) error {
+	registerUnicast(b, p, shape)
+
+	treeID := b.Composite(treeName)
+	shape.Enumerate(func(src geom.Coord) bool {
+		req, tree, _, err := broadcastChannels(p, shape, src, false)
+		if err != nil {
+			return true // sources that cannot broadcast contribute nothing
+		}
+		b.Path(namesOf(req)...)
+		if len(req) > 0 && len(tree) > 0 {
+			b.Edge(b.Channel(req[len(req)-1].String()), treeID)
+		}
+		for _, c := range tree {
+			b.Absorb(treeID, b.Channel(c.String()))
+		}
+		return true
+	})
+	return nil
+}
+
+// registerUnicast records every point-to-point class: every reachable
+// pair contributes its path; with the pivot extension enabled,
+// otherwise-unreachable pairs contribute their two-phase route.
+func registerUnicast(b *topo.Builder, p *routing.Policy, shape geom.Shape) {
 	shape.Enumerate(func(src geom.Coord) bool {
 		shape.Enumerate(func(dst geom.Coord) bool {
 			path, err := p.UnicastPath(src, dst)
@@ -92,16 +141,20 @@ func Analyze(p *routing.Policy, shape geom.Shape, naive bool) (Result, error) {
 					return true
 				}
 			}
-			b.addPath(channelsOf(path))
+			b.Path(namesOf(channelsOf(path))...)
 			return true
 		})
 		return true
 	})
+}
 
-	if naive {
-		return b.analyzeNaive(p, shape)
+// namesOf renders a channel sequence for the builder.
+func namesOf(cs []Channel) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
 	}
-	return b.analyzeSerialized(p, shape)
+	return out
 }
 
 // channelsOf converts a hop path into its channel sequence.
@@ -116,43 +169,6 @@ func channelsOf(path []routing.Hop) []Channel {
 		}
 	}
 	return out
-}
-
-// builder accumulates the raw channel graph.
-type builder struct {
-	ids   map[Channel]int
-	names []string
-	adj   map[int]map[int]bool
-}
-
-func newBuilder() *builder {
-	return &builder{ids: map[Channel]int{}, adj: map[int]map[int]bool{}}
-}
-
-func (b *builder) id(c Channel) int {
-	if v, ok := b.ids[c]; ok {
-		return v
-	}
-	v := len(b.names)
-	b.ids[c] = v
-	b.names = append(b.names, c.String())
-	return v
-}
-
-func (b *builder) addEdge(u, v int) {
-	if u == v {
-		return
-	}
-	if b.adj[u] == nil {
-		b.adj[u] = map[int]bool{}
-	}
-	b.adj[u][v] = true
-}
-
-func (b *builder) addPath(cs []Channel) {
-	for i := 1; i < len(cs); i++ {
-		b.addEdge(b.id(cs[i-1]), b.id(cs[i]))
-	}
 }
 
 // broadcastChannels replays the policy's broadcast decisions from src and
@@ -246,66 +262,11 @@ func broadcastChannels(p *routing.Policy, shape geom.Shape, src geom.Coord, naiv
 	return request, tree, treeEdges, nil
 }
 
-// analyzeSerialized adds the request legs and the contracted fan tree, then
-// searches for cycles.
-func (b *builder) analyzeSerialized(p *routing.Policy, shape geom.Shape) (Result, error) {
-	// The tree node.
-	treeID := len(b.names)
-	b.names = append(b.names, treeName)
-	members := map[int]bool{}
-
-	shape.Enumerate(func(src geom.Coord) bool {
-		req, tree, _, err := broadcastChannels(p, shape, src, false)
-		if err != nil {
-			return true // sources that cannot broadcast contribute nothing
-		}
-		b.addPath(req)
-		if len(req) > 0 && len(tree) > 0 {
-			b.addEdge(b.id(req[len(req)-1]), treeID)
-		}
-		for _, c := range tree {
-			members[b.id(c)] = true
-		}
-		return true
-	})
-
-	// Contract: redirect edges touching members onto treeID.
-	contracted := map[int]map[int]bool{}
-	redirect := func(v int) int {
-		if members[v] {
-			return treeID
-		}
-		return v
-	}
-	edges := 0
-	for u, vs := range b.adj {
-		cu := redirect(u)
-		for v := range vs {
-			cv := redirect(v)
-			if cu == cv {
-				continue
-			}
-			if contracted[cu] == nil {
-				contracted[cu] = map[int]bool{}
-			}
-			if !contracted[cu][cv] {
-				contracted[cu][cv] = true
-				edges++
-			}
-		}
-	}
-
-	res := Result{Channels: len(b.names) - len(members), Edges: edges}
-	cycle := findCycle(contracted, b.names)
-	res.Acyclic = cycle == nil
-	res.Cycle = cycle
-	return res, nil
-}
-
 // analyzeNaive checks the unserialized hazard: two distinct sources whose
 // fan trees overlap on >= 2 channels can deadlock by acquiring them in
-// opposite orders. It also still reports unicast-graph cycles.
-func (b *builder) analyzeNaive(p *routing.Policy, shape geom.Shape) (Result, error) {
+// opposite orders. It also still reports unicast-graph cycles (via the
+// builder's certificate over the uncontracted graph).
+func analyzeNaive(b *topo.Builder, p *routing.Policy, shape geom.Shape) (Result, error) {
 	var trees [][]Channel
 	shape.Enumerate(func(src geom.Coord) bool {
 		_, tree, _, err := broadcastChannels(p, shape, src, true)
@@ -314,7 +275,8 @@ func (b *builder) analyzeNaive(p *routing.Policy, shape geom.Shape) (Result, err
 		}
 		return len(trees) < 8 // a handful of representatives suffice
 	})
-	res := Result{Channels: len(b.names)}
+	cert := b.Certificate("mdx-naive")
+	res := Result{Channels: cert.Channels, Edges: cert.Edges, Cycle: cert.Cycle}
 	for i := 0; i < len(trees) && !res.NaiveHazard; i++ {
 		set := map[Channel]bool{}
 		for _, c := range trees[i] {
@@ -334,78 +296,6 @@ func (b *builder) analyzeNaive(p *routing.Policy, shape geom.Shape) (Result, err
 			}
 		}
 	}
-	for _, vs := range b.adj {
-		res.Edges += len(vs)
-	}
-	cycle := findCycle(b.adj, b.names)
-	res.Acyclic = cycle == nil && !res.NaiveHazard
-	res.Cycle = cycle
+	res.Acyclic = res.Cycle == nil && !res.NaiveHazard
 	return res, nil
-}
-
-// findCycle runs an iterative DFS over the graph and returns the names of
-// one cycle's vertices, or nil.
-func findCycle(adj map[int]map[int]bool, names []string) []string {
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := map[int]int{}
-	parent := map[int]int{}
-	var cycleAt = -1
-
-	var nodes []int
-	for u := range adj {
-		nodes = append(nodes, u)
-	}
-	sort.Ints(nodes)
-
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		color[u] = gray
-		var targets []int
-		for v := range adj[u] {
-			targets = append(targets, v)
-		}
-		sort.Ints(targets)
-		for _, v := range targets {
-			switch color[v] {
-			case white:
-				parent[v] = u
-				if dfs(v) {
-					return true
-				}
-			case gray:
-				parent[v] = u
-				cycleAt = v
-				return true
-			}
-		}
-		color[u] = black
-		return false
-	}
-	for _, u := range nodes {
-		if color[u] == white {
-			if dfs(u) {
-				break
-			}
-		}
-	}
-	if cycleAt < 0 {
-		return nil
-	}
-	var cyc []string
-	cur := cycleAt
-	for {
-		cyc = append(cyc, names[cur])
-		cur = parent[cur]
-		if cur == cycleAt {
-			break
-		}
-	}
-	for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
-		cyc[i], cyc[j] = cyc[j], cyc[i]
-	}
-	return cyc
 }

@@ -1,7 +1,8 @@
 // Package cliutil parses the small textual formats the command-line tools
 // share: shapes ("8x8"), coordinates ("2,1"), fault specifications
-// ("rtc:2,1" or "xb:0:0,1"), fault schedules ("rtc:2,1@500"), broadcast
-// schedules ("3,2@250"), and the recovery-flag triple.
+// ("rtc:2,1", "xb:0:0,1" or "link:0,0-3,0"), fault schedules
+// ("rtc:2,1@500"), broadcast schedules ("3,2@250"), topology names
+// ("mdx" | "hyperx" | "fullmesh"), and the recovery-flag triple.
 package cliutil
 
 import (
@@ -9,10 +10,27 @@ import (
 	"strconv"
 	"strings"
 
+	"sr2201/internal/core"
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/recovery"
 )
+
+// ParseTopology parses a -topo flag value into the canonical topology name
+// core.Config accepts. The empty string selects the default MD crossbar;
+// case and surrounding whitespace are forgiven.
+func ParseTopology(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", core.TopologyMDX:
+		return core.TopologyMDX, nil
+	case core.TopologyHyperX:
+		return core.TopologyHyperX, nil
+	case core.TopologyFullMesh:
+		return core.TopologyFullMesh, nil
+	default:
+		return "", fmt.Errorf("cliutil: unknown topology %q (mdx | hyperx | fullmesh)", s)
+	}
+}
 
 // ParseShape parses "n1xn2x..." into a Shape, e.g. "8x8" or "4x4x4".
 // Surrounding whitespace and an uppercase "X" separator are accepted, so
@@ -50,10 +68,30 @@ func ParseCoord(s string, dims int) (geom.Coord, error) {
 
 // ParseFault parses a fault specification:
 //
-//	rtc:X,Y      a faulty relay switch at the coordinate
-//	xb:DIM:X,Y   a faulty crossbar — the dim-DIM line through the coordinate
+//	rtc:X,Y       a faulty relay switch at the coordinate
+//	xb:DIM:X,Y    a faulty crossbar — the dim-DIM line through the coordinate
+//	link:A-B      a faulty direct link between the routers at coordinates A
+//	              and B (direct-link topologies; endpoints must share a line)
 func ParseFault(s string, dims int) (fault.Fault, error) {
 	switch {
+	case strings.HasPrefix(s, "link:"):
+		rest := strings.TrimPrefix(s, "link:")
+		dash := strings.IndexByte(rest, '-')
+		if dash < 0 {
+			return fault.Fault{}, fmt.Errorf("cliutil: link fault %q needs link:A-B (two coordinates)", s)
+		}
+		a, err := ParseCoord(rest[:dash], dims)
+		if err != nil {
+			return fault.Fault{}, err
+		}
+		b, err := ParseCoord(rest[dash+1:], dims)
+		if err != nil {
+			return fault.Fault{}, err
+		}
+		if a == b {
+			return fault.Fault{}, fmt.Errorf("cliutil: link fault %q joins a router to itself", s)
+		}
+		return fault.LinkFault(a, b), nil
 	case strings.HasPrefix(s, "rtc:"):
 		c, err := ParseCoord(strings.TrimPrefix(s, "rtc:"), dims)
 		if err != nil {
@@ -76,8 +114,25 @@ func ParseFault(s string, dims int) (fault.Fault, error) {
 		}
 		return fault.XBFault(geom.LineOf(c, dim)), nil
 	default:
-		return fault.Fault{}, fmt.Errorf("cliutil: fault %q must start with rtc: or xb:", s)
+		return fault.Fault{}, fmt.Errorf("cliutil: fault %q must start with rtc:, xb: or link:", s)
 	}
+}
+
+// CheckFaultTopology validates a parsed fault against the hardware the
+// named topology actually has: the MD crossbar has routers and shared
+// crossbars (no direct links), the direct-link topologies have routers and
+// links (no crossbars). topology must already be canonical (ParseTopology).
+func CheckFaultTopology(f fault.Fault, topology string) error {
+	if topology == "" || topology == core.TopologyMDX {
+		if f.Kind == fault.KindLink {
+			return fmt.Errorf("cliutil: fault %s: the mdx topology has no direct links (link faults need -topo hyperx or fullmesh)", f)
+		}
+		return nil
+	}
+	if f.Kind == fault.KindXB {
+		return fmt.Errorf("cliutil: fault %s: topology %q has no crossbars (xb faults are mdx-only)", f, topology)
+	}
+	return nil
 }
 
 // ParseFaultIn parses a fault specification and additionally validates that

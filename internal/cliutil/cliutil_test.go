@@ -267,3 +267,98 @@ func TestRecoveryOptions(t *testing.T) {
 		})
 	}
 }
+
+func TestParseTopology(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "", want: "mdx"},
+		{in: "mdx", want: "mdx"},
+		{in: "hyperx", want: "hyperx"},
+		{in: "fullmesh", want: "fullmesh"},
+		{in: " HyperX ", want: "hyperx"}, // case and whitespace forgiven
+		{in: "MDX", want: "mdx"},
+		{in: "torus", wantErr: true},
+		{in: "hyper-x", wantErr: true},
+		{in: "mesh", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := ParseTopology(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseTopology(%q) = %q, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTopology(%q) = %q, %v, want %q", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestParseLinkFault(t *testing.T) {
+	f, err := ParseFault("link:0,0-3,0", 2)
+	if err != nil || f.Kind != fault.KindLink {
+		t.Fatalf("link fault = %+v, %v", f, err)
+	}
+	// Endpoints are canonicalized, so either argument order names the same
+	// fault.
+	if g, err := ParseFault("link:3,0-0,0", 2); err != nil || g != f {
+		t.Errorf("reversed link fault = %+v, %v, want %+v", g, err, f)
+	}
+	// Malformed link: specs.
+	for _, bad := range []string{"link:", "link:0,0", "link:0,0-", "link:-3,0",
+		"link:0,0-0,0", "link:a,b-c,d", "link:0,0-3,0,1", "link:0-1"} {
+		if _, err := ParseFault(bad, 2); err == nil {
+			t.Errorf("malformed link spec %q accepted", bad)
+		}
+	}
+	// Dimensionally valid but off-lattice or off-line: ParseFaultIn rejects.
+	shape := geom.MustShape(4, 3)
+	for _, bad := range []string{"link:0,0-4,0", "link:0,0-1,1", "link:0,0-0,3"} {
+		if _, err := ParseFault(bad, shape.Dims()); err != nil {
+			t.Fatalf("spec %q should be dimensionally parseable", bad)
+		}
+		if _, err := ParseFaultIn(bad, shape); err == nil {
+			t.Errorf("off-lattice link fault %q accepted", bad)
+		}
+	}
+}
+
+func TestCheckFaultTopology(t *testing.T) {
+	dims := 2
+	parse := func(s string) fault.Fault {
+		f, err := ParseFault(s, dims)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", s, err)
+		}
+		return f
+	}
+	tests := []struct {
+		spec     string
+		topology string
+		wantErr  bool
+	}{
+		{spec: "rtc:1,1", topology: "mdx"},
+		{spec: "rtc:1,1", topology: ""}, // empty string means mdx
+		{spec: "xb:0:1,1", topology: "mdx"},
+		{spec: "link:0,0-1,0", topology: "mdx", wantErr: true}, // no direct links
+		{spec: "rtc:1,1", topology: "hyperx"},
+		{spec: "link:0,0-1,0", topology: "hyperx"},
+		{spec: "xb:0:1,1", topology: "hyperx", wantErr: true}, // no crossbars
+		{spec: "rtc:1,1", topology: "fullmesh"},
+		{spec: "link:0,0-1,0", topology: "fullmesh"},
+		{spec: "xb:0:1,1", topology: "fullmesh", wantErr: true},
+	}
+	for _, tc := range tests {
+		err := CheckFaultTopology(parse(tc.spec), tc.topology)
+		if tc.wantErr && err == nil {
+			t.Errorf("CheckFaultTopology(%s, %q) accepted", tc.spec, tc.topology)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("CheckFaultTopology(%s, %q): %v", tc.spec, tc.topology, err)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"sr2201/internal/deadlock"
@@ -23,6 +24,9 @@ import (
 	"sr2201/internal/mdxb"
 	"sr2201/internal/routing"
 	"sr2201/internal/stats"
+	"sr2201/internal/topo"
+	"sr2201/internal/topo/fullmesh"
+	"sr2201/internal/topo/hyperx"
 )
 
 // DefaultPacketSize is the packet length in flits when a caller passes 0.
@@ -30,10 +34,32 @@ import (
 // wormhole-like regime of the paper's deadlock discussions.
 const DefaultPacketSize = 8
 
+// Topology names for Config.Topology.
+const (
+	// TopologyMDX is the paper's multi-dimensional crossbar network: one
+	// shared crossbar switch per axis-aligned line, S-XB-serialized
+	// broadcasts, D-XB detours. The default.
+	TopologyMDX = "mdx"
+	// TopologyHyperX is the direct-link lattice (per-dimension all-to-all
+	// router links) with the rank-ordered fault detour of
+	// internal/topo/hyperx. Link and router faults only; no hardware
+	// broadcast, no crossbars.
+	TopologyHyperX = "hyperx"
+	// TopologyFullMesh is the one-dimensional full mesh (every router pair
+	// directly linked) of internal/topo/fullmesh. Requires a 1-D shape.
+	TopologyFullMesh = "fullmesh"
+)
+
 // Config assembles a Machine.
 type Config struct {
 	// Shape is the lattice shape (n1, ..., nd). Required.
 	Shape geom.Shape
+	// Topology selects the interconnect: "" or TopologyMDX builds the
+	// paper's MD crossbar network; TopologyHyperX and TopologyFullMesh
+	// build the direct-link lattices of internal/topo. The crossbar knobs
+	// (SXB, DXB, DXBSeparate, NaiveBroadcast, PivotLastDim) apply only to
+	// the MD crossbar and are rejected on direct-link topologies.
+	Topology string
 	// SXB fixes the serialized crossbar line (dims 1..d-1 of the coordinate);
 	// dimension 0 is ignored. Defaults to the all-zero line.
 	SXB geom.Coord
@@ -80,13 +106,17 @@ type Delivery struct {
 	Latency int64
 }
 
-// Machine is a simulated SR2201 interconnect.
+// Machine is a simulated interconnect: the SR2201's MD crossbar network by
+// default, or one of the direct-link lattices when Config.Topology selects
+// it.
 type Machine struct {
 	cfg    Config
 	shape  geom.Shape
 	eng    *engine.Engine
-	net    *mdxb.Network
-	policy *routing.Policy
+	net    *mdxb.Network   // MD crossbar network (nil on direct-link topologies)
+	tnet   *topo.Net       // direct-link lattice (nil on the MD crossbar)
+	router topo.Router     // installed direct-link scheme (nil on the MD crossbar)
+	policy *routing.Policy // MD crossbar routing policy (nil on direct-link topologies)
 	faults *fault.Set
 
 	nextID     uint64
@@ -119,6 +149,25 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if !cfg.DXBSeparate {
 		cfg.DXB = cfg.SXB
 	}
+	switch cfg.Topology {
+	case "", TopologyMDX:
+		cfg.Topology = TopologyMDX
+	case TopologyHyperX, TopologyFullMesh:
+		var zero geom.Coord
+		switch {
+		case cfg.DXBSeparate || cfg.SXB != zero || cfg.DXB != zero:
+			return nil, fmt.Errorf("core: topology %q has no crossbars to configure (SXB/DXB/DXBSeparate are mdx-only)", cfg.Topology)
+		case cfg.NaiveBroadcast:
+			return nil, fmt.Errorf("core: topology %q has no hardware broadcast (NaiveBroadcast is mdx-only)", cfg.Topology)
+		case cfg.PivotLastDim:
+			return nil, fmt.Errorf("core: topology %q has no pivot extension (PivotLastDim is mdx-only)", cfg.Topology)
+		}
+		if cfg.Topology == TopologyFullMesh && cfg.Shape.Dims() != 1 {
+			return nil, fmt.Errorf("core: topology %q needs a one-dimensional shape, got %s", cfg.Topology, cfg.Shape)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown topology %q (want %s, %s or %s)", cfg.Topology, TopologyMDX, TopologyHyperX, TopologyFullMesh)
+	}
 
 	m := &Machine{
 		cfg:    cfg,
@@ -126,22 +175,54 @@ func NewMachine(cfg Config) (*Machine, error) {
 		eng:    engine.New(ecfg),
 		faults: fault.NewSet(cfg.Shape),
 	}
-	m.net = mdxb.Build(m.eng, cfg.Shape)
-	if cfg.Shards > 1 {
-		if err := m.eng.SetShards(mdxb.ShardAssign(m.net, cfg.Shards)); err != nil {
-			return nil, fmt.Errorf("core: sharding: %w", err)
-		}
+	if cfg.Topology == TopologyMDX {
+		m.net = mdxb.Build(m.eng, cfg.Shape)
+	} else {
+		m.tnet = topo.NewNet(m.eng, cfg.Shape)
 	}
 	if err := m.rebuildPolicy(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		var plan engine.ShardPlan
+		if m.net != nil {
+			plan = mdxb.ShardAssign(m.net, cfg.Shards)
+		} else {
+			plan = topo.ShardAssign(m.tnet, cfg.Shards)
+		}
+		if err := m.eng.SetShards(plan); err != nil {
+			return nil, fmt.Errorf("core: sharding: %w", err)
+		}
 	}
 	m.eng.OnDeliver = m.onDeliver
 	return m, nil
 }
 
-// rebuildPolicy refreshes the routing policy (the S-XB/D-XB substitution
-// depends on the fault set), recompiling the lookup tables when enabled.
+// rebuildPolicy refreshes the routing layer against the current fault set:
+// on the MD crossbar it rebuilds the S-XB/D-XB substitution policy
+// (recompiling the lookup tables when enabled); on a direct-link topology
+// it reinstalls the scheme with the fault set rebound.
 func (m *Machine) rebuildPolicy() error {
+	if m.tnet != nil {
+		var (
+			s   topo.Router
+			err error
+		)
+		switch m.cfg.Topology {
+		case TopologyHyperX:
+			s, err = hyperx.New(m.shape, m.faults)
+		case TopologyFullMesh:
+			s, err = fullmesh.New(m.shape[0], m.faults)
+		default:
+			err = fmt.Errorf("core: unknown direct-link topology %q", m.cfg.Topology)
+		}
+		if err != nil {
+			return err
+		}
+		m.router = s
+		m.tnet.SetScheme(s)
+		return nil
+	}
 	p, err := routing.New(routing.Config{
 		Shape:          m.shape,
 		SXB:            m.cfg.SXB,
@@ -172,6 +253,9 @@ func (m *Machine) rebuildPolicy() error {
 // reachability prechecks keep using the algorithmic policy; AddFault
 // recompiles the tables. Incompatible with the pivot extension.
 func (m *Machine) UseCompiledTables() error {
+	if m.tnet != nil {
+		return fmt.Errorf("core: compiled tables are mdx-only (topology %q)", m.cfg.Topology)
+	}
 	if !m.eng.Quiescent() {
 		return fmt.Errorf("core: table switch-over needs a quiescent network")
 	}
@@ -189,10 +273,17 @@ func (m *Machine) onDeliver(d engine.Delivery) {
 	if h.RC == flit.RCBroadcast {
 		src = h.BroadcastOrigin
 	}
+	var at geom.Coord
+	switch meta := d.At.Meta.(type) {
+	case mdxb.PEMeta:
+		at = meta.Coord
+	case topo.PEMeta:
+		at = meta.Coord
+	}
 	del := Delivery{
 		PacketID:  h.PacketID,
 		Src:       src,
-		At:        d.At.Meta.(mdxb.PEMeta).Coord,
+		At:        at,
 		Broadcast: h.RC == flit.RCBroadcast,
 		Detoured:  h.DetourHops > 0,
 		Cycle:     d.Cycle,
@@ -215,16 +306,43 @@ func (m *Machine) AddFault(f fault.Fault) error {
 	if !m.eng.Quiescent() {
 		return fmt.Errorf("core: faults must be configured on a quiescent network")
 	}
+	if err := m.checkFaultKind(f.Kind); err != nil {
+		return err
+	}
 	if err := m.faults.Add(f); err != nil {
 		return err
 	}
 	switch f.Kind {
 	case fault.KindRouter:
-		m.net.Router(f.Coord).Failed = true
+		m.routerNode(f.Coord).Failed = true
 	case fault.KindXB:
 		m.net.XB(f.Line).Failed = true
+	case fault.KindLink:
+		// A link is a wire, not a node: nothing to mark in the engine. The
+		// rebuilt scheme routes around it (or refuses the pair).
 	}
 	return m.rebuildPolicy()
+}
+
+// checkFaultKind rejects fault kinds the configured topology has no
+// hardware for: crossbar faults exist only on the MD crossbar, link faults
+// only on the direct-link topologies.
+func (m *Machine) checkFaultKind(k fault.Kind) error {
+	if m.tnet != nil && k == fault.KindXB {
+		return fmt.Errorf("core: topology %q has no crossbars (crossbar faults are mdx-only)", m.cfg.Topology)
+	}
+	if m.net != nil && k == fault.KindLink {
+		return fmt.Errorf("core: the mdx topology has no direct links (link faults need topology %s or %s)", TopologyHyperX, TopologyFullMesh)
+	}
+	return nil
+}
+
+// routerNode returns the engine node of the router at c on either network.
+func (m *Machine) routerNode(c geom.Coord) *engine.Node {
+	if m.tnet != nil {
+		return m.tnet.Router(c)
+	}
+	return m.net.Router(c)
 }
 
 // Faults returns the machine's fault set.
@@ -253,15 +371,27 @@ type Lost struct {
 // network (engine.KillSwitch semantics, DESIGN.md §6). The casualties are
 // returned so callers — the inject layer — can arrange retransmission.
 func (m *Machine) FailNow(f fault.Fault) ([]Lost, error) {
+	if err := m.checkFaultKind(f.Kind); err != nil {
+		return nil, err
+	}
 	if err := m.faults.Add(f); err != nil {
 		return nil, err
 	}
 	var node *engine.Node
 	switch f.Kind {
 	case fault.KindRouter:
-		node = m.net.Router(f.Coord)
+		node = m.routerNode(f.Coord)
 	case fault.KindXB:
 		node = m.net.XB(f.Line)
+	case fault.KindLink:
+		// A dynamic link fault is a clean cut: flits already launched onto
+		// the wire complete their crossing, no packet is purged, and the
+		// rebuilt scheme keeps new routing decisions off the link. Nothing
+		// dies, so there are no casualties to report.
+		if err := m.rebuildPolicy(); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("core: unknown fault kind %d", f.Kind)
 	}
@@ -314,7 +444,7 @@ func (m *Machine) PurgePacket(id uint64) (Lost, bool) {
 // fault information — sends whose destination is unreachable, returning the
 // routing error.
 func (m *Machine) Send(src, dst geom.Coord, size int) (uint64, error) {
-	if err := m.policy.Reachable(src, dst); err != nil {
+	if err := m.Reachable(src, dst); err != nil {
 		if m.cfg.PivotLastDim {
 			if _, perr := m.policy.PivotPath(src, dst); perr == nil {
 				return m.sendPivot(src, dst, size)
@@ -323,6 +453,25 @@ func (m *Machine) Send(src, dst geom.Coord, size int) (uint64, error) {
 		return 0, err
 	}
 	return m.send(src, dst, size)
+}
+
+// Reachable reports whether the active routing layer serves the pair: nil,
+// or the refusal the NIA would return. Unreachable pairs on any topology
+// satisfy errors.Is(err, routing.ErrUnreachable). On the MD crossbar this
+// is the policy's precheck; on a direct-link topology it statically walks
+// the scheme's route.
+func (m *Machine) Reachable(src, dst geom.Coord) error {
+	if m.router == nil {
+		return m.policy.Reachable(src, dst)
+	}
+	if !m.shape.Contains(src) || !m.shape.Contains(dst) {
+		return fmt.Errorf("core: src %v or dst %v outside shape", src, dst)
+	}
+	_, err := topo.Walk(m.router, src, dst)
+	if errors.Is(err, topo.ErrUnreachable) {
+		return fmt.Errorf("%w: %v", routing.ErrUnreachable, err)
+	}
+	return err
 }
 
 // sendPivot queues a two-phase pivot packet (extension A3).
@@ -336,8 +485,16 @@ func (m *Machine) sendPivot(src, dst geom.Coord, size int) (uint64, error) {
 	}
 	m.nextID++
 	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal}
-	m.eng.InjectPacket(m.net.PE(src), h, size)
+	m.eng.InjectPacket(m.pe(src), h, size)
 	return m.nextID, nil
+}
+
+// pe returns the endpoint node of the PE at c on either network.
+func (m *Machine) pe(c geom.Coord) *engine.Node {
+	if m.tnet != nil {
+		return m.tnet.PE(c)
+	}
+	return m.net.PE(c)
 }
 
 // SendUnchecked queues a packet without the reachability precheck; an
@@ -355,7 +512,7 @@ func (m *Machine) send(src, dst geom.Coord, size int) (uint64, error) {
 	}
 	m.nextID++
 	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: dst, RC: flit.RCNormal}
-	m.eng.InjectPacket(m.net.PE(src), h, size)
+	m.eng.InjectPacket(m.pe(src), h, size)
 	return m.nextID, nil
 }
 
@@ -364,6 +521,9 @@ func (m *Machine) send(src, dst geom.Coord, size int) (uint64, error) {
 // count is the number of PEs that will receive a copy; the error reports a
 // source that cannot reach the serialization point.
 func (m *Machine) Broadcast(src geom.Coord, size int) (uint64, int, error) {
+	if m.tnet != nil {
+		return 0, 0, fmt.Errorf("core: topology %q has no hardware broadcast facility (mdx-only)", m.cfg.Topology)
+	}
 	tree, err := m.policy.BroadcastTree(src)
 	if err != nil {
 		return 0, 0, err
@@ -416,10 +576,25 @@ func (m *Machine) Cycle() int64 { return m.eng.Cycle() }
 // Engine exposes the simulation kernel (for measurement and experiments).
 func (m *Machine) Engine() *engine.Engine { return m.eng }
 
-// Network exposes the built topology.
+// Network exposes the built MD crossbar network (nil on direct-link
+// topologies — see TopoNet).
 func (m *Machine) Network() *mdxb.Network { return m.net }
 
-// Policy exposes the active routing policy (for static path queries).
+// TopoNet exposes the built direct-link lattice (nil on the MD crossbar —
+// see Network).
+func (m *Machine) TopoNet() *topo.Net { return m.tnet }
+
+// TopoScheme exposes the installed direct-link routing scheme (nil on the
+// MD crossbar). It is rebuilt — and re-fetched stale references
+// invalidated — every time a fault is added.
+func (m *Machine) TopoScheme() topo.Router { return m.router }
+
+// Topology reports the configured interconnect name (TopologyMDX,
+// TopologyHyperX or TopologyFullMesh).
+func (m *Machine) Topology() string { return m.cfg.Topology }
+
+// Policy exposes the active routing policy (for static path queries; nil
+// on direct-link topologies — see Reachable for the portable precheck).
 func (m *Machine) Policy() *routing.Policy { return m.policy }
 
 // Shape reports the lattice shape.

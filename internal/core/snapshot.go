@@ -47,6 +47,9 @@ func (m *Machine) configHash() uint64 {
 	for _, n := range m.shape {
 		mix(int64(n))
 	}
+	for _, b := range []byte(m.cfg.Topology) {
+		mix(int64(b))
+	}
 	for _, v := range m.cfg.SXB {
 		mix(int64(v))
 	}

@@ -49,6 +49,16 @@ type Options struct {
 	Shards int
 }
 
+// cellDone reports one completed unit of work with its simulated-cycle count
+// to the progress hook. Experiments that iterate sequentially instead of
+// fanning out through sweepCells (e.g. the full-machine walk) call it once
+// per logical cell so the jobs layer sees their progress too.
+func (opt Options) cellDone(cycles int64) {
+	if opt.OnCell != nil {
+		opt.OnCell(cycles)
+	}
+}
+
 // sweepCells fans one experiment's independent cells through the worker
 // pool. It is the single funnel between the experiment bodies and
 // internal/sweep, so the server-side knobs (cancellation context, shared
@@ -58,7 +68,13 @@ func sweepCells[R any](opt Options, n int, fn func(i int) (R, error)) ([]R, erro
 	if opt.OnCell != nil {
 		run = func(i int) (R, error) {
 			r, err := fn(i)
-			opt.OnCell(0)
+			// Cells whose result knows its simulated-cycle count (e.g.
+			// traffic.Result) report it; the rest count as zero-cycle cells.
+			var cycles int64
+			if c, ok := any(r).(interface{ SimCycles() int64 }); ok && err == nil {
+				cycles = c.SimCycles()
+			}
+			opt.OnCell(cycles)
 			return r, err
 		}
 	}
@@ -142,8 +158,10 @@ func All() []Experiment {
 			return 3
 		case 'R':
 			return 4
-		default:
+		case 'H':
 			return 5
+		default:
+			return 6
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

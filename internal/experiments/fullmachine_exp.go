@@ -128,6 +128,7 @@ func runE11(opt Options) (*Report, error) {
 		if res.Deadlocked || !res.Drained {
 			pass = false
 		}
+		opt.cellDone(m.Engine().Cycle())
 		tbl.AddRow(shape.String(), shape.Size(), bcastCopies, bcastCycles, detoured,
 			res.Throughput, res.Latency.Mean(), outcomeWord2(res))
 	}

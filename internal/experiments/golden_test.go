@@ -33,7 +33,7 @@ func reportDigest(t *testing.T, id string, opt Options) uint64 {
 }
 
 func TestGoldenDeterminismAcrossRepeats(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			opt := Options{Quick: true, Parallel: 1}
@@ -46,13 +46,30 @@ func TestGoldenDeterminismAcrossRepeats(t *testing.T) {
 }
 
 func TestGoldenDeterminismAcrossParallelism(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			serial := reportDigest(t, id, Options{Quick: true, Parallel: 1})
 			for _, p := range []int{2, 4, 8} {
 				if d := reportDigest(t, id, Options{Quick: true, Parallel: p}); d != serial {
 					t.Errorf("%s: parallel=%d digest %#x != serial %#x", id, p, d, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenHSeriesAcrossShards pins the H-series reports across spatial
+// shard counts: the topo machines step identically on the sharded engine, so
+// the rendered campaign artifacts must not move by a byte.
+func TestGoldenHSeriesAcrossShards(t *testing.T) {
+	for _, id := range []string{"H1", "H2", "H3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial := reportDigest(t, id, Options{Quick: true, Parallel: 1})
+			for _, shards := range []int{2, 4} {
+				if d := reportDigest(t, id, Options{Quick: true, Parallel: 2, Shards: shards}); d != serial {
+					t.Errorf("%s: shards=%d digest %#x != serial %#x", id, shards, d, serial)
 				}
 			}
 		})

@@ -21,15 +21,24 @@ const (
 	KindRouter Kind = iota
 	// KindXB marks a faulty crossbar switch.
 	KindXB
+	// KindLink marks a faulty direct link between two routers of one
+	// axis-aligned line (the direct-link topologies in internal/topo: the
+	// MD crossbar has no such links). A link is undirected: both
+	// directions fail together.
+	KindLink
 )
 
-// Fault identifies one faulty switch.
+// Fault identifies one faulty switch or link.
 type Fault struct {
 	Kind Kind
-	// Coord locates a faulty router (KindRouter).
+	// Coord locates a faulty router (KindRouter) or one endpoint of a
+	// faulty link (KindLink).
 	Coord geom.Coord
 	// Line locates a faulty crossbar (KindXB).
 	Line geom.Line
+	// To is the other endpoint of a faulty link (KindLink). It must
+	// differ from Coord in exactly one dimension.
+	To geom.Coord
 }
 
 // RouterFault returns a Fault marking the router at c.
@@ -38,10 +47,34 @@ func RouterFault(c geom.Coord) Fault { return Fault{Kind: KindRouter, Coord: c} 
 // XBFault returns a Fault marking the crossbar of line l.
 func XBFault(l geom.Line) Fault { return Fault{Kind: KindXB, Line: l} }
 
+// LinkFault returns a Fault marking the undirected direct link between a
+// and b. The endpoints are stored in canonical (lexicographic) order, so
+// LinkFault(a, b) and LinkFault(b, a) are the same fault.
+func LinkFault(a, b geom.Coord) Fault {
+	if linkLess(b, a) {
+		a, b = b, a
+	}
+	return Fault{Kind: KindLink, Coord: a, To: b}
+}
+
+// linkLess orders coordinates lexicographically for canonical link
+// endpoints.
+func linkLess(a, b geom.Coord) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // String renders the fault.
 func (f Fault) String() string {
-	if f.Kind == KindRouter {
+	switch f.Kind {
+	case KindRouter:
 		return "router@" + f.Coord.String()
+	case KindLink:
+		return "link@" + f.Coord.String() + "-" + f.To.String()
 	}
 	return "xb@" + f.Line.String()
 }
@@ -57,6 +90,7 @@ type Set struct {
 	shape   geom.Shape
 	routers map[geom.Coord]bool
 	xbs     map[geom.Line]bool
+	links   map[[2]geom.Coord]bool
 	list    []Fault
 }
 
@@ -73,6 +107,7 @@ func NewSet(shape geom.Shape) *Set {
 		shape:   shape,
 		routers: map[geom.Coord]bool{},
 		xbs:     map[geom.Line]bool{},
+		links:   map[[2]geom.Coord]bool{},
 	}
 }
 
@@ -95,6 +130,17 @@ func (s *Set) Add(f Fault) error {
 			return fmt.Errorf("fault: crossbar %v outside shape", f.Line)
 		}
 		s.xbs[f.Line] = true
+	case KindLink:
+		if !s.shape.Contains(f.Coord) {
+			return fmt.Errorf("fault: link endpoint %v outside shape", f.Coord)
+		}
+		if !s.shape.Contains(f.To) {
+			return fmt.Errorf("fault: link endpoint %v outside shape", f.To)
+		}
+		if f.Coord.Distance(f.To) != 1 {
+			return fmt.Errorf("fault: link %v-%v endpoints must differ in exactly one dimension", f.Coord, f.To)
+		}
+		s.links[linkKey(f.Coord, f.To)] = true
 	default:
 		return fmt.Errorf("fault: unknown kind %d", f.Kind)
 	}
@@ -116,6 +162,20 @@ func (s *Set) RouterFaulty(c geom.Coord) bool { return s.routers[c] }
 // XBFaulty reports whether the crossbar of line l is faulty. Same adjacency
 // discipline as RouterFaulty.
 func (s *Set) XBFaulty(l geom.Line) bool { return s.xbs[l] }
+
+// LinkFaulty reports whether the direct link between a and b is faulty,
+// in either argument order. Like RouterFaulty/XBFaulty it tolerates the
+// zero-value set (answering "healthy") because it sits on the routing hot
+// path of the direct-link schemes.
+func (s *Set) LinkFaulty(a, b geom.Coord) bool { return s.links[linkKey(a, b)] }
+
+// linkKey canonicalizes an undirected link's endpoints.
+func linkKey(a, b geom.Coord) [2]geom.Coord {
+	if linkLess(b, a) {
+		a, b = b, a
+	}
+	return [2]geom.Coord{a, b}
+}
 
 // LineTouched reports whether the line's crossbar is faulty or any router on
 // the line is faulty. The S-XB substitution rule uses it: "if the XB
@@ -168,6 +228,9 @@ func (s *Set) Clone() *Set {
 	}
 	for k, v := range s.xbs {
 		c.xbs[k] = v
+	}
+	for k, v := range s.links {
+		c.links[k] = v
 	}
 	c.list = append(c.list, s.list...)
 	return c

@@ -9,10 +9,15 @@ import (
 
 // EncodeFault appends one fault record. Field order is part of the
 // checkpoint v1 format (see the version-bump rule in package checkpoint).
+// KindLink appends its second endpoint after the common fields, so
+// streams written before links existed decode unchanged.
 func EncodeFault(e *checkpoint.Encoder, f Fault) {
 	e.Byte(byte(f.Kind))
 	geom.EncodeCoord(e, f.Coord)
 	geom.EncodeLine(e, f.Line)
+	if f.Kind == KindLink {
+		geom.EncodeCoord(e, f.To)
+	}
 }
 
 // DecodeFault reads a fault record, rejecting unknown kinds.
@@ -21,8 +26,12 @@ func DecodeFault(d *checkpoint.Decoder) Fault {
 	f.Kind = Kind(d.Byte())
 	f.Coord = geom.DecodeCoord(d)
 	f.Line = geom.DecodeLine(d)
-	if d.Err() == nil && f.Kind > KindXB {
+	if d.Err() == nil && f.Kind > KindLink {
 		d.Fail(fmt.Sprintf("unknown fault kind %d", f.Kind))
+		return f
+	}
+	if f.Kind == KindLink {
+		f.To = geom.DecodeCoord(d)
 	}
 	return f
 }

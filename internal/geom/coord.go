@@ -55,6 +55,20 @@ func MustShape(extents ...int) Shape {
 // Dims reports the dimensionality d of the lattice.
 func (s Shape) Dims() int { return len(s) }
 
+// Equal reports whether two shapes have identical dimensionality and
+// extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Size reports the total number of lattice points n = n1*n2*...*nd.
 func (s Shape) Size() int {
 	n := 1

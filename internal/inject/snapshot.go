@@ -52,6 +52,11 @@ func (inj *Injector) scheduleHash() uint64 {
 		for _, v := range ev.Fault.Line.Fixed {
 			mix(int64(v))
 		}
+		if ev.Fault.Kind == fault.KindLink {
+			for _, v := range ev.Fault.To {
+				mix(int64(v))
+			}
+		}
 	}
 	mix(boolInt(inj.opt.Retransmit))
 	mix(inj.opt.RetryAfter)

@@ -126,6 +126,34 @@ func TestDifferentialCLIvsServer(t *testing.T) {
 			},
 		},
 		{
+			// A HyperX single run with a mid-run link fault: the topology
+			// preamble line, the link-fault event rendering, and the
+			// fault-tolerant detour accounting must all match the CLI.
+			name: "mdxfault_hyperx_link",
+			spec: Spec{Kind: KindFault, Fault: &FaultSpec{
+				Shape: "4x4", Topology: "hyperx", Fails: []string{"link:0,0-3,0@60"},
+				Pattern: "shift+5", Waves: 4, Inject: InjectSpec{Retransmit: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-shape", "4x4", "-topo", "hyperx",
+					"-fail", "link:0,0-3,0@60", "-waves", "4", "-retransmit"}
+			},
+		},
+		{
+			// A full-mesh campaign: placements include every router and every
+			// link pair, and the link-dim0 class rows must match the CLI at
+			// both pool widths.
+			name: "mdxfault_fullmesh_campaign",
+			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
+				Shape: "8", Topology: "fullmesh", Epochs: []int64{12}, Patterns: []string{"shift+3"},
+				Inject: InjectSpec{Retransmit: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-campaign", "-shape", "8", "-topo", "fullmesh",
+					"-epochs", "12", "-patterns", "shift+3", "-retransmit", "-parallel", p}
+			},
+		},
+		{
 			name: "mdxfault_campaign",
 			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
 				Shape: "4x4", Epochs: []int64{12, 60}, Patterns: []string{"shift+5", "reverse"},

@@ -129,6 +129,7 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 	var buf bytes.Buffer
 	sspec := campaign.SingleSpec{
 		Shape:       shape,
+		Topology:    f.Topology,
 		Events:      events,
 		Pattern:     pat,
 		Waves:       f.Waves,
@@ -238,6 +239,7 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 	}
 	cfg := campaign.Config{
 		Shape:       shape,
+		Topology:    c.Topology,
 		Epochs:      c.Epochs,
 		Patterns:    patterns,
 		Waves:       c.Waves,

@@ -21,6 +21,7 @@ import (
 
 	"sr2201/internal/campaign"
 	"sr2201/internal/cliutil"
+	"sr2201/internal/core"
 	"sr2201/internal/experiments"
 	"sr2201/internal/geom"
 )
@@ -88,7 +89,14 @@ type VariantSpec struct {
 // sequence, one traffic pattern.
 type FaultSpec struct {
 	Shape string `json:"shape"`
-	// Fails lists fault schedules, e.g. "rtc:3,4@500" or "xb:0:0,2@200".
+	// Topology selects the interconnect (mdxfault -topo): "" or "mdx" is
+	// the MD crossbar (canonicalized to ""), "hyperx" and "fullmesh" the
+	// direct-link lattices. Crossbar-only features (xb: faults, broadcasts,
+	// the variant block) are rejected on direct-link topologies; link:
+	// faults are rejected on the MD crossbar.
+	Topology string `json:"topology,omitempty"`
+	// Fails lists fault schedules, e.g. "rtc:3,4@500", "xb:0:0,2@200" or
+	// "link:0,0-3,0@400".
 	Fails []string `json:"fails,omitempty"`
 	// Presets lists faults installed before any traffic, e.g. "rtc:2,1".
 	Presets []string `json:"presets,omitempty"`
@@ -114,7 +122,10 @@ type FaultSpec struct {
 
 // CampaignSpec mirrors mdxfault -campaign: the exhaustive placement grid.
 type CampaignSpec struct {
-	Shape      string       `json:"shape"`
+	Shape string `json:"shape"`
+	// Topology selects every cell's interconnect and the placement grid
+	// (see FaultSpec.Topology and campaign.PlacementsFor).
+	Topology   string       `json:"topology,omitempty"`
 	Epochs     []int64      `json:"epochs"`
 	Patterns   []string     `json:"patterns"`
 	Presets    []string     `json:"presets,omitempty"`
@@ -338,6 +349,32 @@ func parseShape(field, s string, maxSize int) (geom.Shape, error) {
 	return shape, nil
 }
 
+// normalizeTopology canonicalizes a spec's topology name and checks the
+// shape against the topology's constructor requirements, so a spec the
+// service accepts is one the machine builder accepts too. The default MD
+// crossbar canonicalizes to "" (so "mdx" and an absent field dedupe to the
+// same job).
+func normalizeTopology(field string, topo *string, shape geom.Shape) error {
+	t, err := cliutil.ParseTopology(*topo)
+	if err != nil {
+		return fieldErrf(field, "%v", err)
+	}
+	if t == core.TopologyMDX {
+		*topo = ""
+		return nil
+	}
+	if t == core.TopologyFullMesh && shape.Dims() != 1 {
+		return fieldErrf(field, "fullmesh needs a one-dimensional shape, got %s", shape)
+	}
+	for k, e := range shape {
+		if e < 2 {
+			return fieldErrf(field, "topology %q needs every extent at least 2, got extent[%d]=%d", t, k, e)
+		}
+	}
+	*topo = t
+	return nil
+}
+
 // normalizeCommon checks the wave/gap/packet/horizon block shared by fault
 // and campaign specs, applying the CLI defaults for zero values.
 func normalizeCommon(prefix string, waves *int, gap *int64, packet *int, horizon *int64) error {
@@ -415,9 +452,12 @@ func (r *RecoverySpec) normalize(prefix string) error {
 	return nil
 }
 
-func (v *VariantSpec) normalize(prefix string, shape geom.Shape) error {
+func (v *VariantSpec) normalize(prefix string, shape geom.Shape, topology string) error {
 	v.SXB = strings.TrimSpace(v.SXB)
 	v.DXB = strings.TrimSpace(v.DXB)
+	if topology != "" && (v.SXB != "" || v.DXB != "" || v.DXBSeparate) {
+		return fieldErrf(prefix+".variant", "topology %q has no crossbars to configure (the variant block is mdx-only)", topology)
+	}
 	if v.SXB != "" {
 		c, err := cliutil.ParseCoord(v.SXB, shape.Dims())
 		if err != nil {
@@ -443,19 +483,26 @@ func (v *VariantSpec) normalize(prefix string, shape geom.Shape) error {
 }
 
 // normalizeWorkload validates the preset-fault and broadcast lists shared by
-// fault and campaign specs.
-func normalizeWorkload(prefix string, shape geom.Shape, presets, broadcasts []string) error {
+// fault and campaign specs against the shape and topology.
+func normalizeWorkload(prefix string, shape geom.Shape, topology string, presets, broadcasts []string) error {
 	if len(presets) > maxPresets {
 		return fieldErrf(prefix+".presets", "%d presets exceeds maximum %d", len(presets), maxPresets)
 	}
 	for i, ps := range presets {
 		presets[i] = strings.TrimSpace(ps)
-		if _, err := cliutil.ParseFaultIn(presets[i], shape); err != nil {
+		f, err := cliutil.ParseFaultIn(presets[i], shape)
+		if err != nil {
+			return fieldErrf(fmt.Sprintf("%s.presets[%d]", prefix, i), "%v", err)
+		}
+		if err := cliutil.CheckFaultTopology(f, topology); err != nil {
 			return fieldErrf(fmt.Sprintf("%s.presets[%d]", prefix, i), "%v", err)
 		}
 	}
 	if len(broadcasts) > maxBroadcasts {
 		return fieldErrf(prefix+".broadcasts", "%d broadcasts exceeds maximum %d", len(broadcasts), maxBroadcasts)
+	}
+	if topology != "" && len(broadcasts) > 0 {
+		return fieldErrf(prefix+".broadcasts", "topology %q has no hardware broadcast (mdx-only)", topology)
 	}
 	for i, bs := range broadcasts {
 		broadcasts[i] = strings.TrimSpace(bs)
@@ -472,6 +519,9 @@ func (f *FaultSpec) normalize() error {
 		return err
 	}
 	f.Shape = shape.String()
+	if err := normalizeTopology("fault.topology", &f.Topology, shape); err != nil {
+		return err
+	}
 	if len(f.Fails) == 0 && len(f.Presets) == 0 && len(f.Broadcasts) == 0 {
 		return fieldErrf("fault.fails", "needs a FAULT@CYCLE schedule, a preset fault or a broadcast")
 	}
@@ -480,12 +530,16 @@ func (f *FaultSpec) normalize() error {
 	}
 	for i, fs := range f.Fails {
 		fs = strings.TrimSpace(fs)
-		if _, _, err := cliutil.ParseScheduledFault(fs, shape); err != nil {
+		flt, _, err := cliutil.ParseScheduledFault(fs, shape)
+		if err != nil {
+			return fieldErrf(fmt.Sprintf("fault.fails[%d]", i), "%v", err)
+		}
+		if err := cliutil.CheckFaultTopology(flt, f.Topology); err != nil {
 			return fieldErrf(fmt.Sprintf("fault.fails[%d]", i), "%v", err)
 		}
 		f.Fails[i] = fs
 	}
-	if err := normalizeWorkload("fault", shape, f.Presets, f.Broadcasts); err != nil {
+	if err := normalizeWorkload("fault", shape, f.Topology, f.Presets, f.Broadcasts); err != nil {
 		return err
 	}
 	f.Pattern = strings.TrimSpace(f.Pattern)
@@ -498,7 +552,7 @@ func (f *FaultSpec) normalize() error {
 	if err := f.Recovery.normalize("fault"); err != nil {
 		return err
 	}
-	if err := f.Variant.normalize("fault", shape); err != nil {
+	if err := f.Variant.normalize("fault", shape, f.Topology); err != nil {
 		return err
 	}
 	if err := normalizeShards("fault.shards", f.Shards); err != nil {
@@ -513,6 +567,9 @@ func (c *CampaignSpec) normalize() error {
 		return err
 	}
 	c.Shape = shape.String()
+	if err := normalizeTopology("campaign.topology", &c.Topology, shape); err != nil {
+		return err
+	}
 	if len(c.Epochs) == 0 {
 		return fieldErrf("campaign.epochs", "needs at least one activation cycle")
 	}
@@ -537,7 +594,7 @@ func (c *CampaignSpec) normalize() error {
 		}
 		c.Patterns[i] = p
 	}
-	if err := normalizeWorkload("campaign", shape, c.Presets, c.Broadcasts); err != nil {
+	if err := normalizeWorkload("campaign", shape, c.Topology, c.Presets, c.Broadcasts); err != nil {
 		return err
 	}
 	if err := normalizeCommon("campaign", &c.Waves, &c.Gap, &c.PacketSize, &c.Horizon); err != nil {
@@ -546,7 +603,7 @@ func (c *CampaignSpec) normalize() error {
 	if err := c.Recovery.normalize("campaign"); err != nil {
 		return err
 	}
-	if err := c.Variant.normalize("campaign", shape); err != nil {
+	if err := c.Variant.normalize("campaign", shape, c.Topology); err != nil {
 		return err
 	}
 	if err := normalizeShards("campaign.shards", c.Shards); err != nil {

@@ -87,7 +87,7 @@ func AnalyzeReachability(m *core.Machine, dest func(src geom.Coord) geom.Coord) 
 		case !m.Alive(dst):
 			r.DestDead++
 			r.Pairs = append(r.Pairs, Pair{Src: src, Dst: dst, Class: PairDestDead})
-		case m.Policy().Reachable(src, dst) != nil:
+		case m.Reachable(src, dst) != nil:
 			r.Unreachable++
 			r.Pairs = append(r.Pairs, Pair{Src: src, Dst: dst, Class: PairUnreachable})
 		default:

@@ -1,0 +1,213 @@
+package fullmesh
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/topo"
+)
+
+func set(t *testing.T, n int, faults ...fault.Fault) *fault.Set {
+	t.Helper()
+	fs := fault.NewSet(geom.MustShape(n))
+	for _, f := range faults {
+		if err := fs.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func certify(t *testing.T, s *Scheme) topo.Certificate {
+	t.Helper()
+	cert, err := topo.Certify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}
+
+// TestFaultFreeAcyclic: with no faults every route is the direct hop, so
+// the dependence graph has n(n-1) link channels, n PE channels, and only
+// link→PE edges — trivially acyclic.
+func TestFaultFreeAcyclic(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8, 12} {
+		s, err := New(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := certify(t, s)
+		if !cert.Acyclic {
+			t.Fatalf("n=%d: fault-free full mesh reported cyclic: %v", n, cert.Cycle)
+		}
+		wantCh := n*(n-1) + n
+		if cert.Channels != wantCh {
+			t.Errorf("n=%d: channels=%d want %d", n, cert.Channels, wantCh)
+		}
+	}
+}
+
+// TestSingleLinkFaultAcyclic: the ordered scheme stays acyclic under
+// every possible single link fault.
+func TestSingleLinkFaultAcyclic(t *testing.T) {
+	const n = 6
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			fs := set(t, n, fault.LinkFault(geom.Coord{a}, geom.Coord{b}))
+			s, err := New(n, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cert := certify(t, s); !cert.Acyclic {
+				t.Errorf("link %d-%d: cyclic: %v", a, b, cert.Cycle)
+			}
+		}
+	}
+}
+
+// TestMultiLinkFaultAcyclic: the ordering constraint holds for arbitrary
+// static link-fault sets, not just single faults — sweep all two-link
+// combinations on K5.
+func TestMultiLinkFaultAcyclic(t *testing.T) {
+	const n = 5
+	var links [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			links = append(links, [2]int{a, b})
+		}
+	}
+	for i := 0; i < len(links); i++ {
+		for j := i + 1; j < len(links); j++ {
+			fs := set(t, n,
+				fault.LinkFault(geom.Coord{links[i][0]}, geom.Coord{links[i][1]}),
+				fault.LinkFault(geom.Coord{links[j][0]}, geom.Coord{links[j][1]}))
+			s, err := New(n, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cert := certify(t, s); !cert.Acyclic {
+				t.Errorf("links %v+%v: cyclic: %v", links[i], links[j], cert.Cycle)
+			}
+		}
+	}
+}
+
+// TestUnorderedVariantRefutedWithWitness is the deliberate refutation the
+// framework exists to produce: dropping the rank ordering on K4 with
+// faulty links 0-2 and 1-3 chains the four detours into a 4-cycle, and
+// the prover names it concretely.
+func TestUnorderedVariantRefutedWithWitness(t *testing.T) {
+	fs := set(t, 4,
+		fault.LinkFault(geom.Coord{0}, geom.Coord{2}),
+		fault.LinkFault(geom.Coord{1}, geom.Coord{3}))
+	s, err := NewUnordered(4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := certify(t, s)
+	if cert.Acyclic {
+		t.Fatal("unordered variant certified acyclic; the refutation harness is broken")
+	}
+	want := []string{"R(1,0).d0>2", "R(2,0).d0>3", "R(3,0).d0>0", "R(0,0).d0>1"}
+	if !reflect.DeepEqual(cert.Cycle, want) {
+		t.Errorf("cycle witness %v, want %v", cert.Cycle, want)
+	}
+	// The sound scheme on the identical fault set stays acyclic (at the
+	// cost of refusing pairs destined into rank-minimal node 1).
+	ordered, err := New(4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := certify(t, ordered); !c.Acyclic {
+		t.Errorf("ordered scheme cyclic on the witness fault set: %v", c.Cycle)
+	}
+}
+
+// TestDetourRoutes pins the walker's concrete routes around a faulty
+// link, including the rank(0)=n summit rule and the refused pair.
+func TestDetourRoutes(t *testing.T) {
+	// K4, link 0-2 faulty.
+	fs := set(t, 4, fault.LinkFault(geom.Coord{0}, geom.Coord{2}))
+	s, err := New(4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src, dst int
+		routers  []int // expected router sequence; nil = refused
+	}{
+		{0, 2, []int{0, 1, 2}}, // detour via rank(1) < rank(2)
+		{2, 0, []int{2, 1, 0}}, // t=0 is the summit: any intermediate admissible, smallest is 1
+		{0, 1, []int{0, 1}},    // direct link healthy
+		{3, 2, []int{3, 2}},    // unaffected pair
+		{0, 0, []int{0}},       // self delivery
+	}
+	for _, tc := range cases {
+		w, err := topo.Walk(s, geom.Coord{tc.src}, geom.Coord{tc.dst})
+		if err != nil {
+			t.Errorf("%d->%d: %v", tc.src, tc.dst, err)
+			continue
+		}
+		got := make([]int, len(w.Routers))
+		for i, c := range w.Routers {
+			got[i] = c[0]
+		}
+		if !reflect.DeepEqual(got, tc.routers) {
+			t.Errorf("%d->%d: routers %v, want %v", tc.src, tc.dst, got, tc.routers)
+		}
+	}
+	// The uncovered destination: rank(1) is minimal, so a faulty link
+	// into node 1 refuses the pair.
+	fs = set(t, 4, fault.LinkFault(geom.Coord{3}, geom.Coord{1}))
+	s, err = New(4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Walk(s, geom.Coord{3}, geom.Coord{1}); !errors.Is(err, topo.ErrUnreachable) {
+		t.Errorf("3->1 with faulty link 3-1: err=%v, want ErrUnreachable", err)
+	}
+	// ... while the reverse direction detours fine (t=3 admits m=2).
+	if w, err := topo.Walk(s, geom.Coord{1}, geom.Coord{3}); err != nil {
+		t.Errorf("1->3: %v", err)
+	} else if len(w.Routers) != 3 {
+		t.Errorf("1->3: expected a two-hop detour, got %v", w.Routers)
+	}
+}
+
+// TestRouterFaultRefuses: pairs into or out of a dead router refuse;
+// others route around nothing (direct links are unaffected).
+func TestRouterFaultRefuses(t *testing.T) {
+	fs := set(t, 5, fault.RouterFault(geom.Coord{2}))
+	s, err := New(5, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Walk(s, geom.Coord{0}, geom.Coord{2}); !errors.Is(err, topo.ErrUnreachable) {
+		t.Errorf("0->2: err=%v, want ErrUnreachable", err)
+	}
+	if _, err := topo.Walk(s, geom.Coord{2}, geom.Coord{0}); !errors.Is(err, topo.ErrUnreachable) {
+		t.Errorf("2->0: err=%v, want ErrUnreachable", err)
+	}
+	if _, err := topo.Walk(s, geom.Coord{0}, geom.Coord{4}); err != nil {
+		t.Errorf("0->4: %v", err)
+	}
+	if cert := certify(t, s); !cert.Acyclic {
+		t.Errorf("router fault: cyclic: %v", cert.Cycle)
+	}
+}
+
+// TestBuildRejections: every constructor rejection names the offending
+// field.
+func TestBuildRejections(t *testing.T) {
+	if _, err := New(1, nil); err == nil || !strings.Contains(err.Error(), "order") {
+		t.Errorf("n=1: err=%v, want an error naming the order", err)
+	}
+	fs := fault.NewSet(geom.MustShape(5))
+	if _, err := New(4, fs); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("mismatched fault shape: err=%v, want an error naming the shape", err)
+	}
+}

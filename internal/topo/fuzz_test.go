@@ -1,0 +1,157 @@
+package topo_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/routing"
+	"sr2201/internal/topo"
+	"sr2201/internal/topo/fullmesh"
+	"sr2201/internal/topo/hyperx"
+	"sr2201/internal/topo/mdx"
+)
+
+// rejectionNamesField enforces the error contract on scheme construction:
+// every rejection must say which field was bad, never a bare "invalid".
+func rejectionNamesField(t *testing.T, err error, input []byte) {
+	msg := err.Error()
+	for _, field := range []string{"shape", "extent", "order", "dimension", "fault"} {
+		if strings.Contains(msg, field) {
+			return
+		}
+	}
+	t.Errorf("rejection of % x names no field: %q", input, msg)
+}
+
+// FuzzTopoBuild drives arbitrary bytes through the three registered scheme
+// builders: byte 0 selects the family, the next bytes become extents, the
+// tail becomes fault placements. The builders must never panic, every
+// rejection must name the offending field, and every accepted build must
+// certify acyclic — a fuzzer-found cyclic certificate would be a
+// deadlock-freedom counterexample. For the walkable schemes a derived
+// source/destination pair is also walked: the only acceptable refusal is
+// ErrUnreachable.
+func FuzzTopoBuild(f *testing.F) {
+	// One seed per registered family.
+	f.Add([]byte{0, 4, 4, 9})    // mdx 4x4, one router fault
+	f.Add([]byte{1, 3, 3, 2, 5}) // hyperx 3x3, router + link faults
+	f.Add([]byte{2, 6, 0, 1, 3}) // fullmesh order 6, link faults
+	f.Add([]byte{1, 1, 7})       // hyperx extent-1 rejection
+	f.Add([]byte{2, 1})          // fullmesh order-1 rejection
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		family := int(data[0]) % 3
+		var shape geom.Shape
+		var rest []byte
+		if family == 2 {
+			// Full mesh takes a bare order; 0 and 1 exercise the rejection.
+			n := int(data[1]) % 20
+			s, err := fullmesh.New(n, nil)
+			if err != nil {
+				rejectionNamesField(t, err, data)
+				return
+			}
+			shape, rest = s.Shape(), data[2:]
+			fuzzFaultsAndCertify(t, data, shape, rest, func(fs *fault.Set) (topo.Scheme, error) {
+				return fullmesh.New(n, fs)
+			}, true)
+			return
+		}
+		// mdx and hyperx take a multi-dimensional shape: 1-3 dims, raw
+		// byte extents so 0 and 1 exercise the validators.
+		dims := 1 + int(data[1])%3
+		if len(data) < 2+dims {
+			return
+		}
+		extents := make([]int, dims)
+		size := 1
+		for i := range extents {
+			extents[i] = int(data[2+i]) % 9
+			size *= extents[i]
+		}
+		if size > 64 {
+			return // keep the certify step cheap
+		}
+		rest = data[2+dims:]
+		switch family {
+		case 0:
+			s, err := geom.NewShape(extents...)
+			if err != nil {
+				rejectionNamesField(t, err, data)
+				return
+			}
+			fuzzFaultsAndCertify(t, data, s, rest, func(fs *fault.Set) (topo.Scheme, error) {
+				return mdx.New(routing.Config{Shape: s})
+			}, false)
+		case 1:
+			s, err := geom.NewShape(extents...)
+			if err != nil {
+				rejectionNamesField(t, err, data)
+				return
+			}
+			fuzzFaultsAndCertify(t, data, s, rest, func(fs *fault.Set) (topo.Scheme, error) {
+				return hyperx.New(s, fs)
+			}, true)
+		}
+	})
+}
+
+// fuzzFaultsAndCertify decodes the tail bytes into fault placements, builds
+// the scheme, and applies the oracle: clean rejection or acyclic
+// certificate, and (for walkable schemes) a clean or cleanly-refused walk.
+func fuzzFaultsAndCertify(t *testing.T, data []byte, shape geom.Shape, rest []byte,
+	build func(*fault.Set) (topo.Scheme, error), walkable bool) {
+	fs := fault.NewSet(shape)
+	for i := 0; i+1 < len(rest); i += 2 {
+		k, v := int(rest[i]), int(rest[i+1])
+		c := shape.CoordOf(v % shape.Size())
+		var flt fault.Fault
+		if k%2 == 0 {
+			flt = fault.RouterFault(c)
+		} else {
+			dim := k % shape.Dims()
+			to := c.WithDim(dim, (c[dim]+1+v)%shape[dim])
+			if to == c {
+				continue
+			}
+			flt = fault.LinkFault(c, to)
+		}
+		if err := fs.Add(flt); err != nil {
+			rejectionNamesField(t, err, data)
+			return
+		}
+	}
+	s, err := build(fs)
+	if err != nil {
+		rejectionNamesField(t, err, data)
+		return
+	}
+	cert, err := topo.Certify(s)
+	if err != nil {
+		rejectionNamesField(t, err, data)
+		return
+	}
+	if !cert.Acyclic {
+		t.Fatalf("accepted build % x certified cyclic: %v", data, cert.Cycle)
+	}
+	if !walkable || shape.Size() < 2 {
+		return
+	}
+	r, ok := s.(topo.Router)
+	if !ok {
+		t.Fatalf("walkable scheme %s does not implement Router", s.Name())
+	}
+	src := shape.CoordOf(int(data[0]) % shape.Size())
+	dst := shape.CoordOf((shape.Index(src) + 1 + int(data[1])) % shape.Size())
+	if src == dst {
+		return
+	}
+	if _, err := topo.Walk(r, src, dst); err != nil && !errors.Is(err, topo.ErrUnreachable) {
+		t.Fatalf("walk %s->%s on % x: %v", src, dst, data, err)
+	}
+}

@@ -1,0 +1,174 @@
+package hyperx
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/topo"
+)
+
+func set(t *testing.T, shape geom.Shape, faults ...fault.Fault) *fault.Set {
+	t.Helper()
+	fs := fault.NewSet(shape)
+	for _, f := range faults {
+		if err := fs.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func certify(t *testing.T, s *Scheme) topo.Certificate {
+	t.Helper()
+	cert, err := topo.Certify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}
+
+// TestFaultFreeAcyclic certifies dimension-order routing across shapes:
+// channels are all directed in-line links plus one PE delivery channel
+// per router.
+func TestFaultFreeAcyclic(t *testing.T) {
+	for _, extents := range [][]int{{4, 4}, {3, 3}, {4, 3}, {3, 3, 3}, {2, 2, 2, 2}, {5}} {
+		shape := geom.MustShape(extents...)
+		s, err := New(shape, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := certify(t, s)
+		if !cert.Acyclic {
+			t.Fatalf("%s: fault-free HyperX reported cyclic: %v", shape, cert.Cycle)
+		}
+		links := 0
+		for _, e := range shape {
+			links += (e - 1) * shape.Size() // directed in-line links per router, summed
+		}
+		if want := links + shape.Size(); cert.Channels != want {
+			t.Errorf("%s: channels=%d want %d", shape, cert.Channels, want)
+		}
+	}
+}
+
+// TestEverySingleLinkFaultAcyclic exhausts single link faults on 4x4: the
+// ordered in-line detour keeps the CDG acyclic everywhere.
+func TestEverySingleLinkFaultAcyclic(t *testing.T) {
+	shape := geom.MustShape(4, 4)
+	for dim := 0; dim < shape.Dims(); dim++ {
+		for _, l := range shape.LinesAlong(dim) {
+			for a := 0; a < shape[dim]; a++ {
+				for b := a + 1; b < shape[dim]; b++ {
+					fs := set(t, shape, fault.LinkFault(l.Point(a), l.Point(b)))
+					s, err := New(shape, fs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cert := certify(t, s); !cert.Acyclic {
+						t.Errorf("link %s-%s: cyclic: %v", l.Point(a), l.Point(b), cert.Cycle)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEverySingleRouterFaultAcyclic exhausts single router faults on 3x3.
+func TestEverySingleRouterFaultAcyclic(t *testing.T) {
+	shape := geom.MustShape(3, 3)
+	shape.Enumerate(func(c geom.Coord) bool {
+		fs := set(t, shape, fault.RouterFault(c))
+		s, err := New(shape, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert := certify(t, s); !cert.Acyclic {
+			t.Errorf("router %s: cyclic: %v", c, cert.Cycle)
+		}
+		return true
+	})
+}
+
+// TestMultiFaultAcyclic mixes link and router faults across dimensions.
+func TestMultiFaultAcyclic(t *testing.T) {
+	shape := geom.MustShape(4, 3)
+	fs := set(t, shape,
+		fault.LinkFault(geom.Coord{0, 0}, geom.Coord{2, 0}),
+		fault.LinkFault(geom.Coord{1, 0}, geom.Coord{1, 2}),
+		fault.RouterFault(geom.Coord{3, 1}))
+	s, err := New(shape, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert := certify(t, s); !cert.Acyclic {
+		t.Errorf("multi-fault: cyclic: %v", cert.Cycle)
+	}
+}
+
+// TestRoutes pins concrete routes: dimension order, the in-line detour,
+// and the waypoint-router refusal.
+func TestRoutes(t *testing.T) {
+	shape := geom.MustShape(4, 4)
+	// Fault-free: strict dimension order, one hop per differing dim.
+	s, err := New(shape, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := topo.Walk(s, geom.Coord{0, 0}, geom.Coord{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRouters := []geom.Coord{{0, 0}, {3, 0}, {3, 2}}
+	if !reflect.DeepEqual(w.Routers, wantRouters) {
+		t.Errorf("0,0->3,2 routers %v, want %v", w.Routers, wantRouters)
+	}
+	// Link (0,0)-(3,0) faulty: detour via the smallest admissible
+	// intermediate, m=1 (rank 1 < rank 3).
+	fs := set(t, shape, fault.LinkFault(geom.Coord{0, 0}, geom.Coord{3, 0}))
+	s, err = New(shape, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err = topo.Walk(s, geom.Coord{0, 0}, geom.Coord{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRouters = []geom.Coord{{0, 0}, {1, 0}, {3, 0}, {3, 2}}
+	if !reflect.DeepEqual(w.Routers, wantRouters) {
+		t.Errorf("detoured routers %v, want %v", w.Routers, wantRouters)
+	}
+	// A dead router on the dimension-order path refuses the pair: from
+	// (0,0) to (1,3), dimension order must pass through (1,0).
+	fs = set(t, shape, fault.RouterFault(geom.Coord{1, 0}))
+	s, err = New(shape, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Walk(s, geom.Coord{0, 0}, geom.Coord{1, 3}); !errors.Is(err, topo.ErrUnreachable) {
+		t.Errorf("dead waypoint: err=%v, want ErrUnreachable", err)
+	}
+	// The reverse-direction pair (1,3)->(0,0) never touches (1,0): it
+	// corrects dim 0 first at row y=3.
+	if _, err := topo.Walk(s, geom.Coord{1, 3}, geom.Coord{0, 0}); err != nil {
+		t.Errorf("(1,3)->(0,0): %v", err)
+	}
+}
+
+// TestBuildRejections: every constructor rejection names the offending
+// field.
+func TestBuildRejections(t *testing.T) {
+	if _, err := New(geom.Shape{}, nil); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("empty shape: err=%v, want an error naming the shape", err)
+	}
+	if _, err := New(geom.MustShape(4, 1), nil); err == nil || !strings.Contains(err.Error(), "extent") {
+		t.Errorf("extent 1: err=%v, want an error naming the extent", err)
+	}
+	fs := fault.NewSet(geom.MustShape(3, 3))
+	if _, err := New(geom.MustShape(4, 4), fs); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("mismatched fault shape: err=%v, want an error naming the shape", err)
+	}
+}

@@ -1,0 +1,50 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registration names one scheme family and builds a canonical instance of
+// it for certification. The CI certificate gate iterates every
+// registration, certifies the instance, and fails the build if any
+// certificate regresses to cyclic.
+type Registration struct {
+	// Name is the family name ("mdx", "hyperx", "fullmesh").
+	Name string
+	// Canonical builds the family's reference instance (fault-free, a
+	// representative shape).
+	Canonical func() (Scheme, error)
+}
+
+var (
+	regMu  sync.Mutex
+	regMap = map[string]Registration{}
+)
+
+// Register records a scheme family. Panics on a duplicate name, matching
+// the experiments registry convention: a collision is a programming error.
+func Register(r Registration) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if r.Name == "" || r.Canonical == nil {
+		panic("topo: Register needs a name and a canonical builder")
+	}
+	if _, dup := regMap[r.Name]; dup {
+		panic(fmt.Sprintf("topo: duplicate scheme registration %q", r.Name))
+	}
+	regMap[r.Name] = r
+}
+
+// Registered returns all registrations sorted by name.
+func Registered() []Registration {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Registration, 0, len(regMap))
+	for _, r := range regMap {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

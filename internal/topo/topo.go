@@ -1,0 +1,244 @@
+// Package topo is the topology-agnostic routing framework: a channel
+// dependence prover (the Dally–Seitz criterion the paper's Section 5
+// argument rests on), a Scheme interface any topology/routing pair
+// implements to register its dependence edges, a registry of certified
+// schemes, and a generic direct-link lattice network builder for schemes
+// whose routers connect point to point (HyperX, full mesh) rather than
+// through the paper's shared crossbars.
+//
+// The prover is deliberately the same machine internal/cdg always ran: a
+// channel-vertex graph built in insertion order, optional composite
+// vertices that contract a channel set into one resource (the serialized
+// broadcast tree), and a deterministic DFS cycle search. internal/cdg now
+// drives its MD-crossbar analysis through this Builder, pinned equal to
+// its historical output; new schemes register their own channels and
+// edges and receive the same acyclic/cyclic verdict with a concrete cycle
+// witness on refutation.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnreachable reports that a scheme refuses a source/destination pair
+// under the configured fault set. Refused pairs contribute no dependence
+// edges: the scheme never allocates channels for them.
+var ErrUnreachable = errors.New("topo: destination unreachable under current faults")
+
+// Scheme is a topology plus routing function that can state its channel
+// dependences. RegisterDependences must enumerate, for the scheme's
+// configured shape and fault set, every channel its routing function can
+// allocate and every "holds u, waits for v" edge between consecutive
+// channels on a path. The Builder's verdict over that graph is the
+// scheme's deadlock-freedom certificate.
+type Scheme interface {
+	// Name identifies the scheme instance, e.g. "hyperx-4x4".
+	Name() string
+	// RegisterDependences adds the scheme's channels and dependence edges.
+	RegisterDependences(b *Builder) error
+}
+
+// Certificate is the prover's verdict for one scheme.
+type Certificate struct {
+	// Scheme is the certified scheme's name.
+	Scheme string
+	// Channels and Edges count the contracted dependence graph. A
+	// composite vertex counts as one channel.
+	Channels, Edges int
+	// Acyclic reports whether the graph has no cycle — the sufficient
+	// condition for deadlock freedom.
+	Acyclic bool
+	// Cycle names the channels of one dependency cycle when !Acyclic.
+	Cycle []string
+}
+
+// String renders the certificate in the fixed golden/testdata format.
+func (c Certificate) String() string {
+	s := fmt.Sprintf("scheme: %s\nchannels: %d\nedges: %d\nacyclic: %v\n", c.Scheme, c.Channels, c.Edges, c.Acyclic)
+	if len(c.Cycle) > 0 {
+		s += "cycle:\n"
+		for _, name := range c.Cycle {
+			s += "  " + name + "\n"
+		}
+	}
+	return s
+}
+
+// Builder accumulates a channel dependence graph. Channel vertices are
+// interned by name in insertion order; edges are deduplicated; composite
+// vertices contract their member channels into one resource at
+// certification time. The builder is not safe for concurrent use.
+type Builder struct {
+	ids     map[string]int
+	names   []string
+	adj     map[int]map[int]bool
+	members map[int]int // member channel id -> composite id
+}
+
+// NewBuilder returns an empty dependence-graph builder.
+func NewBuilder() *Builder {
+	return &Builder{ids: map[string]int{}, adj: map[int]map[int]bool{}, members: map[int]int{}}
+}
+
+// Channel interns a channel vertex by name and returns its id. Repeated
+// calls with the same name return the same id.
+func (b *Builder) Channel(name string) int {
+	if v, ok := b.ids[name]; ok {
+		return v
+	}
+	v := len(b.names)
+	b.ids[name] = v
+	b.names = append(b.names, name)
+	return v
+}
+
+// Edge records a dependence from channel u to channel v. Self-loops are
+// dropped: a channel never waits on itself in cut-through switching.
+func (b *Builder) Edge(u, v int) {
+	if u == v {
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = map[int]bool{}
+	}
+	b.adj[u][v] = true
+}
+
+// Path interns the named channels and records the consecutive dependences
+// of one route: each channel held while the next is awaited.
+func (b *Builder) Path(names ...string) {
+	for i := 1; i < len(names); i++ {
+		b.Edge(b.Channel(names[i-1]), b.Channel(names[i]))
+	}
+}
+
+// Composite interns a composite vertex: a resource standing for a whole
+// channel set (the paper's serialized broadcast tree). Member channels
+// absorbed into it are contracted onto this vertex at certification.
+func (b *Builder) Composite(name string) int {
+	return b.Channel(name)
+}
+
+// Absorb marks channel id a member of composite comp. At certification
+// every edge touching the member is redirected onto the composite and the
+// member no longer counts as a channel of its own.
+func (b *Builder) Absorb(comp, id int) {
+	if comp == id {
+		return
+	}
+	b.members[id] = comp
+}
+
+// Certificate contracts composites, counts the resulting graph, and runs
+// the deterministic cycle search.
+func (b *Builder) Certificate(scheme string) Certificate {
+	contracted := map[int]map[int]bool{}
+	redirect := func(v int) int {
+		if c, ok := b.members[v]; ok {
+			return c
+		}
+		return v
+	}
+	edges := 0
+	for u, vs := range b.adj {
+		cu := redirect(u)
+		for v := range vs {
+			cv := redirect(v)
+			if cu == cv {
+				continue
+			}
+			if contracted[cu] == nil {
+				contracted[cu] = map[int]bool{}
+			}
+			if !contracted[cu][cv] {
+				contracted[cu][cv] = true
+				edges++
+			}
+		}
+	}
+	cert := Certificate{Scheme: scheme, Channels: len(b.names) - len(b.members), Edges: edges}
+	cert.Cycle = FindCycle(contracted, b.names)
+	cert.Acyclic = cert.Cycle == nil
+	return cert
+}
+
+// FindCycle runs a deterministic DFS (vertices and successors in id
+// order) over the graph and returns the names of one cycle's vertices, or
+// nil. Exposed for analyzers that maintain auxiliary graphs (internal/cdg's
+// naive-broadcast hazard check) beside the Builder.
+func FindCycle(adj map[int]map[int]bool, names []string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	parent := map[int]int{}
+	var cycleAt = -1
+
+	var nodes []int
+	for u := range adj {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		var targets []int
+		for v := range adj[u] {
+			targets = append(targets, v)
+		}
+		sort.Ints(targets)
+		for _, v := range targets {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				parent[v] = u
+				cycleAt = v
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range nodes {
+		if color[u] == white {
+			if dfs(u) {
+				break
+			}
+		}
+	}
+	if cycleAt < 0 {
+		return nil
+	}
+	var cyc []string
+	cur := cycleAt
+	for {
+		cyc = append(cyc, names[cur])
+		cur = parent[cur]
+		if cur == cycleAt {
+			break
+		}
+	}
+	for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+		cyc[i], cyc[j] = cyc[j], cyc[i]
+	}
+	return cyc
+}
+
+// Certify runs a scheme through a fresh builder and returns its
+// certificate.
+func Certify(s Scheme) (Certificate, error) {
+	b := NewBuilder()
+	if err := s.RegisterDependences(b); err != nil {
+		return Certificate{}, err
+	}
+	return b.Certificate(s.Name()), nil
+}

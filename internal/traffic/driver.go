@@ -75,7 +75,14 @@ type Result struct {
 	Deadlocked bool
 	// Drained reports that the network emptied during the drain phase.
 	Drained bool
+	// Cycles is the total simulated cycles stepped across all three phases
+	// (warmup + measure + drain).
+	Cycles int64
 }
+
+// SimCycles reports the simulated cycles the run consumed; the experiment
+// sweep funnel uses it for progress accounting.
+func (r Result) SimCycles() int64 { return r.Cycles }
 
 // String renders the headline numbers.
 func (r Result) String() string {
@@ -93,6 +100,7 @@ func (d *Driver) Run() Result {
 	}
 	rng := rand.New(rand.NewSource(d.Seed))
 	m := d.M
+	startCycle := m.Engine().Cycle()
 	shape := m.Shape()
 	pes := make([]geom.Coord, 0, shape.Size())
 	shape.Enumerate(func(c geom.Coord) bool {
@@ -154,6 +162,7 @@ func (d *Driver) Run() Result {
 	res.Drained = out.Drained
 	res.Deadlocked = out.Deadlocked
 	res.Latency = m.Latency()
+	res.Cycles = out.Cycle - startCycle
 
 	for _, sw := range m.Engine().Switches() {
 		for _, op := range sw.Out {
