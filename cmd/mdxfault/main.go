@@ -61,6 +61,8 @@ func main() {
 		sxbStr     = flag.String("sxb", "", "static-routing crossbar coordinate, e.g. 0,0 (empty = default)")
 		dxbStr     = flag.String("dxb", "", "detour crossbar coordinate (with -dxb-separate; empty = default)")
 		dxbSep     = flag.Bool("dxb-separate", false, "use a separate detour crossbar (the paper's deadlocking D-XB != S-XB design)")
+		vcs        = flag.Int("vcs", 0, "virtual channels per physical wire (with -adaptive; 0 = single-lane network)")
+		adaptive   = flag.Bool("adaptive", false, "escape-VC adaptive routing: lanes 1.. take any minimal productive hop, lane 0 is the certified escape channel (needs -vcs >= 2)")
 		shards     = flag.Int("shards", 0, "spatial shards per machine (<= 1 = serial stepper; output is identical at any count)")
 		fails      failList
 		presets    failList
@@ -83,6 +85,8 @@ func main() {
 		switch {
 		case *sxbStr != "" || *dxbStr != "" || *dxbSep:
 			fatal(fmt.Errorf("-sxb/-dxb/-dxb-separate configure crossbars; topology %q has none", topology))
+		case *vcs != 0 || *adaptive:
+			fatal(fmt.Errorf("-vcs/-adaptive need the mdx crossbar network; topology %q has no VC layer", topology))
 		case len(broadcasts) > 0:
 			fatal(fmt.Errorf("-broadcast needs the mdx hardware broadcast; topology %q has none", topology))
 		}
@@ -101,6 +105,13 @@ func main() {
 	recOpt, err := cliutil.RecoveryOptions(*doRecover, *recStall, *recMax)
 	if err != nil {
 		fatal(err)
+	}
+	vcCount, err := cliutil.VCOptions(*vcs, *adaptive)
+	if err != nil {
+		fatal(err)
+	}
+	if *adaptive && *dxbSep {
+		fatal(fmt.Errorf("-adaptive needs the unified design (the escape lane's certificate assumes D-XB = S-XB; drop -dxb-separate)"))
 	}
 	var sxb, dxb geom.Coord
 	if *sxbStr != "" {
@@ -166,6 +177,8 @@ func main() {
 			SXB:             sxb,
 			DXB:             dxb,
 			DXBSeparate:     *dxbSep,
+			VCs:             vcCount,
+			Adaptive:        *adaptive,
 			Shards:          *shards,
 			Parallel:        *parallel,
 			Store:           store,
@@ -217,6 +230,8 @@ func main() {
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: *dxbSep,
+		VCs:         vcCount,
+		Adaptive:    *adaptive,
 		Shards:      *shards,
 	}, os.Stdout)
 	if err != nil {

@@ -52,6 +52,8 @@ func main() {
 		dxbSep = flag.Bool("dxb-separate", false, "untie D-XB from S-XB (paper Fig. 9 deadlock-prone variant)")
 		naive  = flag.Bool("naive-broadcast", false, "disable S-XB serialization (paper Fig. 5 scheme)")
 		pivot  = flag.Bool("pivot", false, "enable the two-phase pivot extension")
+		vcs    = flag.Int("vcs", 0, "virtual channels per physical wire (with -adaptive; 0 = single-lane network)")
+		adapt  = flag.Bool("adaptive", false, "escape-VC adaptive routing (needs -vcs >= 2)")
 		fails  failList
 	)
 	flag.Var(&fails, "fail", "fault schedule rtc:X,Y@CYCLE or xb:DIM:X,Y@CYCLE (repeatable)")
@@ -82,6 +84,8 @@ func main() {
 			DXBSeparate:    *dxbSep,
 			NaiveBroadcast: *naive,
 			PivotLastDim:   *pivot,
+			VCs:            *vcs,
+			Adaptive:       *adapt,
 		}
 		rec, err := replay.Record(spec, *every, *keep, *out)
 		if err != nil {

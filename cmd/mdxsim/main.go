@@ -39,6 +39,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		naive    = flag.Bool("naive-broadcast", false, "disable S-XB serialization (deadlock-prone, Fig. 5)")
 		sepDXB   = flag.String("dxb", "", "separate D-XB fixed coordinate (deadlock-prone, Fig. 9), e.g. 0,3")
+		vcs      = flag.Int("vcs", 0, "virtual channels per physical wire (with -adaptive; 0 = single-lane network; xbar only)")
+		adaptive = flag.Bool("adaptive", false, "escape-VC adaptive routing (needs -vcs >= 2; xbar only)")
 		topPorts = flag.Int("topports", 0, "print the N busiest network channels after the run")
 		faults   faultList
 	)
@@ -50,13 +52,23 @@ func main() {
 		fatal(err)
 	}
 
+	vcCount, err := cliutil.VCOptions(*vcs, *adaptive)
+	if err != nil {
+		fatal(err)
+	}
+
 	var target traffic.Target
 	switch *topology {
 	case "xbar":
 		cfg := core.Config{
 			Shape:          shape,
 			NaiveBroadcast: *naive,
+			VCs:            vcCount,
+			Adaptive:       *adaptive,
 			Engine:         engine.Config{BufferDepth: *buffers, LinkDelay: 1},
+		}
+		if *adaptive && *sepDXB != "" {
+			fatal(fmt.Errorf("-adaptive needs the unified design (drop -dxb)"))
 		}
 		if *sepDXB != "" {
 			c, err := cliutil.ParseCoord(*sepDXB, shape.Dims())
@@ -84,6 +96,9 @@ func main() {
 	case "mesh", "torus", "torus-novc":
 		if len(faults) > 0 {
 			fatal(fmt.Errorf("faults are supported on the crossbar only"))
+		}
+		if *vcs != 0 || *adaptive {
+			fatal(fmt.Errorf("-vcs/-adaptive apply to the crossbar only (the mesh baselines fix their own lane schemes)"))
 		}
 		kind := meshnet.Mesh
 		if *topology == "torus" {

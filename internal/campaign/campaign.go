@@ -134,6 +134,10 @@ type Spec struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// VCs/Adaptive forward to core.Config: virtual channels per wire and
+	// escape-VC adaptive routing (see core.Config for the constraints).
+	VCs      int
+	Adaptive bool
 	// Shards steps the cell's machine on that many spatial shards (see
 	// core.Config.Shards). The verdict — like everything downstream of the
 	// kernel — is identical at any shard count.
@@ -274,6 +278,8 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 		DXBSeparate:    spec.DXBSeparate,
 		NaiveBroadcast: spec.NaiveBroadcast,
 		PivotLastDim:   spec.PivotLastDim,
+		VCs:            spec.VCs,
+		Adaptive:       spec.Adaptive,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 		Shards:         spec.Shards,
@@ -534,6 +540,10 @@ type Config struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// VCs/Adaptive select virtual channels and escape-VC adaptive routing
+	// for every cell (see Spec).
+	VCs      int
+	Adaptive bool
 	// Shards steps every cell's machine on that many spatial shards (see
 	// Spec.Shards); results are identical at any shard count.
 	Shards int
@@ -632,6 +642,8 @@ func Run(cfg Config) (*Result, error) {
 			DXBSeparate:    cfg.DXBSeparate,
 			NaiveBroadcast: cfg.NaiveBroadcast,
 			PivotLastDim:   cfg.PivotLastDim,
+			VCs:            cfg.VCs,
+			Adaptive:       cfg.Adaptive,
 			Shards:         cfg.Shards,
 		}
 		res, err := runStoredCell(cfg, i, spec)

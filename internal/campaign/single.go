@@ -57,6 +57,10 @@ type SingleSpec struct {
 	DXBSeparate    bool
 	NaiveBroadcast bool
 	PivotLastDim   bool
+	// VCs/Adaptive forward to core.Config: virtual channels per wire and
+	// escape-VC adaptive routing.
+	VCs      int
+	Adaptive bool
 	// Shards steps the machine on that many spatial shards (see
 	// core.Config.Shards); the report bytes are identical at any count.
 	Shards int
@@ -125,6 +129,8 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 		DXBSeparate:    spec.DXBSeparate,
 		NaiveBroadcast: spec.NaiveBroadcast,
 		PivotLastDim:   spec.PivotLastDim,
+		VCs:            spec.VCs,
+		Adaptive:       spec.Adaptive,
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 		Shards:         spec.Shards,

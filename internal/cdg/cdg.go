@@ -79,7 +79,7 @@ const treeName = "BROADCAST-TREE"
 func Analyze(p *routing.Policy, shape geom.Shape, naive bool) (Result, error) {
 	b := topo.NewBuilder()
 	if naive {
-		registerUnicast(b, p, shape)
+		registerUnicast(b, p, shape, 1)
 		return analyzeNaive(b, p, shape)
 	}
 	if err := RegisterDependences(b, p, shape); err != nil {
@@ -105,7 +105,31 @@ func SchemeName(p *routing.Policy, shape geom.Shape) string {
 // serializes broadcasts, so the whole tree is one resource). This is the
 // construction Analyze certifies and the topo registry re-certifies in CI.
 func RegisterDependences(b *topo.Builder, p *routing.Policy, shape geom.Shape) error {
-	registerUnicast(b, p, shape)
+	return registerScaled(b, p, shape, 1)
+}
+
+// RegisterEscapeDependences records the escape subnetwork of a network built
+// with vcs virtual channels per wire: under escape-VC adaptive routing
+// (routing.VCPolicy) no packet ever enters lane 0 at a crossbar, and a
+// packet on lane 0 stays there until delivery, so the escape channel's
+// internal dependences are exactly the unified scheme's — with every channel
+// renamed to lane 0 of its wire, i.e. every out-port index scaled by vcs
+// (the mdxb port conventions scale the PE port the same way). Certifying
+// this graph acyclic is the static half of the escape-channel deadlock
+// argument; the refutation test registers a mis-ordered (separate D-XB)
+// variant the same way and exhibits its cycle.
+func RegisterEscapeDependences(b *topo.Builder, p *routing.Policy, shape geom.Shape, vcs int) error {
+	if vcs < 2 {
+		return fmt.Errorf("cdg: escape registration needs >= 2 virtual channels, got %d", vcs)
+	}
+	return registerScaled(b, p, shape, vcs)
+}
+
+// registerScaled is the shared construction: the serialized scheme's
+// dependences with every channel's out-port scaled by vcs (1 = the plain
+// single-channel network).
+func registerScaled(b *topo.Builder, p *routing.Policy, shape geom.Shape, vcs int) error {
+	registerUnicast(b, p, shape, vcs)
 
 	treeID := b.Composite(treeName)
 	shape.Enumerate(func(src geom.Coord) bool {
@@ -113,6 +137,7 @@ func RegisterDependences(b *topo.Builder, p *routing.Policy, shape geom.Shape) e
 		if err != nil {
 			return true // sources that cannot broadcast contribute nothing
 		}
+		req, tree = scaleChannels(req, vcs), scaleChannels(tree, vcs)
 		b.Path(namesOf(req)...)
 		if len(req) > 0 && len(tree) > 0 {
 			b.Edge(b.Channel(req[len(req)-1].String()), treeID)
@@ -128,7 +153,7 @@ func RegisterDependences(b *topo.Builder, p *routing.Policy, shape geom.Shape) e
 // registerUnicast records every point-to-point class: every reachable
 // pair contributes its path; with the pivot extension enabled,
 // otherwise-unreachable pairs contribute their two-phase route.
-func registerUnicast(b *topo.Builder, p *routing.Policy, shape geom.Shape) {
+func registerUnicast(b *topo.Builder, p *routing.Policy, shape geom.Shape, vcs int) {
 	shape.Enumerate(func(src geom.Coord) bool {
 		shape.Enumerate(func(dst geom.Coord) bool {
 			path, err := p.UnicastPath(src, dst)
@@ -141,11 +166,25 @@ func registerUnicast(b *topo.Builder, p *routing.Policy, shape geom.Shape) {
 					return true
 				}
 			}
-			b.Path(namesOf(channelsOf(path))...)
+			b.Path(namesOf(scaleChannels(channelsOf(path), vcs))...)
 			return true
 		})
 		return true
 	})
+}
+
+// scaleChannels renames channels to lane 0 of their wire in a vcs-lane
+// network (out-port indices multiplied by vcs). A no-op at vcs = 1.
+func scaleChannels(cs []Channel, vcs int) []Channel {
+	if vcs == 1 {
+		return cs
+	}
+	out := make([]Channel, len(cs))
+	for i, c := range cs {
+		c.Out *= vcs
+		out[i] = c
+	}
+	return out
 }
 
 // namesOf renders a channel sequence for the builder.

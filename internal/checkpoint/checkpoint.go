@@ -48,8 +48,15 @@ import (
 	"hash/crc32"
 )
 
-// Version is the current snapshot format version.
-const Version uint16 = 1
+// Version is the current snapshot format version. Version 2 added the
+// virtual-channel fields (flit.Header.AdaptiveHops, the engine's provisional
+// route-state flag, core.Delivery.Adaptive); writers always emit the current
+// version, and section decoders consult Decoder.Version to skip fields a
+// version-1 container cannot contain.
+const Version uint16 = 2
+
+// minVersion is the oldest container version this build still reads.
+const minVersion uint16 = 1
 
 // magic opens every snapshot container.
 const magic = "MDXSNAP\n"
@@ -129,8 +136,8 @@ func NewReader(data []byte) (*Reader, error) {
 		return nil, fmt.Errorf("checkpoint: crc: checksum mismatch (got %08x, stored %08x)", got, want)
 	}
 	r := &Reader{version: binary.BigEndian.Uint16(body[len(magic):])}
-	if r.version != Version {
-		return nil, fmt.Errorf("checkpoint: header: unsupported version %d (this build reads %d)", r.version, Version)
+	if r.version < minVersion || r.version > Version {
+		return nil, fmt.Errorf("checkpoint: header: unsupported version %d (this build reads %d through %d)", r.version, minVersion, Version)
 	}
 	count := binary.BigEndian.Uint32(body[len(magic)+2:])
 	if count > maxSections {
@@ -179,11 +186,15 @@ func (r *Reader) Has(name string) bool {
 	return false
 }
 
-// Section returns a decoder for the named section's payload.
+// Section returns a decoder for the named section's payload. The decoder
+// carries the container's format version so section codecs can skip fields
+// older versions cannot contain.
 func (r *Reader) Section(name string) (*Decoder, error) {
 	for i, n := range r.names {
 		if n == name {
-			return NewDecoder(name, r.payloads[i]), nil
+			d := NewDecoder(name, r.payloads[i])
+			d.version = r.version
+			return d, nil
 		}
 	}
 	return nil, fmt.Errorf("checkpoint: section %q: missing", name)

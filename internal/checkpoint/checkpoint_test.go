@@ -99,13 +99,16 @@ func TestRoundtrip(t *testing.T) {
 	}
 }
 
-// TestGoldenV1 pins the exact bytes of format version 1. If this fails you
-// changed the encoded form — see the version-bump rule in the package
-// comment. Regenerate (after bumping Version and keeping a fixture per
-// version) with: go test ./internal/checkpoint -run TestGoldenV1 -update
+// TestGoldenV1 pins the exact bytes of format version 1. The container body
+// is identical to the v2 golden — only the header version differs — because
+// the primitive codec never changed; version 2 added fields to section
+// layouts, not to the framing. If this fails you changed the encoded form of
+// an existing primitive — see the version-bump rule in the package comment.
 func TestGoldenV1(t *testing.T) {
 	path := filepath.Join("testdata", "golden_v1.snap")
-	got := goldenContainer().Bytes()
+	w := goldenContainer()
+	w.version = 1
+	got := w.Bytes()
 	if *update {
 		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
@@ -119,8 +122,54 @@ func TestGoldenV1(t *testing.T) {
 		t.Fatalf("encoding of the v1 container changed: %d bytes vs %d fixture bytes.\n"+
 			"Either revert the codec change or bump checkpoint.Version.", len(got), len(want))
 	}
-	if _, err := NewReader(want); err != nil {
+	r, err := NewReader(want)
+	if err != nil {
 		t.Fatalf("fixture no longer decodes: %v", err)
+	}
+	if r.Version() != 1 {
+		t.Fatalf("fixture version = %d, want 1", r.Version())
+	}
+	d, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 1 {
+		t.Fatalf("section decoder version = %d, want 1", d.Version())
+	}
+}
+
+// TestGoldenV2 pins the exact bytes of the current format version. Regenerate
+// (after bumping Version and keeping a fixture per version) with:
+// go test ./internal/checkpoint -run TestGoldenV2 -update
+func TestGoldenV2(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v2.snap")
+	got := goldenContainer().Bytes()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding of the v2 container changed: %d bytes vs %d fixture bytes.\n"+
+			"Either revert the codec change or bump checkpoint.Version.", len(got), len(want))
+	}
+	r, err := NewReader(want)
+	if err != nil {
+		t.Fatalf("fixture no longer decodes: %v", err)
+	}
+	if r.Version() != 2 {
+		t.Fatalf("fixture version = %d, want 2", r.Version())
+	}
+	d, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 2 {
+		t.Fatalf("section decoder version = %d, want 2", d.Version())
 	}
 }
 

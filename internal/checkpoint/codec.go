@@ -58,12 +58,20 @@ type Decoder struct {
 	buf     []byte
 	off     int
 	err     error
+	version uint16
 }
 
-// NewDecoder wraps raw payload bytes; section is used in error messages.
+// NewDecoder wraps raw payload bytes; section is used in error messages. The
+// decoder reports the current format version; Reader.Section overrides it
+// with the container's actual version.
 func NewDecoder(section string, payload []byte) *Decoder {
-	return &Decoder{section: section, buf: payload}
+	return &Decoder{section: section, buf: payload, version: Version}
 }
+
+// Version reports the container format version the payload was written under
+// (the current Version for decoders not obtained through a Reader). Section
+// codecs branch on it to skip fields older containers cannot contain.
+func (d *Decoder) Version() uint16 { return d.version }
 
 // Err reports the first decode failure, or nil.
 func (d *Decoder) Err() error { return d.err }

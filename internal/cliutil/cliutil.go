@@ -2,7 +2,8 @@
 // share: shapes ("8x8"), coordinates ("2,1"), fault specifications
 // ("rtc:2,1", "xb:0:0,1" or "link:0,0-3,0"), fault schedules
 // ("rtc:2,1@500"), broadcast schedules ("3,2@250"), topology names
-// ("mdx" | "hyperx" | "fullmesh"), and the recovery-flag triple.
+// ("mdx" | "hyperx" | "fullmesh"), the recovery-flag triple, and the
+// virtual-channel flag pair.
 package cliutil
 
 import (
@@ -228,4 +229,25 @@ func RecoveryOptions(enable bool, stallThreshold int64, maxRecoveries int) (reco
 		StallThreshold: stallThreshold,
 		MaxRecoveries:  maxRecoveries,
 	}, nil
+}
+
+// VCOptions validates the -vcs / -adaptive flag pair, rejecting the
+// spellings core.NewMachine would refuse so the CLI reports the mistake at
+// flag-parse time with the flag's own name. vcs of 0 selects the default
+// single-lane network; the returned count is the normalized value to place
+// in core.Config.VCs.
+func VCOptions(vcs int, adaptive bool) (int, error) {
+	if vcs < 0 {
+		return 0, fmt.Errorf("cliutil: negative virtual-channel count %d", vcs)
+	}
+	if vcs == 0 {
+		vcs = 1
+	}
+	if adaptive && vcs < 2 {
+		return 0, fmt.Errorf("cliutil: -adaptive needs -vcs >= 2 (an escape lane plus at least one adaptive lane), got %d", vcs)
+	}
+	if !adaptive && vcs > 1 {
+		return 0, fmt.Errorf("cliutil: -vcs %d without -adaptive would leave lanes 1..%d unused", vcs, vcs-1)
+	}
+	return vcs, nil
 }

@@ -76,6 +76,16 @@ type Config struct {
 	// router when the destination sits behind a faulty last-dimension
 	// crossbar.
 	PivotLastDim bool
+	// VCs is the number of virtual channels per router↔crossbar wire
+	// (mdx-only; 0 or 1 builds the paper's single-channel network).
+	VCs int
+	// Adaptive enables escape-VC adaptive routing (DESIGN.md §12, beyond the
+	// paper): lane 0 carries the unified deadlock-free scheme as the escape
+	// channel, lanes 1..VCs-1 take any minimal productive hop. Requires
+	// VCs >= 2; under Adaptive the escape ignores DXBSeparate (the escape
+	// channel must be the unified D-XB = S-XB scheme) and PivotLastDim /
+	// NaiveBroadcast are rejected — each would break escape acyclicity.
+	Adaptive bool
 	// Engine overrides kernel parameters; the zero value selects
 	// engine.DefaultConfig.
 	Engine engine.Config
@@ -101,6 +111,9 @@ type Delivery struct {
 	Broadcast bool
 	// Detoured marks a packet that traveled part of its route with RC=detour.
 	Detoured bool
+	// Adaptive marks a packet that took at least one hop on a non-escape
+	// virtual channel (always false without escape-VC adaptive routing).
+	Adaptive bool
 	// Cycle is the delivery time; Latency is Cycle minus injection time.
 	Cycle   int64
 	Latency int64
@@ -149,6 +162,29 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if !cfg.DXBSeparate {
 		cfg.DXB = cfg.SXB
 	}
+	if cfg.VCs < 0 {
+		return nil, fmt.Errorf("core: negative virtual-channel count %d", cfg.VCs)
+	}
+	if cfg.VCs == 0 {
+		cfg.VCs = 1
+	}
+	if cfg.Adaptive && cfg.VCs < 2 {
+		return nil, fmt.Errorf("core: adaptive routing needs VCs >= 2, got %d", cfg.VCs)
+	}
+	if cfg.VCs > 1 && !cfg.Adaptive {
+		return nil, fmt.Errorf("core: VCs = %d without Adaptive would leave lanes 1..%d unused", cfg.VCs, cfg.VCs-1)
+	}
+	if cfg.Adaptive {
+		if cfg.PivotLastDim {
+			return nil, fmt.Errorf("core: Adaptive is incompatible with PivotLastDim (pivot turns break escape-channel acyclicity)")
+		}
+		if cfg.NaiveBroadcast {
+			return nil, fmt.Errorf("core: Adaptive is incompatible with NaiveBroadcast (unserialized fans break escape-channel acyclicity)")
+		}
+		// The escape channel must run the unified deadlock-free scheme; a
+		// separate D-XB applies only to the static comparison runs.
+		cfg.DXB = cfg.SXB
+	}
 	switch cfg.Topology {
 	case "", TopologyMDX:
 		cfg.Topology = TopologyMDX
@@ -161,6 +197,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("core: topology %q has no hardware broadcast (NaiveBroadcast is mdx-only)", cfg.Topology)
 		case cfg.PivotLastDim:
 			return nil, fmt.Errorf("core: topology %q has no pivot extension (PivotLastDim is mdx-only)", cfg.Topology)
+		case cfg.VCs > 1 || cfg.Adaptive:
+			return nil, fmt.Errorf("core: topology %q has no virtual channels (VCs/Adaptive are mdx-only)", cfg.Topology)
 		}
 		if cfg.Topology == TopologyFullMesh && cfg.Shape.Dims() != 1 {
 			return nil, fmt.Errorf("core: topology %q needs a one-dimensional shape, got %s", cfg.Topology, cfg.Shape)
@@ -176,7 +214,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		faults: fault.NewSet(cfg.Shape),
 	}
 	if cfg.Topology == TopologyMDX {
-		m.net = mdxb.Build(m.eng, cfg.Shape)
+		m.net = mdxb.BuildVC(m.eng, cfg.Shape, cfg.VCs)
 	} else {
 		m.tnet = topo.NewNet(m.eng, cfg.Shape)
 	}
@@ -235,6 +273,17 @@ func (m *Machine) rebuildPolicy() error {
 		return err
 	}
 	m.policy = p
+	if m.cfg.Adaptive {
+		// The algorithmic policy p stays the escape reference for Send-side
+		// reachability and broadcast-tree queries; the switches run the
+		// adaptive wrapper.
+		vp, err := routing.NewVC(p, m.cfg.VCs)
+		if err != nil {
+			return err
+		}
+		m.net.SetPolicy(vp)
+		return nil
+	}
 	if m.useTables {
 		tp, err := routing.Compile(p)
 		if err != nil {
@@ -255,6 +304,9 @@ func (m *Machine) rebuildPolicy() error {
 func (m *Machine) UseCompiledTables() error {
 	if m.tnet != nil {
 		return fmt.Errorf("core: compiled tables are mdx-only (topology %q)", m.cfg.Topology)
+	}
+	if m.cfg.Adaptive {
+		return fmt.Errorf("core: compiled tables cannot express adaptive decisions (they depend on run-time port ownership)")
 	}
 	if !m.eng.Quiescent() {
 		return fmt.Errorf("core: table switch-over needs a quiescent network")
@@ -286,6 +338,7 @@ func (m *Machine) onDeliver(d engine.Delivery) {
 		At:        at,
 		Broadcast: h.RC == flit.RCBroadcast,
 		Detoured:  h.DetourHops > 0,
+		Adaptive:  h.AdaptiveHops > 0,
 		Cycle:     d.Cycle,
 		Latency:   d.Cycle - h.InjectedAt,
 	}

@@ -61,6 +61,13 @@ func (m *Machine) configHash() uint64 {
 	mix(b2i(m.cfg.PivotLastDim))
 	mix(int64(m.cfg.PacketSize))
 	mix(int64(m.cfg.StallThreshold))
+	if m.cfg.VCs > 1 {
+		// Mixed only for VC machines, so default-config fingerprints (and
+		// thus pre-VC snapshots) are unchanged. The engine's topology
+		// fingerprint separates VC from non-VC networks regardless.
+		mix(int64(m.cfg.VCs))
+		mix(b2i(m.cfg.Adaptive))
+	}
 	return h
 }
 
@@ -87,6 +94,7 @@ func (m *Machine) EncodeState(w *checkpoint.Writer) {
 		geom.EncodeCoord(del, d.At)
 		del.Bool(d.Broadcast)
 		del.Bool(d.Detoured)
+		del.Bool(d.Adaptive)
 		del.Int(d.Cycle)
 		del.Int(d.Latency)
 	}
@@ -162,6 +170,9 @@ func (m *Machine) DecodeState(r *checkpoint.Reader) error {
 		d.At = geom.DecodeCoord(del)
 		d.Broadcast = del.Bool()
 		d.Detoured = del.Bool()
+		if del.Version() >= 2 {
+			d.Adaptive = del.Bool()
+		}
 		d.Cycle = del.Int()
 		d.Latency = del.Int()
 		deliveries = append(deliveries, d)

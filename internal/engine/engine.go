@@ -119,6 +119,13 @@ type Decision struct {
 	Drop bool
 	// DropReason annotates a drop for diagnostics.
 	DropReason string
+	// Provisional marks a decision that binds for one allocation round only:
+	// if the single requested output is not granted this cycle, the kernel
+	// discards the state and routes the header again next cycle, letting an
+	// adaptive policy choose a different output. Requires len(Outs) == 1.
+	// The packet's arrival stamp is preserved across re-routes, so the
+	// oldest-first arbiter still serves it by its true age.
+	Provisional bool
 }
 
 // RouteFunc computes the forwarding decision for a packet header arriving on
@@ -152,8 +159,12 @@ type routeState struct {
 	transform func(*flit.Header) *flit.Header
 	sink      bool // dropping: consume flits until Last without forwarding
 	// since is the cycle the header was routed; atomic allocation serves
-	// requests oldest-first ("in order of arrival").
+	// requests oldest-first ("in order of arrival"). A provisional re-route
+	// keeps the original stamp.
 	since int64
+	// provisional marks a Decision.Provisional route: discarded and recomputed
+	// each cycle until its single output is granted.
+	provisional bool
 }
 
 func (rs *routeState) allGranted() bool { return rs.nGranted == len(rs.outs) }
@@ -775,6 +786,19 @@ func (s *engShard) allocPrep(in *InPort) (live, wants bool) {
 		s.activateAlloc(in)
 	}
 	rs := in.route
+	if rs.provisional && rs.nGranted == 0 {
+		// The provisional decision bound for one allocation round and lost.
+		// Route the header again so an adaptive policy may pick a different
+		// output, preserving the original arrival stamp: the oldest-first
+		// arbiter keeps seeing the packet's true age, so re-routing can
+		// never starve it. With no grants issued the header flit is still at
+		// the front of the buffer.
+		since := rs.since
+		s.freeRouteState(rs)
+		rs = s.routeHeader(in.node, in, in.front().Header)
+		rs.since = since
+		in.route = rs
+	}
 	return true, !rs.sink && !rs.allGranted()
 }
 
@@ -922,6 +946,9 @@ func (s *engShard) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState
 			}
 		}
 	}
+	if dec.Provisional && len(dec.Outs) != 1 {
+		panic(fmt.Sprintf("engine: switch %q returned a provisional decision with %d outputs (provisional requires exactly 1)", sw.Name, len(dec.Outs)))
+	}
 	rs := s.newRouteState()
 	rs.header = h
 	rs.outs = append(rs.outs, dec.Outs...)
@@ -930,6 +957,7 @@ func (s *engShard) routeHeader(sw *Node, in *InPort, h *flit.Header) *routeState
 	}
 	rs.transform = dec.Transform
 	rs.since = s.e.cycle
+	rs.provisional = dec.Provisional
 	return rs
 }
 
@@ -964,6 +992,7 @@ func (s *engShard) freeRouteState(rs *routeState) {
 	rs.nGranted = 0
 	rs.sink = false
 	rs.since = 0
+	rs.provisional = false
 	s.rsFree = append(s.rsFree, rs)
 }
 

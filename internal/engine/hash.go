@@ -61,6 +61,11 @@ func (e *Engine) StateHash() uint64 {
 				if rs.sink {
 					h.u64(0xdead)
 				}
+				if rs.provisional {
+					// Hashed only when set, so runs without adaptive routing
+					// produce the exact pre-VC hash stream.
+					h.u64(0xadaf)
+				}
 				h.i64(rs.since)
 				for i, o := range rs.outs {
 					h.i64(int64(o))

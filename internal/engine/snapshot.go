@@ -132,6 +132,7 @@ func (e *Engine) EncodeState(w *checkpoint.Writer) {
 			if rs != nil {
 				nodes.Bool(rs.sink)
 				nodes.Int(rs.since)
+				nodes.Bool(rs.provisional)
 				flit.EncodeHeader(nodes, rs.header)
 				nodes.Bool(rs.transform != nil)
 				if rs.transform != nil {
@@ -286,6 +287,9 @@ func (e *Engine) DecodeState(r *checkpoint.Reader) error {
 				rs := &routeState{}
 				rs.sink = nodes.Bool()
 				rs.since = nodes.Int()
+				if nodes.Version() >= 2 {
+					rs.provisional = nodes.Bool()
+				}
 				rs.header = flit.DecodeHeader(nodes)
 				if nodes.Bool() { // transform captured as its pre-applied output
 					transformed := flit.DecodeHeader(nodes)

@@ -57,34 +57,13 @@ func snapshotScenarios() []scenario {
 		}
 		return e
 	}
-	physShared := func() *Engine {
-		e := New(Config{BufferDepth: 4, LinkDelay: 1})
-		s0 := e.AddEndpoint("S0", nil)
-		s1 := e.AddEndpoint("S1", nil)
-		r0 := e.AddEndpoint("R0", nil)
-		r1 := e.AddEndpoint("R1", nil)
-		route := func(n *Node, in int, h *flit.Header) (Decision, error) {
-			return Decision{Outs: []int{in + 2}}, nil
-		}
-		sw := e.AddSwitch("SW", 4, route, nil)
-		e.Connect(s0, 0, sw, 0)
-		e.Connect(s1, 0, sw, 1)
-		e.Connect(r0, 0, sw, 2)
-		e.Connect(r1, 0, sw, 3)
-		e.SharePhysical(sw.Out[2], sw.Out[3])
-		for i := 0; i < 4; i++ {
-			e.Inject(s0, mkPacket(uint64(10+i), geom.Coord{}, 9))
-			e.Inject(s1, mkPacket(uint64(20+i), geom.Coord{}, 9))
-		}
-		return e
-	}
 	return []scenario{
 		{name: "chain/default", build: chain(DefaultConfig()), horizon: 400},
 		{name: "chain/incremental_delay3", build: chain(Config{BufferDepth: 4, LinkDelay: 3, Acquire: AcquireIncremental}), horizon: 900},
 		{name: "chain/fullscan", build: chain(Config{BufferDepth: 2, LinkDelay: 1, DisableActiveSet: true}), horizon: 400},
 		{name: "chain/ejectrate1", build: chain(Config{BufferDepth: 8, LinkDelay: 2, EjectRate: 1}), horizon: 900},
 		{name: "fanout/transform", build: fanTransform, horizon: 300},
-		{name: "phys/shared", build: physShared, horizon: 500},
+		{name: "phys/shared", build: physSharedEngine, horizon: 500},
 		{name: "chain/killswitch", build: chain(DefaultConfig()), horizon: 600,
 			preStep: func(e *Engine, cycle int) {
 				if cycle == 9 {
@@ -92,6 +71,32 @@ func snapshotScenarios() []scenario {
 				}
 			}},
 	}
+}
+
+// physSharedEngine is the shared-wire build: two outputs of one switch
+// multiplexed onto a single physical channel — the engine-layer mechanism
+// virtual channels are made of. Named so both the snapshot scenarios and
+// the decode fuzzer can produce snapshots that carry a phys-channel section.
+func physSharedEngine() *Engine {
+	e := New(Config{BufferDepth: 4, LinkDelay: 1})
+	s0 := e.AddEndpoint("S0", nil)
+	s1 := e.AddEndpoint("S1", nil)
+	r0 := e.AddEndpoint("R0", nil)
+	r1 := e.AddEndpoint("R1", nil)
+	route := func(n *Node, in int, h *flit.Header) (Decision, error) {
+		return Decision{Outs: []int{in + 2}}, nil
+	}
+	sw := e.AddSwitch("SW", 4, route, nil)
+	e.Connect(s0, 0, sw, 0)
+	e.Connect(s1, 0, sw, 1)
+	e.Connect(r0, 0, sw, 2)
+	e.Connect(r1, 0, sw, 3)
+	e.SharePhysical(sw.Out[2], sw.Out[3])
+	for i := 0; i < 4; i++ {
+		e.Inject(s0, mkPacket(uint64(10+i), geom.Coord{}, 9))
+		e.Inject(s1, mkPacket(uint64(20+i), geom.Coord{}, 9))
+	}
+	return e
 }
 
 // runRecording drives a scenario instance for up to `cycles` steps and
@@ -272,6 +277,25 @@ func FuzzSnapshotDecode(f *testing.F) {
 	flipped := append([]byte{}, snap...)
 	flipped[len(flipped)/3] ^= 0x40
 	f.Add(flipped)
+	// Snapshots of the shared-wire engine carry a phys-channel section the
+	// fuzz target's chain topology does not have: restored whole they hit
+	// the fingerprint rejection; cut or corrupted they exercise truncation
+	// and crc failure inside the VC-bearing sections.
+	vcValid := func(steps int) []byte {
+		e := physSharedEngine()
+		for i := 0; i < steps; i++ {
+			e.Step()
+		}
+		return e.Snapshot()
+	}
+	vsnap := vcValid(9)
+	f.Add(vsnap)
+	f.Add(vsnap[:len(vsnap)/2])
+	f.Add(vsnap[:len(vsnap)-7])
+	f.Add(vsnap[:len(vsnap)-1])
+	vflip := append([]byte{}, vsnap...)
+	vflip[len(vflip)-9] ^= 0x10
+	f.Add(vflip)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e := build()
 		err := e.Restore(data)

@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3", "F1", "F2", "F3", "V1"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3", "F1", "F2", "F3", "V1", "V2", "V3"}
 	if len(all) < len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want at least %d", len(all), len(wantIDs))
 	}

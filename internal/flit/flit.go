@@ -77,6 +77,12 @@ type Header struct {
 	// header bits — hardware the SR2201 did not have.
 	TwoPhase bool
 	FinalDst geom.Coord
+	// AdaptiveHops counts how many hops the packet took on a non-escape
+	// virtual channel under escape-VC adaptive routing. Like DetourHops it is
+	// simulator-side accounting, not header bits: a delivered packet with
+	// AdaptiveHops > 0 strayed from the dimension-ordered escape path at
+	// least once. Always 0 when the machine runs without virtual channels.
+	AdaptiveHops int
 }
 
 // Clone returns an independent copy of the header, used when a switch must

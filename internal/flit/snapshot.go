@@ -6,8 +6,10 @@ import (
 )
 
 // Snapshot codecs for flits and headers. The field order here is part of the
-// checkpoint v1 format (see the version-bump rule in package checkpoint):
-// reordering or retyping any field requires a version bump.
+// checkpoint format (see the version-bump rule in package checkpoint):
+// reordering or retyping any field requires a version bump. Version 2
+// appended AdaptiveHops; decoding is gated on the container version so v1
+// snapshots (which cannot contain the field) still read cleanly.
 
 // EncodeHeader appends every routing field of a packet header.
 func EncodeHeader(e *checkpoint.Encoder, h *Header) {
@@ -21,6 +23,7 @@ func EncodeHeader(e *checkpoint.Encoder, h *Header) {
 	e.Int(int64(h.DetourHops))
 	e.Bool(h.TwoPhase)
 	geom.EncodeCoord(e, h.FinalDst)
+	e.Int(int64(h.AdaptiveHops))
 }
 
 // DecodeHeader reads a header written by EncodeHeader into a fresh Header.
@@ -36,6 +39,9 @@ func DecodeHeader(d *checkpoint.Decoder) *Header {
 	h.DetourHops = d.IntAsInt()
 	h.TwoPhase = d.Bool()
 	h.FinalDst = geom.DecodeCoord(d)
+	if d.Version() >= 2 {
+		h.AdaptiveHops = d.IntAsInt()
+	}
 	return h
 }
 

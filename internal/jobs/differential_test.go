@@ -154,6 +154,26 @@ func TestDifferentialCLIvsServer(t *testing.T) {
 			},
 		},
 		{
+			// The escape-VC adaptive machine across the differential
+			// boundary: a single-fault campaign on two lanes per wire with
+			// the recovery supervisor armed. The artifact — including the
+			// zero-recovery accounting the adaptive design owes — must
+			// match the CLI byte for byte at both pool widths.
+			name: "mdxfault_adaptive_campaign",
+			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
+				Shape: "4x4", Epochs: []int64{12}, Patterns: []string{"shift+5"},
+				Inject:   InjectSpec{Retransmit: true},
+				Recovery: RecoverySpec{Enabled: true, StallThreshold: 256},
+				Variant:  VariantSpec{VCs: 2, Adaptive: true},
+			}},
+			cli: func(p string) []string {
+				return []string{"sr2201/cmd/mdxfault", "-campaign", "-shape", "4x4",
+					"-epochs", "12", "-patterns", "shift+5", "-retransmit",
+					"-recover", "-stall-threshold", "256",
+					"-vcs", "2", "-adaptive", "-parallel", p}
+			},
+		},
+		{
 			name: "mdxfault_campaign",
 			spec: Spec{Kind: KindCampaign, Campaign: &CampaignSpec{
 				Shape: "4x4", Epochs: []int64{12, 60}, Patterns: []string{"shift+5", "reverse"},

@@ -143,6 +143,8 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: f.Variant.DXBSeparate,
+		VCs:         f.Variant.VCs,
+		Adaptive:    f.Variant.Adaptive,
 		Shards:      f.Shards,
 		OnCycle: func(c int64, _ engine.Counters) {
 			progress(0, c-lastCycle, 0)
@@ -252,6 +254,8 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		SXB:         sxb,
 		DXB:         dxb,
 		DXBSeparate: c.Variant.DXBSeparate,
+		VCs:         c.Variant.VCs,
+		Adaptive:    c.Variant.Adaptive,
 		Shards:      c.Shards,
 		Horizon:     c.Horizon,
 		Parallel:    parallel,

@@ -77,12 +77,18 @@ type RecoverySpec struct {
 }
 
 // VariantSpec selects the crossbar design under test (mdxfault's -sxb /
-// -dxb / -dxb-separate). The zero value is the default deadlock-free
-// D-XB = S-XB design.
+// -dxb / -dxb-separate / -vcs / -adaptive). The zero value is the default
+// deadlock-free D-XB = S-XB design on a single-lane network.
 type VariantSpec struct {
 	SXB         string `json:"sxb,omitempty"`
 	DXB         string `json:"dxb,omitempty"`
 	DXBSeparate bool   `json:"dxb_separate,omitempty"`
+	// VCs is the virtual-channel count per physical wire (0 and 1 are the
+	// single-lane network); counts above 1 require Adaptive.
+	VCs int `json:"vcs,omitempty"`
+	// Adaptive turns on escape-VC adaptive routing (requires VCs >= 2 and
+	// the unified design: no dxb_separate).
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // FaultSpec mirrors mdxfault single mode: one machine, a scheduled fault
@@ -205,6 +211,7 @@ const (
 	maxBroadcasts  = 64
 	maxRecoverCap  = 64
 	maxShards      = 64
+	maxVCs         = 8
 )
 
 // normalizeShards checks a spec's shard count. More shards than the service
@@ -455,8 +462,27 @@ func (r *RecoverySpec) normalize(prefix string) error {
 func (v *VariantSpec) normalize(prefix string, shape geom.Shape, topology string) error {
 	v.SXB = strings.TrimSpace(v.SXB)
 	v.DXB = strings.TrimSpace(v.DXB)
-	if topology != "" && (v.SXB != "" || v.DXB != "" || v.DXBSeparate) {
+	if topology != "" && (v.SXB != "" || v.DXB != "" || v.DXBSeparate || v.VCs != 0 || v.Adaptive) {
 		return fieldErrf(prefix+".variant", "topology %q has no crossbars to configure (the variant block is mdx-only)", topology)
+	}
+	if v.VCs > maxVCs {
+		return fieldErrf(prefix+".variant.vcs", "%d exceeds maximum %d", v.VCs, maxVCs)
+	}
+	if v.Adaptive && v.DXBSeparate {
+		return fieldErrf(prefix+".variant.adaptive", "needs the unified design (the escape lane's deadlock-freedom certificate assumes D-XB = S-XB; drop dxb_separate)")
+	}
+	// cliutil rejects negative counts, adaptive without lanes, and lanes
+	// without adaptive — the same refusals the CLI flags produce.
+	vcs, err := cliutil.VCOptions(v.VCs, v.Adaptive)
+	if err != nil {
+		return fieldErrf(prefix+".variant.vcs", "%v", err)
+	}
+	// An explicit single-lane count canonicalizes to the absent field, so
+	// "vcs": 1 and an unset count dedupe to the same job.
+	if vcs == 1 {
+		v.VCs = 0
+	} else {
+		v.VCs = vcs
 	}
 	if v.SXB != "" {
 		c, err := cliutil.ParseCoord(v.SXB, shape.Dims())

@@ -74,6 +74,12 @@ func TestDecodeSpecRejectionsNameTheField(t *testing.T) {
 		{"dxb without separate", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"dxb":"0,3"}}}`, "fault.variant.dxb"},
 		{"sxb outside shape", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"variant":{"sxb":"0,7"}}}`, "campaign.variant.sxb"},
 		{"bad pair pattern", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"pair:0,1>0,1"}}`, "fault.pattern"},
+		{"negative vcs", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":-1}}}`, "fault.variant.vcs"},
+		{"vcs over ceiling", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":9,"adaptive":true}}}`, "fault.variant.vcs"},
+		{"vcs without adaptive", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":2}}}`, "fault.variant.vcs"},
+		{"adaptive without lanes", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"variant":{"adaptive":true}}}`, "campaign.variant.vcs"},
+		{"adaptive on separate dxb", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":2,"adaptive":true,"dxb_separate":true}}}`, "fault.variant.adaptive"},
+		{"vcs on direct-link topology", `{"kind":"fault","fault":{"shape":"4x4","topology":"hyperx","fails":["link:0,0-3,0@60"],"pattern":"reverse","variant":{"vcs":2,"adaptive":true}}}`, "fault.variant"},
 		{"trailing data", `{"kind":"experiments","experiments":{"ids":["E1"]}} {"x":1}`, "body"},
 		{"not json", `hello`, "body"},
 	}
@@ -91,6 +97,24 @@ func TestDecodeSpecRejectionsNameTheField(t *testing.T) {
 				t.Errorf("field = %q, want %q (%v)", fe.Field, tc.wantField, err)
 			}
 		})
+	}
+}
+
+// TestDecodeSpecVCsCanonicalization pins the dedup rule for the degenerate
+// lane count: an explicit "vcs": 1 names the same machine as an absent
+// field, so the two specs must canonicalize identically (one cache entry,
+// one job identity).
+func TestDecodeSpecVCsCanonicalization(t *testing.T) {
+	one, err := DecodeSpec([]byte(`{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent, err := DecodeSpec([]byte(`{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Canonical() != absent.Canonical() {
+		t.Errorf("vcs:1 and absent vcs canonicalize differently:\n%s\n%s", one.Canonical(), absent.Canonical())
 	}
 }
 

@@ -9,12 +9,21 @@
 //     structured as a (d+1)×(d+1) crossbar, connecting the PE with the d
 //     crossbars through its lattice point.
 //
-// Port conventions (the contract every routing policy relies on):
+// Port conventions (the contract every routing policy relies on). With V
+// virtual channels (V = 1 when the network is built without VCs), every
+// router↔crossbar wire carries V lanes; each lane is a distinct engine port
+// pair, and the lanes of one wire share a physical channel (one flit per
+// cycle combined):
 //
-//	router at coordinate c:  port k (0 ≤ k < d) ↔ the dim-k crossbar through c
-//	                         port d             ↔ the PE at c
-//	dim-k crossbar of line L: port v            ↔ the router at L.Point(v)
-//	PE at c:                  port 0            ↔ its router's port d
+//	router at coordinate c:  port k·V+v (0 ≤ k < d, 0 ≤ v < V)
+//	                             ↔ lane v of the dim-k crossbar through c
+//	                         port d·V ↔ the PE at c
+//	dim-k crossbar of line L: port p·V+v ↔ lane v of the router at L.Point(p)
+//	PE at c:                  port 0 ↔ its router's port d·V
+//
+// At V=1 this degenerates exactly to the paper's single-channel layout:
+// router port k ↔ dim-k crossbar, router port d ↔ PE, crossbar port p ↔
+// router at point p, and no physical channels are created.
 //
 // The package is policy-agnostic: routing is delegated to a Policy installed
 // with SetPolicy (implemented in internal/routing).
@@ -64,14 +73,27 @@ type Network struct {
 	routers []*engine.Node   // by Shape.Index
 	xbs     [][]*engine.Node // [dim][Shape.LineIndex]
 
+	vcs    int
 	policy Policy
 }
 
 // Build constructs PEs, routers and crossbars for the given shape and wires
-// them per the port conventions. A Policy must be installed before any
-// packet is injected.
+// them per the port conventions, with a single channel per wire. A Policy
+// must be installed before any packet is injected.
 func Build(eng *engine.Engine, shape geom.Shape) *Network {
-	net := &Network{Shape: shape, Eng: eng}
+	return BuildVC(eng, shape, 1)
+}
+
+// BuildVC is Build with vcs virtual channels per router↔crossbar wire. The
+// lanes of one wire are engine ports sharing a physical channel; PE↔router
+// wires stay single-lane (injection and ejection need no escape lane).
+// vcs = 1 builds the identical network Build does, physical channels
+// included (none).
+func BuildVC(eng *engine.Engine, shape geom.Shape, vcs int) *Network {
+	if vcs < 1 {
+		panic(fmt.Sprintf("mdxb: %d virtual channels (need >= 1)", vcs))
+	}
+	net := &Network{Shape: shape, Eng: eng, vcs: vcs}
 	d := shape.Dims()
 
 	routeRouter := func(n *engine.Node, in int, h *flit.Header) (engine.Decision, error) {
@@ -94,20 +116,28 @@ func Build(eng *engine.Engine, shape geom.Shape) *Network {
 	for i := 0; i < n; i++ {
 		c := shape.CoordOf(i)
 		net.pes[i] = eng.AddEndpoint("PE"+c.In(d), PEMeta{Coord: c})
-		net.routers[i] = eng.AddSwitch("RTC"+c.In(d), d+1, routeRouter, RouterMeta{Coord: c})
-		eng.Connect(net.pes[i], 0, net.routers[i], d)
+		net.routers[i] = eng.AddSwitch("RTC"+c.In(d), d*vcs+1, routeRouter, RouterMeta{Coord: c})
+		eng.Connect(net.pes[i], 0, net.routers[i], d*vcs)
 	}
 
-	// One crossbar per line, each port wired to the router at its point.
+	// One crossbar per line, each wire's lanes wired port-for-port to the
+	// router at its point.
 	net.xbs = make([][]*engine.Node, d)
 	for dim := 0; dim < d; dim++ {
 		lines := shape.LinesAlong(dim)
 		net.xbs[dim] = make([]*engine.Node, len(lines))
 		for _, l := range lines {
-			xb := eng.AddSwitch(fmt.Sprintf("XB%d%s", dim, l.Fixed.In(d)), shape[dim], routeXB, XBMeta{Line: l})
+			xb := eng.AddSwitch(fmt.Sprintf("XB%d%s", dim, l.Fixed.In(d)), shape[dim]*vcs, routeXB, XBMeta{Line: l})
 			net.xbs[dim][shape.LineIndex(l)] = xb
-			for v := 0; v < shape[dim]; v++ {
-				eng.Connect(xb, v, net.Router(l.Point(v)), dim)
+			for p := 0; p < shape[dim]; p++ {
+				rtc := net.Router(l.Point(p))
+				for v := 0; v < vcs; v++ {
+					eng.Connect(xb, p*vcs+v, rtc, dim*vcs+v)
+				}
+				if vcs > 1 {
+					eng.SharePhysical(xb.Out[p*vcs : (p+1)*vcs]...)
+					eng.SharePhysical(rtc.Out[dim*vcs : (dim+1)*vcs]...)
+				}
 			}
 		}
 	}
@@ -146,8 +176,26 @@ func (net *Network) Routers() []*engine.Node { return net.routers }
 // XBs returns all crossbars of one dimension in LineIndex order.
 func (net *Network) XBs(dim int) []*engine.Node { return net.xbs[dim] }
 
+// VCs reports the number of virtual channels per router↔crossbar wire
+// (1 for a network built without VCs).
+func (net *Network) VCs() int { return net.vcs }
+
 // RouterPortPE is the router port attached to the local PE.
-func (net *Network) RouterPortPE() int { return net.Shape.Dims() }
+func (net *Network) RouterPortPE() int { return net.Shape.Dims() * net.vcs }
+
+// RouterPortXB is the router port for lane v of the dim-k crossbar wire.
+func (net *Network) RouterPortXB(k, v int) int { return k*net.vcs + v }
+
+// XBPortRouter is the crossbar port for lane v of the wire to the router at
+// point index p of the crossbar's line.
+func (net *Network) XBPortRouter(p, v int) int { return p*net.vcs + v }
+
+// PortWire decomposes a router or crossbar port index into its wire index
+// (dimension k for routers, point index p for crossbars) and lane. The
+// router's PE port decomposes to wire Dims(), lane 0.
+func (net *Network) PortWire(port int) (wire, lane int) {
+	return port / net.vcs, port % net.vcs
+}
 
 // SwitchCount reports the number of switching elements (routers + crossbars),
 // used by the structural-scaling experiment (E10).
@@ -160,11 +208,11 @@ func (net *Network) SwitchCount() (routers, crossbars int) {
 }
 
 // PortCount reports total switch ports (a proxy for hardware cost in E10):
-// each router has d+1, each dim-k crossbar has shape[k].
+// each router has d·V+1, each dim-k crossbar has shape[k]·V.
 func (net *Network) PortCount() int {
-	total := len(net.routers) * (net.Dims() + 1)
+	total := len(net.routers) * (net.Dims()*net.vcs + 1)
 	for dim, xs := range net.xbs {
-		total += len(xs) * net.Shape[dim]
+		total += len(xs) * net.Shape[dim] * net.vcs
 	}
 	return total
 }

@@ -57,6 +57,11 @@ type RunSpec struct {
 	DXBSeparate    bool   `json:"dxb_separate,omitempty"`
 	NaiveBroadcast bool   `json:"naive_broadcast,omitempty"`
 	PivotLastDim   bool   `json:"pivot_last_dim,omitempty"`
+	// VCs and Adaptive select the escape-VC adaptive variant. Recordings of
+	// adaptive runs bisect against each other (and against static runs of
+	// the same workload) like any other variant pair.
+	VCs      int  `json:"vcs,omitempty"`
+	Adaptive bool `json:"adaptive,omitempty"`
 
 	// Shards steps the machine on that many spatial shards. Recordings made
 	// at different shard counts are expected hash-identical; Bisect across a
@@ -113,6 +118,8 @@ func (s RunSpec) CellSpec() (campaign.Spec, error) {
 		DXBSeparate:    s.DXBSeparate,
 		NaiveBroadcast: s.NaiveBroadcast,
 		PivotLastDim:   s.PivotLastDim,
+		VCs:            s.VCs,
+		Adaptive:       s.Adaptive,
 		Shards:         s.Shards,
 	}, nil
 }

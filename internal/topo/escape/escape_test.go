@@ -1,0 +1,137 @@
+package escape_test
+
+// The escape certificate's adversarial half. The registry gate
+// (internal/topo/registry_test.go) pins the canonical escape scheme's golden
+// certificate — acyclic, the static side of the Duato argument. These tests
+// pin the refutation direction: the constructor refuses every escape
+// configuration outside the certified family, and the deliberately
+// mis-ordered variant — the escape lane running the paper's separate-D-XB
+// scheme — is refuted by the prover with a concrete cycle witness, pinned
+// as its own golden so the witness cannot silently degrade into a pass.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sr2201/internal/cdg"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/routing"
+	"sr2201/internal/topo"
+	"sr2201/internal/topo/escape"
+)
+
+var update = flag.Bool("update", false, "rewrite the misordered-variant golden certificate")
+
+func TestNewValidation(t *testing.T) {
+	unified := routing.Config{Shape: geom.MustShape(4, 4)}
+	if _, err := escape.New(unified, 1); err == nil {
+		t.Error("accepted a single-lane escape scheme (there is nothing to escape from)")
+	}
+	if _, err := escape.New(unified, 2); err != nil {
+		t.Errorf("rejected the canonical unified scheme: %v", err)
+	}
+	separate := routing.Config{
+		Shape: geom.MustShape(4, 4),
+		SXB:   geom.Coord{0, 0},
+		DXB:   geom.Coord{0, 3},
+	}
+	if _, err := escape.New(separate, 2); err == nil {
+		t.Error("accepted a separate-DXB escape channel (the certificate only covers the unified scheme)")
+	}
+}
+
+// misordered is the adversarial scheme: the escape lane of a 2-lane network
+// running the paper's deadlocking D-XB != S-XB policy, with the Fig. 9
+// router fault installed so detours actually cross the broadcast tree.
+// escape.New refuses to build it, so the test reaches under the constructor
+// and registers the dependences directly — exactly what the certificate gate
+// would face if the validation were ever lost.
+type misordered struct {
+	p     *routing.Policy
+	shape geom.Shape
+}
+
+func (m *misordered) Name() string { return "escape-misordered-vc2-" + m.shape.String() }
+func (m *misordered) RegisterDependences(b *topo.Builder) error {
+	return cdg.RegisterEscapeDependences(b, m.p, m.shape, 2)
+}
+
+// TestMisorderedEscapeRefuted certifies the mis-ordered variant and demands
+// a refutation: the prover must find a cycle and name its channels. The full
+// certificate — including the concrete witness — is pinned as a golden, so
+// the refutation stays stable and reviewable.
+func TestMisorderedEscapeRefuted(t *testing.T) {
+	shape := geom.MustShape(4, 4)
+	fs := fault.NewSet(shape)
+	if err := fs.Add(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	p, err := routing.New(routing.Config{
+		Shape:  shape,
+		SXB:    geom.Coord{0, 0},
+		DXB:    geom.Coord{0, 3},
+		Faults: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := topo.Certify(&misordered{p: p, shape: shape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Acyclic {
+		t.Fatal("the separate-DXB escape variant certified acyclic — the prover lost the Fig. 9 cycle")
+	}
+	if len(cert.Cycle) < 2 {
+		t.Fatalf("refutation carries no usable witness: %v", cert.Cycle)
+	}
+	golden := filepath.Join("testdata", "cert_misordered.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(cert.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got := cert.String(); got != string(want) {
+		t.Errorf("misordered certificate drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEscapeCertificateScalesWithLanes pins the lane-scaling convention: the
+// escape channels of a 3-lane network are the same unified dependences on
+// different physical port numbers, so the contracted graph has the same
+// channel and edge counts as the 2-lane certificate and stays acyclic.
+func TestEscapeCertificateScalesWithLanes(t *testing.T) {
+	certs := make([]topo.Certificate, 0, 2)
+	for _, vcs := range []int{2, 3} {
+		s, err := escape.New(routing.Config{Shape: geom.MustShape(4, 4)}, vcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s.Name(), "4x4") {
+			t.Errorf("scheme name %q does not carry the shape", s.Name())
+		}
+		cert, err := topo.Certify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cert.Acyclic {
+			t.Fatalf("escape scheme at vcs=%d regressed to cyclic; witness: %v", vcs, cert.Cycle)
+		}
+		certs = append(certs, cert)
+	}
+	if certs[0].Channels != certs[1].Channels || certs[0].Edges != certs[1].Edges {
+		t.Errorf("lane count changed the escape graph: vc2 %d/%d, vc3 %d/%d (channels/edges)",
+			certs[0].Channels, certs[0].Edges, certs[1].Channels, certs[1].Edges)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	// Imported for their init() registrations: the gate below certifies
 	// every registered scheme family.
+	_ "sr2201/internal/topo/escape"
 	_ "sr2201/internal/topo/fullmesh"
 	_ "sr2201/internal/topo/hyperx"
 	_ "sr2201/internal/topo/mdx"
@@ -17,11 +18,11 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden certificates")
 
-// TestRegisteredSchemes pins the registry contents: the three shipped
+// TestRegisteredSchemes pins the registry contents: the four shipped
 // families, sorted by name. A scheme that forgets to register escapes the
 // certificate gate, so the set itself is part of the contract.
 func TestRegisteredSchemes(t *testing.T) {
-	want := []string{"fullmesh", "hyperx", "mdx"}
+	want := []string{"escape", "fullmesh", "hyperx", "mdx"}
 	regs := topo.Registered()
 	if len(regs) != len(want) {
 		t.Fatalf("%d registered schemes, want %d", len(regs), len(want))
