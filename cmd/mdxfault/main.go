@@ -64,6 +64,8 @@ func main() {
 		vcs        = flag.Int("vcs", 0, "virtual channels per physical wire (with -adaptive; 0 = single-lane network)")
 		adaptive   = flag.Bool("adaptive", false, "escape-VC adaptive routing: lanes 1.. take any minimal productive hop, lane 0 is the certified escape channel (needs -vcs >= 2)")
 		shards     = flag.Int("shards", 0, "spatial shards per machine (<= 1 = serial stepper; output is identical at any count)")
+		reconfig   = flag.String("reconfig", "", "online routing-table reconfiguration trigger: fault | deadlock | both (empty = off)")
+		recfgDrain = flag.Int("reconfig-drain", 0, "max in-flight packets a cyclic transition may purge before falling back to rebuild-in-place (with -reconfig; 0 = default)")
 		fails      failList
 		presets    failList
 		broadcasts failList
@@ -87,6 +89,8 @@ func main() {
 			fatal(fmt.Errorf("-sxb/-dxb/-dxb-separate configure crossbars; topology %q has none", topology))
 		case *vcs != 0 || *adaptive:
 			fatal(fmt.Errorf("-vcs/-adaptive need the mdx crossbar network; topology %q has no VC layer", topology))
+		case *reconfig != "":
+			fatal(fmt.Errorf("-reconfig needs the mdx crossbar network; topology %q has no reconfigurable table generations", topology))
 		case len(broadcasts) > 0:
 			fatal(fmt.Errorf("-broadcast needs the mdx hardware broadcast; topology %q has none", topology))
 		}
@@ -107,6 +111,10 @@ func main() {
 		fatal(err)
 	}
 	vcCount, err := cliutil.VCOptions(*vcs, *adaptive)
+	if err != nil {
+		fatal(err)
+	}
+	recfgMode, recfgBudget, err := cliutil.ReconfigOptions(*reconfig, *recfgDrain)
 	if err != nil {
 		fatal(err)
 	}
@@ -162,27 +170,29 @@ func main() {
 			}
 		}
 		res, err := campaign.Run(campaign.Config{
-			Shape:           shape,
-			Topology:        topology,
-			Epochs:          epochs,
-			Patterns:        patterns,
-			Waves:           *waves,
-			Gap:             *gap,
-			PacketSize:      *packet,
-			Inject:          opt,
-			Horizon:         *horizon,
-			Recovery:        recOpt,
-			Preset:          presetFaults,
-			Broadcasts:      bcasts,
-			SXB:             sxb,
-			DXB:             dxb,
-			DXBSeparate:     *dxbSep,
-			VCs:             vcCount,
-			Adaptive:        *adaptive,
-			Shards:          *shards,
-			Parallel:        *parallel,
-			Store:           store,
-			CheckpointEvery: *ckptEvery,
+			Shape:               shape,
+			Topology:            topology,
+			Epochs:              epochs,
+			Patterns:            patterns,
+			Waves:               *waves,
+			Gap:                 *gap,
+			PacketSize:          *packet,
+			Inject:              opt,
+			Horizon:             *horizon,
+			Recovery:            recOpt,
+			Preset:              presetFaults,
+			Broadcasts:          bcasts,
+			SXB:                 sxb,
+			DXB:                 dxb,
+			DXBSeparate:         *dxbSep,
+			VCs:                 vcCount,
+			Adaptive:            *adaptive,
+			Shards:              *shards,
+			Reconfig:            recfgMode,
+			ReconfigDrainBudget: recfgBudget,
+			Parallel:            *parallel,
+			Store:               store,
+			CheckpointEvery:     *ckptEvery,
 		})
 		if err != nil {
 			fatal(err)
@@ -215,24 +225,26 @@ func main() {
 		events = append(events, inject.Event{Cycle: cycle, Fault: f})
 	}
 	outcome, err := campaign.RunSingle(campaign.SingleSpec{
-		Shape:       shape,
-		Topology:    topology,
-		Events:      events,
-		Pattern:     patterns[0],
-		Waves:       *waves,
-		Gap:         *gap,
-		PacketSize:  *packet,
-		Horizon:     *horizon,
-		Inject:      opt,
-		Recovery:    recOpt,
-		Preset:      presetFaults,
-		Broadcasts:  bcasts,
-		SXB:         sxb,
-		DXB:         dxb,
-		DXBSeparate: *dxbSep,
-		VCs:         vcCount,
-		Adaptive:    *adaptive,
-		Shards:      *shards,
+		Shape:               shape,
+		Topology:            topology,
+		Events:              events,
+		Pattern:             patterns[0],
+		Waves:               *waves,
+		Gap:                 *gap,
+		PacketSize:          *packet,
+		Horizon:             *horizon,
+		Inject:              opt,
+		Recovery:            recOpt,
+		Preset:              presetFaults,
+		Broadcasts:          bcasts,
+		SXB:                 sxb,
+		DXB:                 dxb,
+		DXBSeparate:         *dxbSep,
+		VCs:                 vcCount,
+		Adaptive:            *adaptive,
+		Shards:              *shards,
+		Reconfig:            recfgMode,
+		ReconfigDrainBudget: recfgBudget,
 	}, os.Stdout)
 	if err != nil {
 		fatal(err)

@@ -20,6 +20,7 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/reconfig"
 	"sr2201/internal/recovery"
 	"sr2201/internal/routing"
 	"sr2201/internal/stats"
@@ -142,6 +143,14 @@ type Spec struct {
 	// core.Config.Shards). The verdict — like everything downstream of the
 	// kernel — is identical at any shard count.
 	Shards int
+	// Reconfig enables online routing-table reconfiguration (see
+	// core.Config.Reconfig for the modes and constraints): mid-run faults
+	// and/or confirmed deadlocks recompile the policy and swap it in behind
+	// a certified transition instead of rebuilding in place.
+	Reconfig string
+	// ReconfigDrainBudget caps the bounded drain when a transition's union
+	// graph is cyclic (<= 0 = reconfig.DefaultDrainBudget).
+	ReconfigDrainBudget int
 }
 
 func (s *Spec) normalize() error {
@@ -208,6 +217,15 @@ type CellResult struct {
 	Recoveries int
 	Livelocked bool
 
+	// ReconfigEnabled marks a cell run with online reconfiguration;
+	// Reconfigured counts committed table swaps (hot or after a drain),
+	// ReconfigDrained the packets purged by bounded drains, and
+	// ReconfigFellBack the attempts degraded to rebuild-in-place.
+	ReconfigEnabled  bool
+	Reconfigured     int
+	ReconfigDrained  int
+	ReconfigFellBack int
+
 	// SourceDeadPairs/DestDeadPairs/UnreachablePairs is the per-pair
 	// reachability classification of the pattern against the final fault
 	// set (recovery.AnalyzeReachability): exact graceful-degradation
@@ -253,6 +271,7 @@ type CellRun struct {
 	inj  *inject.Injector
 	wd   *deadlock.Watchdog
 	sup  *recovery.Supervisor
+	mgr  *reconfig.Manager
 
 	res   CellResult
 	wave  int
@@ -283,6 +302,7 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 		Shards:         spec.Shards,
+		Reconfig:       spec.Reconfig,
 	})
 	if err != nil {
 		return nil, err
@@ -302,7 +322,18 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 	if spec.Recovery.Enabled {
 		c.sup = recovery.New(m, inj, spec.Recovery)
 	}
-	c.res = CellResult{Pattern: spec.Pattern.Name}
+	if spec.Reconfig != "" {
+		mgr, err := reconfig.New(m, reconfig.Options{DrainBudget: spec.ReconfigDrainBudget})
+		if err != nil {
+			return nil, err
+		}
+		mgr.OnDrained(inj.LoseDrained)
+		if c.sup != nil && mgr.CoversDeadlock() {
+			c.sup.OnDeadlock(mgr.OnDeadlock)
+		}
+		c.mgr = mgr
+	}
+	c.res = CellResult{Pattern: spec.Pattern.Name, ReconfigEnabled: spec.Reconfig != ""}
 	if len(spec.Events) > 0 {
 		c.res.Fault = spec.Events[0].Fault
 		c.res.Epoch = spec.Events[0].Cycle
@@ -320,6 +351,14 @@ func NewCellRun(spec Spec) (*CellRun, error) {
 func (c *CellRun) OnRecovery(fn func(recovery.Event)) {
 	if c.sup != nil {
 		c.sup.OnEvent(fn)
+	}
+}
+
+// OnReconfig registers a callback for every reconfiguration event of this
+// cell (no-op unless Spec.Reconfig is set). Must be set before stepping.
+func (c *CellRun) OnReconfig(fn func(reconfig.Event)) {
+	if c.mgr != nil {
+		c.mgr.OnEvent(fn)
 	}
 }
 
@@ -413,6 +452,15 @@ func (c *CellRun) Result() (CellResult, error) {
 	res := c.res
 	if err := c.inj.Err(); err != nil {
 		return res, err
+	}
+	if c.mgr != nil {
+		if err := c.mgr.Err(); err != nil {
+			return res, err
+		}
+		st := c.mgr.Stats()
+		res.Reconfigured = st.HotSwaps + st.Drains
+		res.ReconfigDrained = st.DrainedPackets
+		res.ReconfigFellBack = st.Fallbacks
 	}
 	eng := c.m.Engine()
 	res.Drained = c.wave >= c.spec.Waves && c.bNext >= len(c.spec.Broadcasts) &&
@@ -547,9 +595,16 @@ type Config struct {
 	// Shards steps every cell's machine on that many spatial shards (see
 	// Spec.Shards); results are identical at any shard count.
 	Shards int
+	// Reconfig/ReconfigDrainBudget enable online reconfiguration in every
+	// cell (see Spec.Reconfig).
+	Reconfig            string
+	ReconfigDrainBudget int
 	// OnRecovery, if non-nil, is called for every recovery event of every
 	// cell, from worker goroutines (progress feed for the job server).
 	OnRecovery func(recovery.Event)
+	// OnReconfig, if non-nil, is called for every reconfiguration event of
+	// every cell, from worker goroutines (progress feed for the job server).
+	OnReconfig func(reconfig.Event)
 	// Parallel caps the sweep worker pool (<= 0 = DefaultParallel, 1 = serial).
 	Parallel int
 	// Ctx, if non-nil, cancels the campaign between cells (running cells
@@ -625,26 +680,28 @@ func Run(cfg Config) (*Result, error) {
 	runCell := func(i int) (CellResult, error) {
 		g := grid[i]
 		spec := Spec{
-			Shape:          cfg.Shape,
-			Topology:       cfg.Topology,
-			Events:         []inject.Event{{Cycle: g.epoch, Fault: g.f}},
-			Pattern:        g.pat,
-			Waves:          cfg.Waves,
-			Gap:            cfg.Gap,
-			PacketSize:     cfg.PacketSize,
-			Inject:         cfg.Inject,
-			Horizon:        cfg.Horizon,
-			Recovery:       cfg.Recovery,
-			Preset:         cfg.Preset,
-			Broadcasts:     cfg.Broadcasts,
-			SXB:            cfg.SXB,
-			DXB:            cfg.DXB,
-			DXBSeparate:    cfg.DXBSeparate,
-			NaiveBroadcast: cfg.NaiveBroadcast,
-			PivotLastDim:   cfg.PivotLastDim,
-			VCs:            cfg.VCs,
-			Adaptive:       cfg.Adaptive,
-			Shards:         cfg.Shards,
+			Shape:               cfg.Shape,
+			Topology:            cfg.Topology,
+			Events:              []inject.Event{{Cycle: g.epoch, Fault: g.f}},
+			Pattern:             g.pat,
+			Waves:               cfg.Waves,
+			Gap:                 cfg.Gap,
+			PacketSize:          cfg.PacketSize,
+			Inject:              cfg.Inject,
+			Horizon:             cfg.Horizon,
+			Recovery:            cfg.Recovery,
+			Preset:              cfg.Preset,
+			Broadcasts:          cfg.Broadcasts,
+			SXB:                 cfg.SXB,
+			DXB:                 cfg.DXB,
+			DXBSeparate:         cfg.DXBSeparate,
+			NaiveBroadcast:      cfg.NaiveBroadcast,
+			PivotLastDim:        cfg.PivotLastDim,
+			VCs:                 cfg.VCs,
+			Adaptive:            cfg.Adaptive,
+			Shards:              cfg.Shards,
+			Reconfig:            cfg.Reconfig,
+			ReconfigDrainBudget: cfg.ReconfigDrainBudget,
 		}
 		res, err := runStoredCell(cfg, i, spec)
 		if cfg.OnCell != nil && err == nil {
@@ -669,7 +726,7 @@ func Run(cfg Config) (*Result, error) {
 // completed result or a mid-cell snapshot first, checkpointing periodically,
 // and parking a final snapshot when the context cancels mid-cell.
 func runStoredCell(cfg Config, i int, spec Spec) (CellResult, error) {
-	if cfg.Store == nil && cfg.OnRecovery == nil {
+	if cfg.Store == nil && cfg.OnRecovery == nil && cfg.OnReconfig == nil {
 		return RunCell(spec)
 	}
 	if cfg.Store != nil {
@@ -696,6 +753,9 @@ func runStoredCell(cfg Config, i int, spec Spec) (CellResult, error) {
 	}
 	if cfg.OnRecovery != nil {
 		c.OnRecovery(cfg.OnRecovery)
+	}
+	if cfg.OnReconfig != nil {
+		c.OnReconfig(cfg.OnReconfig)
 	}
 	if cfg.Store == nil {
 		for !c.Step() {
@@ -776,6 +836,45 @@ func (r *Result) Livelocked() int {
 	return n
 }
 
+// Reconfigured sums committed table swaps across all cells.
+func (r *Result) Reconfigured() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Reconfigured
+	}
+	return n
+}
+
+// ReconfigDrained sums packets purged by bounded drains across all cells.
+func (r *Result) ReconfigDrained() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.ReconfigDrained
+	}
+	return n
+}
+
+// ReconfigFellBack sums attempts degraded to rebuild-in-place across all
+// cells.
+func (r *Result) ReconfigFellBack() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.ReconfigFellBack
+	}
+	return n
+}
+
+// reconfigEnabled reports whether any cell ran with online reconfiguration
+// (the summary then carries the reconfiguration counters).
+func (r *Result) reconfigEnabled() bool {
+	for _, c := range r.Cells {
+		if c.ReconfigEnabled {
+			return true
+		}
+	}
+	return false
+}
+
 // faultClass buckets a placement for aggregation: "rtc", "xb-dim<k>" or
 // "link-dim<k>".
 func faultClass(f fault.Fault) string {
@@ -854,6 +953,10 @@ func (r *Result) String() string {
 	b.WriteString(r.Table().String())
 	fmt.Fprintf(&b, "cells=%d deadlocks=%d stalls=%d undrained=%d recoveries=%d livelocked=%d\n",
 		len(r.Cells), r.Deadlocks(), r.Stalls(), r.undrained(), r.Recoveries(), r.Livelocked())
+	if r.reconfigEnabled() {
+		fmt.Fprintf(&b, "reconfigured=%d drained=%d fellback=%d\n",
+			r.Reconfigured(), r.ReconfigDrained(), r.ReconfigFellBack())
+	}
 	return b.String()
 }
 

@@ -22,6 +22,7 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/reconfig"
 	"sr2201/internal/recovery"
 	"sr2201/internal/routing"
 	"sr2201/internal/stats"
@@ -64,6 +65,11 @@ type SingleSpec struct {
 	// Shards steps the machine on that many spatial shards (see
 	// core.Config.Shards); the report bytes are identical at any count.
 	Shards int
+	// Reconfig/ReconfigDrainBudget enable online reconfiguration (see
+	// Spec.Reconfig); every attempt prints one event line plus its refusal
+	// and union witnesses.
+	Reconfig            string
+	ReconfigDrainBudget int
 	// Ctx, if non-nil, cancels the run between cycles; RunSingle then
 	// returns ctx.Err() with the report truncated mid-stream.
 	Ctx context.Context
@@ -73,6 +79,9 @@ type SingleSpec struct {
 	// OnRecovery, if non-nil, is called for every recovery event, after the
 	// report line is written (the job server's recovery feed).
 	OnRecovery func(recovery.Event)
+	// OnReconfig, if non-nil, is called for every reconfiguration event,
+	// after its report block is written (the job server's reconfig feed).
+	OnReconfig func(reconfig.Event)
 }
 
 // progressInterval is how often RunSingle samples OnCycle.
@@ -88,6 +97,7 @@ type SingleRun struct {
 	inj  *inject.Injector
 	wd   *deadlock.Watchdog
 	sup  *recovery.Supervisor
+	mgr  *reconfig.Manager
 	w    io.Writer
 
 	offered, accepted, refused int
@@ -95,6 +105,7 @@ type SingleRun struct {
 	bcastCopiesExpected        int
 	reported                   int
 	reportedRecov              int
+	reportedReconfig           int
 	wave                       int
 	bNext                      int
 	outcome                    deadlock.Outcome
@@ -134,6 +145,7 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 		PacketSize:     spec.PacketSize,
 		StallThreshold: spec.Inject.StallThreshold,
 		Shards:         spec.Shards,
+		Reconfig:       spec.Reconfig,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +170,17 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 			}
 		})
 	}
+	if spec.Reconfig != "" {
+		mgr, err := reconfig.New(m, reconfig.Options{DrainBudget: spec.ReconfigDrainBudget})
+		if err != nil {
+			return nil, err
+		}
+		mgr.OnDrained(inj.LoseDrained)
+		if r.sup != nil && mgr.CoversDeadlock() {
+			r.sup.OnDeadlock(mgr.OnDeadlock)
+		}
+		r.mgr = mgr
+	}
 	if spec.Topology != "" && spec.Topology != core.TopologyMDX {
 		fmt.Fprintf(w, "topology=%s\n", spec.Topology)
 	}
@@ -176,6 +199,10 @@ func NewSingleRun(spec SingleSpec, w io.Writer) (*SingleRun, error) {
 		opt := r.sup.Options()
 		fmt.Fprintf(w, "recovery: enabled (stall-threshold=%d max-recoveries=%d)\n",
 			opt.StallThreshold, opt.MaxRecoveries)
+	}
+	if r.mgr != nil {
+		fmt.Fprintf(w, "reconfig: enabled (mode=%s drain-budget=%d)\n",
+			spec.Reconfig, r.mgr.Options().DrainBudget)
 	}
 
 	eng := m.Engine()
@@ -218,6 +245,15 @@ func (r *SingleRun) Recoveries() int {
 	return r.sup.Stats().Recoveries
 }
 
+// ReconfigStats returns the online-reconfiguration accounting (the zero
+// value when reconfiguration is disabled).
+func (r *SingleRun) ReconfigStats() reconfig.Stats {
+	if r.mgr == nil {
+		return reconfig.Stats{}
+	}
+	return r.mgr.Stats()
+}
+
 func (r *SingleRun) printCasualty(c inject.Casualty) {
 	fmt.Fprintf(r.w, "cycle %d: %s fails — %d packet(s) killed in flight\n",
 		c.Cycle, c.Fault, len(c.Lost))
@@ -228,6 +264,23 @@ func (r *SingleRun) printCasualty(c inject.Casualty) {
 		} else {
 			fmt.Fprintf(r.w, "  killed pkt %d: header untraceable\n", l.PacketID)
 		}
+	}
+}
+
+// printReconfig renders one reconfiguration attempt: the event line plus the
+// concrete witnesses — every statically refused candidate's dependence cycle
+// and, when a drain was forced, the cyclic union's. All deterministic (the
+// prover's cycle search is id-ordered), so the block is replay-stable.
+func (r *SingleRun) printReconfig(ev reconfig.Event) {
+	fmt.Fprintf(r.w, "%s\n", ev)
+	for _, ref := range ev.Refusals {
+		fmt.Fprintf(r.w, "  refused %s: cycle [%s]\n", ref.Scheme, strings.Join(ref.Cycle, " -> "))
+	}
+	for _, msg := range ev.Errors {
+		fmt.Fprintf(r.w, "  unbuildable candidate: %s\n", msg)
+	}
+	if ev.Outcome == reconfig.OutcomeDrain {
+		fmt.Fprintf(r.w, "  union cycle [%s]\n", strings.Join(ev.Union.Cycle, " -> "))
 	}
 }
 
@@ -285,6 +338,15 @@ func (r *SingleRun) Step() bool {
 		r.printCasualty(c)
 		r.reported++
 	}
+	if r.mgr != nil {
+		for _, ev := range r.mgr.Events()[r.reportedReconfig:] {
+			r.printReconfig(ev)
+			r.reportedReconfig++
+			if r.spec.OnReconfig != nil {
+				r.spec.OnReconfig(ev)
+			}
+		}
+	}
 	if r.sup != nil {
 		// The liveness layer owns the stall verdict: it recovers what it
 		// can and decides only when it cannot.
@@ -336,6 +398,14 @@ func (r *SingleRun) Finish() (deadlock.Outcome, error) {
 		s := r.sup.Stats()
 		fmt.Fprintf(r.w, "recoveries: %d (stalls detected %d, unrecoverable %d)\n",
 			s.Recoveries, s.StallsDetected, s.VictimsUnrecoverable)
+	}
+	if r.mgr != nil {
+		if err := r.mgr.Err(); err != nil {
+			return r.outcome, err
+		}
+		s := r.mgr.Stats()
+		fmt.Fprintf(r.w, "reconfig: %d attempts, %d hot swaps, %d drains (%d packets), %d fallbacks, %d refusals\n",
+			s.Attempts, s.HotSwaps, s.Drains, s.DrainedPackets, s.Fallbacks, s.Refusals)
 	}
 	switch {
 	case r.livelocked:

@@ -12,6 +12,8 @@ import (
 	"sr2201/internal/core"
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/reconfig"
 	"sr2201/internal/recovery"
 )
 
@@ -48,8 +50,12 @@ func (r *SingleRun) EncodeState(w *checkpoint.Writer) {
 	e.Bool(r.outcome.Deadlocked)
 	e.Bool(r.livelocked)
 	e.Bool(r.done)
+	e.Int(int64(r.reportedReconfig)) // appended in format version 3
 	if r.sup != nil {
 		r.sup.EncodeState(w)
+	}
+	if r.mgr != nil {
+		r.mgr.EncodeState(w)
 	}
 }
 
@@ -105,6 +111,10 @@ func (r *SingleRun) Restore(data []byte) error {
 	deadlocked := d.Bool()
 	livelocked := d.Bool()
 	done := d.Bool()
+	reportedReconfig := 0
+	if d.Version() >= 3 {
+		reportedReconfig = d.IntAsInt()
+	}
 	if err := d.Finish(); err != nil {
 		return err
 	}
@@ -122,12 +132,24 @@ func (r *SingleRun) Restore(data []byte) error {
 			return err
 		}
 	}
+	if r.mgr != nil {
+		if err := r.mgr.DecodeState(rd); err != nil {
+			return err
+		}
+	}
 	maxRecov := 0
 	if r.sup != nil {
 		maxRecov = len(r.sup.Events())
 	}
 	if reportedRecov < 0 || reportedRecov > maxRecov {
 		return fmt.Errorf("checkpoint: section %q: reported recoveries %d outside event list of %d", secSingle, reportedRecov, maxRecov)
+	}
+	maxReconfig := 0
+	if r.mgr != nil {
+		maxReconfig = len(r.mgr.Events())
+	}
+	if reportedReconfig < 0 || reportedReconfig > maxReconfig {
+		return fmt.Errorf("checkpoint: section %q: reported reconfigurations %d outside event list of %d", secSingle, reportedReconfig, maxReconfig)
 	}
 	r.offered, r.accepted, r.refused = offered, accepted, refused
 	r.bcasts, r.bcastsRefused, r.bcastCopiesExpected = bcasts, bcastsRefused, bcastCopiesExpected
@@ -136,26 +158,64 @@ func (r *SingleRun) Restore(data []byte) error {
 	r.outcome.Drained, r.outcome.Stalled, r.outcome.Deadlocked = drained, stalled, deadlocked
 	r.livelocked = livelocked
 	r.done = done
-	// Re-render the already-reported casualty and recovery lines in the
-	// order the uninterrupted run printed them. A recovery at engine cycle
-	// rc prints during the step that ends at rc; a casualty recorded at
-	// cycle cc prints at the end of the step that advanced cc -> cc+1 — so
-	// the recovery line precedes every casualty with cc >= rc-1.
+	// Re-render the already-reported casualty, recovery and reconfiguration
+	// lines in the order the uninterrupted run printed them. Each line class
+	// prints at a known point of a known step: a recovery at engine cycle rc
+	// prints *during* the step that ends at rc; a casualty recorded at cycle
+	// cc prints at the end of the step that advanced cc -> cc+1; a
+	// reconfiguration prints at the end of its trigger's step — the fault
+	// trigger fires in PreCycle (event cycle X, step X -> X+1), the deadlock
+	// trigger in PostCycle (event cycle X, step X-1 -> X). Sorting by
+	// (step-end cycle, within-step position) reproduces the stream; each
+	// source list is already chronological, so the merge is stable.
 	cas := r.inj.Casualties()[:reported]
 	var evs []recovery.Event
 	if r.sup != nil {
 		evs = r.sup.Events()[:reportedRecov]
 	}
-	r.reported, r.reportedRecov = 0, 0
-	for len(cas) > 0 || len(evs) > 0 {
-		if len(evs) > 0 && (len(cas) == 0 || evs[0].Cycle <= cas[0].Cycle+1) {
+	var rcs []reconfig.Event
+	if r.mgr != nil {
+		rcs = r.mgr.Events()[:reportedReconfig]
+	}
+	// Within-step print order: recovery (during the step) = 0, casualty
+	// loop = 1, reconfiguration loop = 2.
+	recovKey := func(ev recovery.Event) [2]int64 { return [2]int64{ev.Cycle, 0} }
+	casKey := func(c inject.Casualty) [2]int64 { return [2]int64{c.Cycle + 1, 1} }
+	reconfigKey := func(ev reconfig.Event) [2]int64 {
+		end := ev.Cycle
+		if ev.Trigger == reconfig.TriggerFault {
+			end++
+		}
+		return [2]int64{end, 2}
+	}
+	less := func(a, b [2]int64) bool { return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]) }
+	r.reported, r.reportedRecov, r.reportedReconfig = 0, 0, 0
+	for len(cas) > 0 || len(evs) > 0 || len(rcs) > 0 {
+		best := 0 // 0 = recovery, 1 = casualty, 2 = reconfig
+		var key [2]int64
+		have := false
+		if len(evs) > 0 {
+			key, have = recovKey(evs[0]), true
+		}
+		if len(cas) > 0 && (!have || less(casKey(cas[0]), key)) {
+			best, key, have = 1, casKey(cas[0]), true
+		}
+		if len(rcs) > 0 && (!have || less(reconfigKey(rcs[0]), key)) {
+			best = 2
+		}
+		switch best {
+		case 0:
 			fmt.Fprintf(r.w, "%s\n", evs[0])
 			evs = evs[1:]
 			r.reportedRecov++
-		} else {
+		case 1:
 			r.printCasualty(cas[0])
 			cas = cas[1:]
 			r.reported++
+		default:
+			r.printReconfig(rcs[0])
+			rcs = rcs[1:]
+			r.reportedReconfig++
 		}
 	}
 	return nil
@@ -233,6 +293,9 @@ func (c *CellRun) EncodeState(w *checkpoint.Writer) {
 	if c.sup != nil {
 		c.sup.EncodeState(w)
 	}
+	if c.mgr != nil {
+		c.mgr.EncodeState(w)
+	}
 }
 
 // Snapshot serializes the cell into one container.
@@ -289,6 +352,11 @@ func (c *CellRun) DecodeState(r *checkpoint.Reader) error {
 	}
 	if c.sup != nil {
 		if err := c.sup.DecodeState(r); err != nil {
+			return err
+		}
+	}
+	if c.mgr != nil {
+		if err := c.mgr.DecodeState(r); err != nil {
 			return err
 		}
 	}
@@ -360,6 +428,11 @@ func EncodeResult(res CellResult) []byte {
 		e.Int(d.Cycle)
 		e.Int(d.Latency)
 	}
+	// Appended in format version 3.
+	e.Bool(res.ReconfigEnabled)
+	e.Int(int64(res.Reconfigured))
+	e.Int(int64(res.ReconfigDrained))
+	e.Int(int64(res.ReconfigFellBack))
 	return w.Bytes()
 }
 
@@ -411,6 +484,12 @@ func DecodeResult(data []byte) (CellResult, error) {
 		del.Cycle = d.Int()
 		del.Latency = d.Int()
 		res.Deliveries = append(res.Deliveries, del)
+	}
+	if d.Version() >= 3 {
+		res.ReconfigEnabled = d.Bool()
+		res.Reconfigured = d.IntAsInt()
+		res.ReconfigDrained = d.IntAsInt()
+		res.ReconfigFellBack = d.IntAsInt()
 	}
 	if err := d.Finish(); err != nil {
 		return res, err

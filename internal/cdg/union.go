@@ -1,0 +1,143 @@
+package cdg
+
+import (
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/routing"
+	"sr2201/internal/topo"
+)
+
+// This file supports online reconfiguration (internal/reconfig): before a
+// new routing table is swapped into a live machine, the transition window —
+// during which in-flight packets still route under retiring tables while new
+// packets route under the committed one — is proved safe by certifying the
+// union dependence graph acyclic: the new table's full CDG plus every edge a
+// retiring generation's packets can still hold or wait on. EdgeSet captures
+// a generation's post-contraction edges, split by traffic class so only the
+// classes actually in flight contribute, and UnionCertificate runs the
+// merged graph through the same topo prover as every static certificate.
+
+// EdgeSet is one routing generation's contracted dependence edges, split by
+// the traffic classes that produce them, with the channel behind every
+// vertex name (the contracted broadcast tree excepted) for fault filtering.
+type EdgeSet struct {
+	// Scheme names the generation's policy instance (SchemeName form).
+	Scheme string
+	// UnicastEdges covers the point-to-point classes (RC normal and detour,
+	// including detour continuations of normal routes).
+	UnicastEdges [][2]string
+	// BroadcastEdges covers the broadcast classes (RC broadcast-request and
+	// broadcast): request-leg chains plus the edge into the contracted
+	// "BROADCAST-TREE" composite.
+	BroadcastEdges [][2]string
+	// Nodes maps vertex names back to channels. The composite tree vertex
+	// has no entry.
+	Nodes map[string]Channel
+}
+
+// SnapshotEdges captures the class-split contracted dependence edges of a
+// policy — the same construction RegisterDependences certifies, split into
+// the unicast and broadcast builders. For a retiring generation the policy
+// must be the generation's pinned reconstruction against the live fault set
+// (routing.NewPinned): in-flight packets of that generation consult live
+// fault bits, so e.g. a normal-class packet meeting the new fault detours
+// toward the generation's own effective D-XB, and those routes must appear
+// here.
+func SnapshotEdges(p *routing.Policy, shape geom.Shape) (*EdgeSet, error) {
+	es := &EdgeSet{Scheme: SchemeName(p, shape), Nodes: map[string]Channel{}}
+	record := func(cs []Channel) {
+		for _, c := range cs {
+			es.Nodes[c.String()] = c
+		}
+	}
+
+	bu := topo.NewBuilder()
+	shape.Enumerate(func(src geom.Coord) bool {
+		shape.Enumerate(func(dst geom.Coord) bool {
+			path, err := p.UnicastPath(src, dst)
+			if err != nil {
+				if !p.PivotEnabled() {
+					return true
+				}
+				path, err = p.PivotPath(src, dst)
+				if err != nil {
+					return true
+				}
+			}
+			cs := channelsOf(path)
+			record(cs)
+			bu.Path(namesOf(cs)...)
+			return true
+		})
+		return true
+	})
+	es.UnicastEdges = bu.ContractedEdges()
+
+	bb := topo.NewBuilder()
+	treeID := bb.Composite(treeName)
+	shape.Enumerate(func(src geom.Coord) bool {
+		req, tree, _, err := broadcastChannels(p, shape, src, false)
+		if err != nil {
+			return true // sources that cannot broadcast contribute nothing
+		}
+		record(req)
+		record(tree)
+		bb.Path(namesOf(req)...)
+		if len(req) > 0 && len(tree) > 0 {
+			bb.Edge(bb.Channel(req[len(req)-1].String()), treeID)
+		}
+		for _, c := range tree {
+			bb.Absorb(treeID, bb.Channel(c.String()))
+		}
+		return true
+	})
+	es.BroadcastEdges = bb.ContractedEdges()
+	return es, nil
+}
+
+// live reports whether a vertex still exists under the fault set: a faulted
+// switch's channels were purged with its packets (engine.KillSwitch), so
+// retiring-generation packets can no longer hold or wait on them. Unknown
+// names (the composite tree, or anything unparsed) count as live — keeping
+// an edge can only make the union check stricter.
+func (es *EdgeSet) live(name string, faults *fault.Set) bool {
+	c, ok := es.Nodes[name]
+	if !ok {
+		return true
+	}
+	if c.Router {
+		return !faults.RouterFaulty(c.Coord)
+	}
+	return !faults.XBFaulty(c.Line)
+}
+
+// LiveEdges filters an edge group of this set down to edges whose endpoints
+// both still exist under the fault set.
+func (es *EdgeSet) LiveEdges(group [][2]string, faults *fault.Set) [][2]string {
+	var out [][2]string
+	for _, e := range group {
+		if es.live(e[0], faults) && es.live(e[1], faults) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UnionCertificate certifies the transition graph for a candidate table:
+// the candidate policy's full dependence graph plus every retiring edge
+// still holdable by in-flight traffic (the caller assembles those from
+// per-generation LiveEdges of the classes actually in flight). Old edge
+// endpoints that are broadcast-tree members of the candidate's graph are
+// contracted onto its composite, so a retiring route waiting into the new
+// tree meets the new tree's own dependences — exactly the interaction the
+// transition must prove harmless.
+func UnionCertificate(candidate *routing.Policy, shape geom.Shape, retiring [][2]string, scheme string) (topo.Certificate, error) {
+	b := topo.NewBuilder()
+	if err := RegisterDependences(b, candidate, shape); err != nil {
+		return topo.Certificate{}, err
+	}
+	for _, e := range retiring {
+		b.Edge(b.Channel(e[0]), b.Channel(e[1]))
+	}
+	return b.Certificate(scheme), nil
+}

@@ -50,10 +50,13 @@ import (
 
 // Version is the current snapshot format version. Version 2 added the
 // virtual-channel fields (flit.Header.AdaptiveHops, the engine's provisional
-// route-state flag, core.Delivery.Adaptive); writers always emit the current
-// version, and section decoders consult Decoder.Version to skip fields a
-// version-1 container cannot contain.
-const Version uint16 = 2
+// route-state flag, core.Delivery.Adaptive). Version 3 added the online-
+// reconfiguration fields (flit.Header.Epoch, the machine's routing-epoch
+// counter and generation descriptors, the reconfiguration manager's event
+// log, the injector's drain accounting); writers always emit the current
+// version, and section decoders consult Decoder.Version to skip fields an
+// older container cannot contain.
+const Version uint16 = 3
 
 // minVersion is the oldest container version this build still reads.
 const minVersion uint16 = 1

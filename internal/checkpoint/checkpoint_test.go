@@ -138,12 +138,14 @@ func TestGoldenV1(t *testing.T) {
 	}
 }
 
-// TestGoldenV2 pins the exact bytes of the current format version. Regenerate
-// (after bumping Version and keeping a fixture per version) with:
-// go test ./internal/checkpoint -run TestGoldenV2 -update
+// TestGoldenV2 pins the exact bytes of format version 2, like TestGoldenV1:
+// the body matches the current golden byte for byte since only section
+// layouts (not framing or primitives) changed across versions.
 func TestGoldenV2(t *testing.T) {
 	path := filepath.Join("testdata", "golden_v2.snap")
-	got := goldenContainer().Bytes()
+	w := goldenContainer()
+	w.version = 2
+	got := w.Bytes()
 	if *update {
 		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
@@ -170,6 +172,41 @@ func TestGoldenV2(t *testing.T) {
 	}
 	if d.Version() != 2 {
 		t.Fatalf("section decoder version = %d, want 2", d.Version())
+	}
+}
+
+// TestGoldenV3 pins the exact bytes of the current format version. Regenerate
+// (after bumping Version and keeping a fixture per version) with:
+// go test ./internal/checkpoint -run TestGoldenV3 -update
+func TestGoldenV3(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v3.snap")
+	got := goldenContainer().Bytes()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding of the v3 container changed: %d bytes vs %d fixture bytes.\n"+
+			"Either revert the codec change or bump checkpoint.Version.", len(got), len(want))
+	}
+	r, err := NewReader(want)
+	if err != nil {
+		t.Fatalf("fixture no longer decodes: %v", err)
+	}
+	if r.Version() != 3 {
+		t.Fatalf("fixture version = %d, want 3", r.Version())
+	}
+	d, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 3 {
+		t.Fatalf("section decoder version = %d, want 3", d.Version())
 	}
 }
 

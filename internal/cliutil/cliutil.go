@@ -2,8 +2,8 @@
 // share: shapes ("8x8"), coordinates ("2,1"), fault specifications
 // ("rtc:2,1", "xb:0:0,1" or "link:0,0-3,0"), fault schedules
 // ("rtc:2,1@500"), broadcast schedules ("3,2@250"), topology names
-// ("mdx" | "hyperx" | "fullmesh"), the recovery-flag triple, and the
-// virtual-channel flag pair.
+// ("mdx" | "hyperx" | "fullmesh"), the recovery-flag triple, the
+// virtual-channel flag pair, and the reconfiguration flag pair.
 package cliutil
 
 import (
@@ -250,4 +250,26 @@ func VCOptions(vcs int, adaptive bool) (int, error) {
 		return 0, fmt.Errorf("cliutil: -vcs %d without -adaptive would leave lanes 1..%d unused", vcs, vcs-1)
 	}
 	return vcs, nil
+}
+
+// ReconfigOptions validates the -reconfig / -reconfig-drain flag pair,
+// rejecting the spellings that silently do nothing: an unknown trigger mode,
+// a negative drain budget, and a budget without the enable flag. The empty
+// mode disables online reconfiguration (case and surrounding whitespace are
+// forgiven); a budget of 0 selects reconfig.DefaultDrainBudget. The returned
+// mode is canonical for core.Config.Reconfig and the campaign spec fields.
+func ReconfigOptions(mode string, drainBudget int) (string, int, error) {
+	m := strings.ToLower(strings.TrimSpace(mode))
+	switch m {
+	case "", core.ReconfigOnFault, core.ReconfigOnDeadlock, core.ReconfigBoth:
+	default:
+		return "", 0, fmt.Errorf("cliutil: unknown reconfig mode %q (fault | deadlock | both)", mode)
+	}
+	if drainBudget < 0 {
+		return "", 0, fmt.Errorf("cliutil: negative reconfig drain budget %d", drainBudget)
+	}
+	if m == "" && drainBudget != 0 {
+		return "", 0, fmt.Errorf("cliutil: reconfig drain budget %d needs -reconfig", drainBudget)
+	}
+	return m, drainBudget, nil
 }

@@ -309,6 +309,48 @@ func TestVCOptions(t *testing.T) {
 	}
 }
 
+// TestReconfigOptions pins the -reconfig/-reconfig-drain flag-pair contract:
+// the empty mode disables reconfiguration, the three trigger spellings are
+// canonicalized, and a drain budget without the enable flag is refused
+// rather than silently ignored.
+func TestReconfigOptions(t *testing.T) {
+	tests := []struct {
+		name     string
+		mode     string
+		drain    int
+		wantMode string
+		wantErr  bool
+	}{
+		{name: "disabled zero value", mode: "", wantMode: ""},
+		{name: "fault", mode: "fault", wantMode: "fault"},
+		{name: "deadlock", mode: "deadlock", wantMode: "deadlock"},
+		{name: "both", mode: "both", wantMode: "both"},
+		{name: "case and whitespace forgiven", mode: " Fault ", wantMode: "fault"},
+		{name: "tuned budget", mode: "both", drain: 8, wantMode: "both"},
+		{name: "unknown mode", mode: "always", wantErr: true},
+		{name: "negative budget", mode: "fault", drain: -1, wantErr: true},
+		{name: "budget without mode", mode: "", drain: 8, wantErr: true},
+		{name: "negative budget while disabled", mode: "", drain: -1, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mode, drain, err := ReconfigOptions(tc.mode, tc.drain)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ReconfigOptions = (%q, %d), want error", mode, drain)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode != tc.wantMode || drain != tc.drain {
+				t.Fatalf("ReconfigOptions = (%q, %d), want (%q, %d)", mode, drain, tc.wantMode, tc.drain)
+			}
+		})
+	}
+}
+
 func TestParseTopology(t *testing.T) {
 	tests := []struct {
 		in      string

@@ -50,6 +50,17 @@ const (
 	TopologyFullMesh = "fullmesh"
 )
 
+// Reconfiguration modes for Config.Reconfig.
+const (
+	// ReconfigOnFault reconfigures when a dynamic fault lands (FailNow).
+	ReconfigOnFault = "fault"
+	// ReconfigOnDeadlock reconfigures when the recovery supervisor confirms
+	// a deadlock (after the victim purge).
+	ReconfigOnDeadlock = "deadlock"
+	// ReconfigBoth reconfigures on either trigger.
+	ReconfigBoth = "both"
+)
+
 // Config assembles a Machine.
 type Config struct {
 	// Shape is the lattice shape (n1, ..., nd). Required.
@@ -86,6 +97,16 @@ type Config struct {
 	// channel must be the unified D-XB = S-XB scheme) and PivotLastDim /
 	// NaiveBroadcast are rejected — each would break escape acyclicity.
 	Adaptive bool
+	// Reconfig selects when online routing-table reconfiguration may run
+	// (internal/reconfig, DESIGN.md §13): "" disables it, ReconfigOnFault
+	// reconfigures when a dynamic fault lands (FailNow), ReconfigOnDeadlock
+	// when a confirmed deadlock is recovered, ReconfigBoth on either
+	// trigger. mdx-only; incompatible with Adaptive/VCs, PivotLastDim and
+	// NaiveBroadcast (none of those produce the static certificates the
+	// swap protocol requires). The machine only maintains the epoch-tagged
+	// generation machinery; the decision procedure itself is driven by a
+	// reconfig.Manager installed via SetReconfigurer.
+	Reconfig string
 	// Engine overrides kernel parameters; the zero value selects
 	// engine.DefaultConfig.
 	Engine engine.Config
@@ -138,6 +159,17 @@ type Machine struct {
 	latency    stats.Latency
 	bcastLat   stats.Latency
 
+	// Online-reconfiguration state (Config.Reconfig != ""): epoch is the
+	// stamp new packets inject under, gens the live routing-table
+	// generations (oldest first), separateNow whether recompiles still use
+	// the configured separate D-XB (cleared when a reconfiguration degrades
+	// to the unified scheme), reconfigure the installed manager hook FailNow
+	// defers to instead of rebuilding the policy itself.
+	epoch       uint64
+	gens        []routing.Generation
+	separateNow bool
+	reconfigure func(f fault.Fault) error
+
 	// OnDeliver, if set, observes deliveries as they happen (in addition to
 	// the recorded slice).
 	OnDeliver func(Delivery)
@@ -185,6 +217,23 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// separate D-XB applies only to the static comparison runs.
 		cfg.DXB = cfg.SXB
 	}
+	switch cfg.Reconfig {
+	case "", ReconfigOnFault, ReconfigOnDeadlock, ReconfigBoth:
+	default:
+		return nil, fmt.Errorf("core: unknown reconfig mode %q (want %q, %q or %q)", cfg.Reconfig, ReconfigOnFault, ReconfigOnDeadlock, ReconfigBoth)
+	}
+	if cfg.Reconfig != "" {
+		switch {
+		case cfg.Topology != "" && cfg.Topology != TopologyMDX:
+			return nil, fmt.Errorf("core: reconfiguration is mdx-only (topology %q)", cfg.Topology)
+		case cfg.VCs > 1 || cfg.Adaptive:
+			return nil, fmt.Errorf("core: reconfiguration is incompatible with virtual channels (the adaptive wrapper has no static certificate to recompile)")
+		case cfg.PivotLastDim:
+			return nil, fmt.Errorf("core: reconfiguration is incompatible with PivotLastDim (pivot turns admit no acyclicity certificate)")
+		case cfg.NaiveBroadcast:
+			return nil, fmt.Errorf("core: reconfiguration is incompatible with NaiveBroadcast (unserialized fans admit no acyclicity certificate)")
+		}
+	}
 	switch cfg.Topology {
 	case "", TopologyMDX:
 		cfg.Topology = TopologyMDX
@@ -208,10 +257,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 
 	m := &Machine{
-		cfg:    cfg,
-		shape:  cfg.Shape,
-		eng:    engine.New(ecfg),
-		faults: fault.NewSet(cfg.Shape),
+		cfg:         cfg,
+		shape:       cfg.Shape,
+		eng:         engine.New(ecfg),
+		faults:      fault.NewSet(cfg.Shape),
+		separateNow: cfg.DXBSeparate,
 	}
 	if cfg.Topology == TopologyMDX {
 		m.net = mdxb.BuildVC(m.eng, cfg.Shape, cfg.VCs)
@@ -261,14 +311,7 @@ func (m *Machine) rebuildPolicy() error {
 		m.tnet.SetScheme(s)
 		return nil
 	}
-	p, err := routing.New(routing.Config{
-		Shape:          m.shape,
-		SXB:            m.cfg.SXB,
-		DXB:            m.cfg.DXB,
-		Faults:         m.faults,
-		NaiveBroadcast: m.cfg.NaiveBroadcast,
-		PivotLastDim:   m.cfg.PivotLastDim,
-	})
+	p, err := routing.New(m.RoutingConfig(m.separateNow))
 	if err != nil {
 		return err
 	}
@@ -284,6 +327,18 @@ func (m *Machine) rebuildPolicy() error {
 		m.net.SetPolicy(vp)
 		return nil
 	}
+	if m.cfg.Reconfig != "" {
+		// Collapse to a single generation covering every epoch: all traffic,
+		// old and new, routes under the freshly rebuilt table — exactly the
+		// pre-reconfiguration (PR 5) swap semantics. CommitGeneration is the
+		// only path that preserves old tables for in-flight packets.
+		gen, err := m.makeGeneration(0, p, m.separateNow)
+		if err != nil {
+			return err
+		}
+		m.gens = []routing.Generation{gen}
+		return m.installGenerations()
+	}
 	if m.useTables {
 		tp, err := routing.Compile(p)
 		if err != nil {
@@ -295,6 +350,181 @@ func (m *Machine) rebuildPolicy() error {
 	}
 	return nil
 }
+
+// RoutingConfig returns the routing.Config the machine compiles its crossbar
+// policy from, with the separate-D-XB variant selected by the flag (false
+// ties the detour crossbar to the S-XB — the paper's unified deadlock-free
+// scheme). The reconfiguration manager uses it to build candidate tables
+// against the live fault set.
+func (m *Machine) RoutingConfig(separate bool) routing.Config {
+	dxb := m.cfg.SXB
+	if separate {
+		dxb = m.cfg.DXB
+	}
+	return routing.Config{
+		Shape:          m.shape,
+		SXB:            m.cfg.SXB,
+		DXB:            dxb,
+		Faults:         m.faults,
+		NaiveBroadcast: m.cfg.NaiveBroadcast,
+		PivotLastDim:   m.cfg.PivotLastDim,
+	}
+}
+
+// makeGeneration wraps a policy as a routing generation, compiling it to
+// lookup tables when the machine runs compiled.
+func (m *Machine) makeGeneration(boundary uint64, p *routing.Policy, separate bool) (routing.Generation, error) {
+	g := routing.Generation{
+		Boundary: boundary,
+		SEff:     p.EffectiveSXB().Fixed,
+		DEff:     p.EffectiveDXB().Fixed,
+		Separate: separate,
+		Delegate: p,
+	}
+	if m.useTables {
+		tp, err := routing.Compile(p)
+		if err != nil {
+			return routing.Generation{}, err
+		}
+		g.Delegate = tp
+	}
+	return g, nil
+}
+
+// pinnedGeneration reconstructs a generation's policy against the live fault
+// set with its recorded effective lines pinned (no re-substitution): the
+// decisions its in-flight packets will actually face.
+func (m *Machine) pinnedGeneration(g routing.Generation) (*routing.Policy, error) {
+	return routing.NewPinned(m.RoutingConfig(g.Separate), g.SEff, g.DEff)
+}
+
+// installGenerations points the switches at the current generation list.
+func (m *Machine) installGenerations() error {
+	ep, err := routing.NewEpochPolicy(m.gens)
+	if err != nil {
+		return err
+	}
+	m.net.SetPolicy(ep)
+	return nil
+}
+
+// refreshRetiredGenerations rebuilds every non-latest generation's delegate
+// from its pinned reconstruction, so retired tables reflect the live fault
+// set (an old-generation packet meeting a newer fault must detour, not route
+// into the dead switch). A no-op for algorithmic delegates, which share the
+// machine's fault set by reference; essential for compiled tables, which
+// freeze fault bits at compile time.
+func (m *Machine) refreshRetiredGenerations() error {
+	for i := range m.gens[:len(m.gens)-1] {
+		p, err := m.pinnedGeneration(m.gens[i])
+		if err != nil {
+			return err
+		}
+		g, err := m.makeGeneration(m.gens[i].Boundary, p, m.gens[i].Separate)
+		if err != nil {
+			return err
+		}
+		m.gens[i] = g
+	}
+	return nil
+}
+
+// CommitGeneration installs a reconfigured routing policy as a new
+// generation: the epoch counter advances, packets injected from now on stamp
+// the new epoch and route under p, and in-flight packets keep routing under
+// the generations they were injected into. Generations with no surviving
+// in-flight packets are garbage-collected; surviving retired generations are
+// refreshed against the live fault set. separate records whether p is the
+// separate-D-XB variant — committing a unified table degrades every later
+// recompile to the unified scheme.
+func (m *Machine) CommitGeneration(p *routing.Policy, separate bool) error {
+	if m.cfg.Reconfig == "" {
+		return fmt.Errorf("core: CommitGeneration needs Config.Reconfig")
+	}
+	gen, err := m.makeGeneration(m.epoch+1, p, separate)
+	if err != nil {
+		return err
+	}
+	m.epoch++
+	m.gens = append(m.gens, gen)
+	m.policy = p
+	if !separate {
+		m.separateNow = false
+	}
+	m.gcGenerations()
+	if err := m.refreshRetiredGenerations(); err != nil {
+		return err
+	}
+	return m.installGenerations()
+}
+
+// gcGenerations drops generations no in-flight packet can still map to. The
+// latest generation always survives; packets whose header flit is no longer
+// locatable could belong to any epoch, so any of them pins every generation.
+func (m *Machine) gcGenerations() {
+	hdrs, unknown := m.eng.InFlightHeaders()
+	if len(unknown) > 0 {
+		return
+	}
+	live := make([]bool, len(m.gens))
+	live[len(m.gens)-1] = true
+	for _, h := range hdrs {
+		live[m.generationIndex(h.Epoch)] = true
+	}
+	kept := m.gens[:0]
+	for i, g := range m.gens {
+		if live[i] {
+			kept = append(kept, g)
+		}
+	}
+	// The first surviving generation takes over every epoch below it (no
+	// packets with those stamps remain).
+	kept[0].Boundary = 0
+	m.gens = kept
+}
+
+// generationIndex returns the index of the generation serving an epoch
+// stamp: the last whose boundary does not exceed it.
+func (m *Machine) generationIndex(epoch uint64) int {
+	idx := 0
+	for i, g := range m.gens {
+		if g.Boundary > epoch {
+			break
+		}
+		idx = i
+	}
+	return idx
+}
+
+// Epoch reports the stamp packets inject under right now (0 until the first
+// committed reconfiguration).
+func (m *Machine) Epoch() uint64 { return m.epoch }
+
+// ReconfigMode reports the Config.Reconfig trigger mode ("" when online
+// reconfiguration is off).
+func (m *Machine) ReconfigMode() string { return m.cfg.Reconfig }
+
+// Generations returns the live routing-table generations, oldest first
+// (empty when reconfiguration is off).
+func (m *Machine) Generations() []routing.Generation { return m.gens }
+
+// VariantSeparate reports whether recompiles still target the configured
+// separate D-XB (false once a reconfiguration degraded to the unified
+// scheme, or when the machine was never configured separate).
+func (m *Machine) VariantSeparate() bool { return m.separateNow }
+
+// RebuildPolicy recompiles the routing layer for the current variant under
+// the live fault set and swaps it in for *all* traffic — the PR 5 fallback
+// the reconfiguration manager degrades to when no admissible transition
+// exists. Any deadlock the unprotected swap window produces is the recovery
+// supervisor's to resolve.
+func (m *Machine) RebuildPolicy() error { return m.rebuildPolicy() }
+
+// SetReconfigurer installs the reconfiguration manager's fault hook: when
+// set, FailNow defers the policy update for router/crossbar faults to it
+// instead of rebuilding in place. The hook runs after the fault set is
+// updated and the dead switch's packets are purged.
+func (m *Machine) SetReconfigurer(fn func(f fault.Fault) error) { m.reconfigure = fn }
 
 // UseCompiledTables switches the switches' forwarding decisions to the
 // compiled lookup-table implementation (routing.Compile) — the hardware
@@ -414,6 +644,10 @@ type Lost struct {
 	// AlreadyDropped marks a packet the routing layer had already dropped
 	// (and counted) before the fault wounded its remains.
 	AlreadyDropped bool
+	// Drained marks a packet sacrificed by the reconfiguration manager's
+	// bounded drain (not killed by the fault itself); the inject layer
+	// accounts these separately from fault casualties and recovery victims.
+	Drained bool
 }
 
 // FailNow marks a switch faulty *while traffic is in flight* — the dynamic
@@ -449,7 +683,11 @@ func (m *Machine) FailNow(f fault.Fault) ([]Lost, error) {
 		return nil, fmt.Errorf("core: unknown fault kind %d", f.Kind)
 	}
 	killed := m.eng.KillSwitch(node)
-	if err := m.rebuildPolicy(); err != nil {
+	if m.reconfigure != nil {
+		if err := m.reconfigure(f); err != nil {
+			return nil, err
+		}
+	} else if err := m.rebuildPolicy(); err != nil {
 		return nil, err
 	}
 	lost := make([]Lost, 0, len(killed))
@@ -537,7 +775,7 @@ func (m *Machine) sendPivot(src, dst geom.Coord, size int) (uint64, error) {
 		size = m.cfg.PacketSize
 	}
 	m.nextID++
-	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal}
+	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: mid, FinalDst: dst, TwoPhase: true, RC: flit.RCNormal, Epoch: m.epoch}
 	m.eng.InjectPacket(m.pe(src), h, size)
 	return m.nextID, nil
 }
@@ -564,7 +802,7 @@ func (m *Machine) send(src, dst geom.Coord, size int) (uint64, error) {
 		size = m.cfg.PacketSize
 	}
 	m.nextID++
-	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: dst, RC: flit.RCNormal}
+	h := &flit.Header{PacketID: m.nextID, Src: src, Dst: dst, RC: flit.RCNormal, Epoch: m.epoch}
 	m.eng.InjectPacket(m.pe(src), h, size)
 	return m.nextID, nil
 }
@@ -589,7 +827,7 @@ func (m *Machine) Broadcast(src geom.Coord, size int) (uint64, int, error) {
 	if m.cfg.NaiveBroadcast {
 		rc = flit.RCBroadcast
 	}
-	h := &flit.Header{PacketID: m.nextID, Src: src, BroadcastOrigin: src, RC: rc}
+	h := &flit.Header{PacketID: m.nextID, Src: src, BroadcastOrigin: src, RC: rc, Epoch: m.epoch}
 	m.eng.InjectPacket(m.net.PE(src), h, size)
 	return m.nextID, len(tree.Delivered), nil
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "sr2201/internal/flit"
+import (
+	"slices"
+
+	"sr2201/internal/flit"
+)
 
 // This file exposes read-only views of kernel state for the deadlock
 // analyzer (wait-for graph construction) and for tests.
@@ -123,6 +127,61 @@ func (e *Engine) BlockedPorts() []WaitInfo {
 		}
 	}
 	return out
+}
+
+// InFlightHeaders snapshots the header of every packet currently resident in
+// the network — source injection queues, input buffers, cut-through states,
+// receive states and link pipelines — deduplicated by packet ID and sorted
+// ascending. unknown lists the IDs (also ascending) of resident packets
+// whose header flit is nowhere to be found (body/tail remnants only);
+// callers that classify packets by header fields must treat those
+// conservatively. The reconfiguration layer uses this scan to decide which
+// routing-table generations still have packets routing under them. Call
+// between Steps (or from the PreCycle/PostCycle hooks), never from within a
+// phase.
+func (e *Engine) InFlightHeaders() (hdrs []*flit.Header, unknown []uint64) {
+	seen := map[uint64]*flit.Header{}
+	add := func(id uint64, h *flit.Header) {
+		if cur, ok := seen[id]; !ok || (cur == nil && h != nil) {
+			seen[id] = h
+		}
+	}
+	for _, nd := range e.nodes {
+		if nd.Kind == KindEndpoint && nd.InjectQueueLen() > 0 {
+			for _, f := range nd.pendingInject() {
+				add(f.PacketID, f.Header)
+			}
+		}
+		for _, in := range nd.In {
+			for i := range in.buf {
+				add(in.buf[i].PacketID, in.buf[i].Header)
+			}
+			if rs := in.route; rs != nil && rs.header != nil {
+				add(rs.header.PacketID, rs.header)
+			}
+			if in.recvHeader != nil {
+				add(in.recvHeader.PacketID, in.recvHeader)
+			}
+		}
+	}
+	for _, l := range e.links {
+		for i := range l.pipe {
+			add(l.pipe[i].f.PacketID, l.pipe[i].f.Header)
+		}
+	}
+	ids := make([]uint64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		if h := seen[id]; h != nil {
+			hdrs = append(hdrs, h)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	return hdrs, unknown
 }
 
 // StalledEndpoints returns endpoints with queued flits that cannot inject

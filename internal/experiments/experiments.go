@@ -139,14 +139,17 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns every registered experiment, ordered by series (E, A, F, V, R)
-// then numerically within the series.
+// All returns every registered experiment, ordered by series (E, A, F, V, R,
+// H, DR) then numerically within the series.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
 		out = append(out, e)
 	}
 	rank := func(id string) int {
+		if strings.HasPrefix(id, "DR") {
+			return 6
+		}
 		switch id[0] {
 		case 'E':
 			return 0
@@ -161,18 +164,26 @@ func All() []Experiment {
 		case 'H':
 			return 5
 		default:
-			return 6
+			return 7
 		}
+	}
+	// num parses the numeric suffix after the alphabetic series prefix
+	// ("V3" -> 3, "DR12" -> 12).
+	num := func(id string) int {
+		i := 0
+		for i < len(id) && (id[i] < '0' || id[i] > '9') {
+			i++
+		}
+		var n int
+		fmt.Sscanf(id[i:], "%d", &n)
+		return n
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].ID, out[j].ID
 		if rank(a) != rank(b) {
 			return rank(a) < rank(b)
 		}
-		var an, bn int
-		fmt.Sscanf(a[1:], "%d", &an)
-		fmt.Sscanf(b[1:], "%d", &bn)
-		if an != bn {
+		if an, bn := num(a), num(b); an != bn {
 			return an < bn
 		}
 		return a < b

@@ -33,7 +33,7 @@ func reportDigest(t *testing.T, id string, opt Options) uint64 {
 }
 
 func TestGoldenDeterminismAcrossRepeats(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3", "V2", "V3"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3", "V2", "V3", "V4", "DR1", "DR2"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			opt := Options{Quick: true, Parallel: 1}
@@ -46,7 +46,7 @@ func TestGoldenDeterminismAcrossRepeats(t *testing.T) {
 }
 
 func TestGoldenDeterminismAcrossParallelism(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3", "V2", "V3"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "F3", "R1", "R2", "H1", "H2", "H3", "V2", "V3", "V4", "DR1", "DR2"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			serial := reportDigest(t, id, Options{Quick: true, Parallel: 1})

@@ -21,6 +21,7 @@ import (
 func init() {
 	register(Experiment{ID: "V2", Title: "Escape-VC adaptive routing defuses the Fig. 9 scenario", Paper: "Fig. 9 + VC extension", Run: runV2})
 	register(Experiment{ID: "V3", Title: "Single-fault availability map under adaptive routing", Paper: "Sec. 4 + VC extension", Run: runV3})
+	register(Experiment{ID: "V4", Title: "Single-fault availability map at four virtual channels", Paper: "Sec. 4 + VC extension", Run: runV4})
 }
 
 // adaptiveFig9 is the Fig. 9 workload — preset router fault, detouring
@@ -101,8 +102,8 @@ func runV2(opt Options) (*Report, error) {
 }
 
 // v3Config is the F2-style exhaustive single-fault campaign, optionally on
-// the adaptive machine.
-func v3Config(opt Options, adaptive bool) campaign.Config {
+// the adaptive machine with vcs lanes per wire (0 = the static machine).
+func v3Config(opt Options, vcs int) campaign.Config {
 	cfg := campaign.Config{
 		Shape:    geom.MustShape(6, 6),
 		Epochs:   []int64{8, 40},
@@ -124,11 +125,31 @@ func v3Config(opt Options, adaptive bool) campaign.Config {
 		cfg.Epochs = []int64{12}
 		cfg.Patterns = []campaign.Pattern{campaign.Shift(5)}
 	}
-	if adaptive {
-		cfg.VCs = 2
+	if vcs > 0 {
+		cfg.VCs = vcs
 		cfg.Adaptive = true
 	}
 	return cfg
+}
+
+// vcAudit applies the V-series cleanliness checks to one sweep: every cell
+// drains, refusals match the static post-fault prediction, and losses stay
+// exactly the documented ones.
+func vcAudit(res *campaign.Result) (undrained, unpredicted, undocumented int) {
+	for _, c := range res.Cells {
+		if !c.Drained {
+			undrained++
+		}
+		if !c.UnreachableAsPredicted {
+			unpredicted++
+		}
+		st := c.Stats
+		if st.Duplicates != 0 || st.LostExhausted != 0 || st.LostUntraceable != 0 ||
+			st.DropsOther != 0 || c.Delivered+finalLosses(st) != c.Accepted {
+			undocumented++
+		}
+	}
+	return
 }
 
 // runV3 reruns the exhaustive single-fault availability map (F2) on the
@@ -141,25 +162,8 @@ func v3Config(opt Options, adaptive bool) campaign.Config {
 func runV3(opt Options) (*Report, error) {
 	r := &Report{ID: "V3", Title: "Single-fault availability map under adaptive routing", Paper: "Sec. 4 + VC extension"}
 
-	audit := func(res *campaign.Result) (undrained, unpredicted, undocumented int) {
-		for _, c := range res.Cells {
-			if !c.Drained {
-				undrained++
-			}
-			if !c.UnreachableAsPredicted {
-				unpredicted++
-			}
-			st := c.Stats
-			if st.Duplicates != 0 || st.LostExhausted != 0 || st.LostUntraceable != 0 ||
-				st.DropsOther != 0 || c.Delivered+finalLosses(st) != c.Accepted {
-				undocumented++
-			}
-		}
-		return
-	}
-
-	acfg := v3Config(opt, true)
-	static, err := campaign.Run(v3Config(opt, false))
+	acfg := v3Config(opt, 2)
+	static, err := campaign.Run(v3Config(opt, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +171,8 @@ func runV3(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sUndrained, sUnpred, sUndoc := audit(static)
-	aUndrained, aUnpred, aUndoc := audit(adaptive)
+	sUndrained, sUnpred, sUndoc := vcAudit(static)
+	aUndrained, aUnpred, aUndoc := vcAudit(adaptive)
 
 	var sCycles, aCycles int64
 	for _, c := range static.Cells {
@@ -208,5 +212,69 @@ func runV3(opt Options) (*Report, error) {
 		len(adaptive.Cells), adaptive.Deadlocks(), adaptive.Stalls(), aUndrained, aUnpred, aUndoc)
 	r.Notef("fault-free probe: %d of %d deliveries took an adaptive lane; drain time %d vs static sweep total %d / adaptive %d",
 		probeAdaptive, probe.Delivered, probe.EndCycle, sCycles, aCycles)
+	return r, nil
+}
+
+// runV4 reruns the exhaustive single-fault availability map with the lane
+// depth doubled to four virtual channels per wire, against the two-lane
+// machine of V3 as control. Deeper lanes widen the adaptive choice set —
+// three adaptive lanes over one escape — without touching the certified
+// escape discipline, so the map must stay exactly as clean as V3's. Shape
+// criterion: both sweeps finish with zero deadlocks and zero stalls, every
+// cell drains, every refusal matches the static post-fault prediction,
+// losses stay exactly the documented ones, and the fault-free probe still
+// routes real traffic through the adaptive lanes at depth four.
+func runV4(opt Options) (*Report, error) {
+	r := &Report{ID: "V4", Title: "Single-fault availability map at four virtual channels", Paper: "Sec. 4 + VC extension"}
+
+	qcfg := v3Config(opt, 4)
+	two, err := campaign.Run(v3Config(opt, 2))
+	if err != nil {
+		return nil, err
+	}
+	four, err := campaign.Run(qcfg)
+	if err != nil {
+		return nil, err
+	}
+	tUndrained, tUnpred, tUndoc := vcAudit(two)
+	fUndrained, fUnpred, fUndoc := vcAudit(four)
+
+	var tCycles, fCycles int64
+	for _, c := range two.Cells {
+		tCycles += c.EndCycle
+	}
+	for _, c := range four.Cells {
+		fCycles += c.EndCycle
+	}
+
+	tbl := stats.NewTable("V4 exhaustive single-fault map: adaptive vc=2 vs vc=4",
+		"design", "cells", "deadlocks", "stalls", "undrained", "off-prediction", "undocumented", "total cycles")
+	tbl.AddRow("adaptive vc=2", len(two.Cells), two.Deadlocks(), two.Stalls(), tUndrained, tUnpred, tUndoc, tCycles)
+	tbl.AddRow("adaptive vc=4", len(four.Cells), four.Deadlocks(), four.Stalls(), fUndrained, fUnpred, fUndoc, fCycles)
+	r.Tables = append(r.Tables, tbl)
+
+	// Fault-free probe at depth four: the extra lanes must carry traffic.
+	probeSpec := campaign.Spec{
+		Shape:          qcfg.Shape,
+		Pattern:        qcfg.Patterns[0],
+		Waves:          2,
+		Gap:            24,
+		VCs:            4,
+		Adaptive:       true,
+		KeepDeliveries: true,
+	}
+	probe, err := campaign.RunCell(probeSpec)
+	if err != nil {
+		return nil, err
+	}
+	probeAdaptive := adaptiveDeliveries(probe)
+
+	r.Pass = two.Deadlocks() == 0 && two.Stalls() == 0 && tUndrained == 0 && tUnpred == 0 && tUndoc == 0 &&
+		four.Deadlocks() == 0 && four.Stalls() == 0 && fUndrained == 0 && fUnpred == 0 && fUndoc == 0 &&
+		probe.Drained && probe.Delivered == probe.Accepted && probeAdaptive > 0
+	r.Notef("%d cells per depth: vc=4 sweep %d deadlocks, %d stalls, %d undrained, %d off-prediction, %d undocumented",
+		len(four.Cells), four.Deadlocks(), four.Stalls(), fUndrained, fUnpred, fUndoc)
+	r.Notef("fault-free probe at vc=4: %d of %d deliveries took an adaptive lane; drain time %d vs sweep totals vc=2 %d / vc=4 %d",
+		probeAdaptive, probe.Delivered, probe.EndCycle, tCycles, fCycles)
 	return r, nil
 }

@@ -83,6 +83,12 @@ type Header struct {
 	// AdaptiveHops > 0 strayed from the dimension-ordered escape path at
 	// least once. Always 0 when the machine runs without virtual channels.
 	AdaptiveHops int
+	// Epoch is the routing-table generation the packet was injected under
+	// (core's online-reconfiguration counter). Every routing decision for
+	// the packet consults the table generation whose boundary covers this
+	// stamp, so an in-flight packet keeps its injection-time table across a
+	// live reconfiguration. Always 0 when reconfiguration is off.
+	Epoch uint64
 }
 
 // Clone returns an independent copy of the header, used when a switch must

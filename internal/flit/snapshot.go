@@ -8,8 +8,9 @@ import (
 // Snapshot codecs for flits and headers. The field order here is part of the
 // checkpoint format (see the version-bump rule in package checkpoint):
 // reordering or retyping any field requires a version bump. Version 2
-// appended AdaptiveHops; decoding is gated on the container version so v1
-// snapshots (which cannot contain the field) still read cleanly.
+// appended AdaptiveHops and version 3 appended Epoch; decoding is gated on
+// the container version so older snapshots (which cannot contain the
+// fields) still read cleanly.
 
 // EncodeHeader appends every routing field of a packet header.
 func EncodeHeader(e *checkpoint.Encoder, h *Header) {
@@ -24,6 +25,7 @@ func EncodeHeader(e *checkpoint.Encoder, h *Header) {
 	e.Bool(h.TwoPhase)
 	geom.EncodeCoord(e, h.FinalDst)
 	e.Int(int64(h.AdaptiveHops))
+	e.Uint(h.Epoch)
 }
 
 // DecodeHeader reads a header written by EncodeHeader into a fresh Header.
@@ -41,6 +43,9 @@ func DecodeHeader(d *checkpoint.Decoder) *Header {
 	h.FinalDst = geom.DecodeCoord(d)
 	if d.Version() >= 2 {
 		h.AdaptiveHops = d.IntAsInt()
+	}
+	if d.Version() >= 3 {
+		h.Epoch = d.Uint()
 	}
 	return h
 }

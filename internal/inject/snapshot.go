@@ -144,6 +144,7 @@ func (inj *Injector) EncodeState(w *checkpoint.Writer) {
 	} {
 		st.Int(int64(v))
 	}
+	st.Int(int64(inj.stats.ReconfigDrained)) // appended in format version 3
 
 	ca := w.Section(secInjectCasualties)
 	ca.Uint(uint64(len(inj.casualties)))
@@ -249,6 +250,9 @@ func (inj *Injector) DecodeState(r *checkpoint.Reader) error {
 		&stats.LostUntraceable, &stats.Victims,
 	} {
 		*p = st.IntAsInt()
+	}
+	if st.Version() >= 3 {
+		stats.ReconfigDrained = st.IntAsInt()
 	}
 	if err := st.Finish(); err != nil {
 		return err

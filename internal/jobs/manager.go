@@ -31,14 +31,21 @@ func (s Status) terminal() bool {
 // exactly one per event within a stream.
 type Event struct {
 	Seq   int64  `json:"seq"`
-	Type  string `json:"type"` // queued | started | progress | recovery | done | failed | canceled
+	Type  string `json:"type"` // queued | started | progress | recovery | reconfig | done | failed | canceled
 	Cells int64  `json:"cells,omitempty"`
 	// Cycles is the cumulative simulated cycles retired by the execution.
 	Cycles int64 `json:"cycles,omitempty"`
 	// Recoveries is the cumulative deadlock recoveries taken by the
 	// liveness layer across the execution.
-	Recoveries int64  `json:"recoveries,omitempty"`
-	Error      string `json:"error,omitempty"`
+	Recoveries int64 `json:"recoveries,omitempty"`
+	// Reconfigured is the cumulative committed online reconfigurations (hot
+	// swaps plus bounded drains), ReconfigDrained the in-flight packets those
+	// drains purged, and ReconfigFellBack the attempts that degraded to
+	// rebuild-in-place.
+	Reconfigured     int64  `json:"reconfigured,omitempty"`
+	ReconfigDrained  int64  `json:"reconfig_drained,omitempty"`
+	ReconfigFellBack int64  `json:"reconfig_fellback,omitempty"`
+	Error            string `json:"error,omitempty"`
 }
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -58,17 +65,20 @@ type execution struct {
 	canonical string
 	spec      Spec
 
-	mu         sync.Mutex
-	state      Status
-	events     []Event
-	notify     chan struct{} // closed and renewed on every append
-	artifact   []byte
-	err        error
-	cancel     context.CancelFunc
-	attached   int // jobs still wanting this run
-	cells      int64
-	cycles     int64
-	recoveries int64
+	mu                sync.Mutex
+	state             Status
+	events            []Event
+	notify            chan struct{} // closed and renewed on every append
+	artifact          []byte
+	err               error
+	cancel            context.CancelFunc
+	attached          int // jobs still wanting this run
+	cells             int64
+	cycles            int64
+	recoveries        int64
+	reconfigs         int64
+	reconfigDrained   int64
+	reconfigFallbacks int64
 }
 
 // append adds one event (and optional state change) under ex.mu and wakes
@@ -87,6 +97,9 @@ func (ex *execution) appendLocked(state Status, ev Event) {
 	ev.Cells = ex.cells
 	ev.Cycles = ex.cycles
 	ev.Recoveries = ex.recoveries
+	ev.Reconfigured = ex.reconfigs
+	ev.ReconfigDrained = ex.reconfigDrained
+	ev.ReconfigFellBack = ex.reconfigFallbacks
 	ex.events = append(ex.events, ev)
 	close(ex.notify)
 	ex.notify = make(chan struct{})
@@ -185,6 +198,9 @@ type Manager struct {
 	totalCells      int64
 	totalCycles     int64
 	totalRecoveries int64
+	totalReconfigs  int64
+	totalRecfgDrain int64
+	totalRecfgFall  int64
 	durations       stats.Latency
 }
 
@@ -394,16 +410,23 @@ func (m *Manager) runExecution(ex *execution) {
 
 	start := time.Now()
 	var lastEmit time.Time
-	progress := func(cells, cycles, recoveries int64) {
+	progress := func(d progressDelta) {
 		ex.mu.Lock()
-		ex.cells += cells
-		ex.cycles += cycles
-		ex.recoveries += recoveries
+		ex.cells += d.cells
+		ex.cycles += d.cycles
+		ex.recoveries += d.recoveries
+		ex.reconfigs += d.reconfigs
+		ex.reconfigDrained += d.reconfigDrained
+		ex.reconfigFallbacks += d.reconfigFallbacks
 		switch {
-		case recoveries > 0:
+		case d.recoveries > 0:
 			// Recovery events are rare and diagnostic — emit unthrottled so
 			// a stream consumer sees every liveness intervention.
 			ex.appendLocked("", Event{Type: "recovery"})
+		case d.reconfigs > 0 || d.reconfigFallbacks > 0:
+			// Reconfigurations likewise: every swap, drain or fallback is an
+			// event of its own.
+			ex.appendLocked("", Event{Type: "reconfig"})
 		case time.Since(lastEmit) >= 50*time.Millisecond:
 			// Throttle the stream: at most one progress event per 50ms keeps
 			// event logs bounded for big campaigns while staying live.
@@ -412,9 +435,12 @@ func (m *Manager) runExecution(ex *execution) {
 		}
 		ex.mu.Unlock()
 		m.mu.Lock()
-		m.totalCells += cells
-		m.totalCycles += cycles
-		m.totalRecoveries += recoveries
+		m.totalCells += d.cells
+		m.totalCycles += d.cycles
+		m.totalRecoveries += d.recoveries
+		m.totalReconfigs += d.reconfigs
+		m.totalRecfgDrain += d.reconfigDrained
+		m.totalRecfgFall += d.reconfigFallbacks
 		m.mu.Unlock()
 	}
 
@@ -534,6 +560,13 @@ type JobView struct {
 	// Recoveries is the count of deadlock recoveries the liveness layer took
 	// during the execution.
 	Recoveries int64 `json:"recoveries,omitempty"`
+	// Reconfigured is the count of committed online reconfigurations (hot
+	// swaps plus bounded drains), ReconfigDrained the in-flight packets those
+	// drains purged, and ReconfigFellBack the attempts that degraded to
+	// rebuild-in-place.
+	Reconfigured     int64 `json:"reconfigured,omitempty"`
+	ReconfigDrained  int64 `json:"reconfig_drained,omitempty"`
+	ReconfigFellBack int64 `json:"reconfig_fellback,omitempty"`
 	// ArtifactBytes is the artifact length once the job is terminal.
 	ArtifactBytes int    `json:"artifact_bytes,omitempty"`
 	Error         string `json:"error,omitempty"`
@@ -562,6 +595,7 @@ func (m *Manager) Lookup(id string) (JobView, error) {
 	ex := job.ex
 	ex.mu.Lock()
 	v.Cells, v.Cycles, v.Recoveries = ex.cells, ex.cycles, ex.recoveries
+	v.Reconfigured, v.ReconfigDrained, v.ReconfigFellBack = ex.reconfigs, ex.reconfigDrained, ex.reconfigFallbacks
 	v.ArtifactBytes = len(ex.artifact)
 	if ex.err != nil {
 		v.Error = ex.err.Error()
@@ -666,6 +700,13 @@ type Metrics struct {
 	// RecoveriesDone is the total deadlock recoveries taken by the liveness
 	// layer across all executions since the manager started.
 	RecoveriesDone int64 `json:"recoveries_done"`
+	// ReconfiguredDone is the total committed online reconfigurations (hot
+	// swaps plus bounded drains) across all executions since the manager
+	// started; ReconfigDrainedDone the packets transition drains purged and
+	// ReconfigFellBackDone the attempts that degraded to rebuild-in-place.
+	ReconfiguredDone     int64 `json:"reconfigured_done"`
+	ReconfigDrainedDone  int64 `json:"reconfig_drained_done"`
+	ReconfigFellBackDone int64 `json:"reconfig_fellback_done"`
 
 	// Job wall-clock duration summary (milliseconds), nearest-rank
 	// percentiles via stats.Latency.
@@ -681,21 +722,24 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mt := Metrics{
-		QueueDepth:     len(m.queue),
-		QueueCap:       cap(m.queue),
-		Workers:        m.cfg.Workers,
-		Parallel:       m.cfg.Parallel,
-		Submitted:      m.submitted,
-		Deduped:        m.dedupHits,
-		Executions:     m.executions,
-		Running:        m.running,
-		Queued:         m.queuedCount,
-		Done:           m.done,
-		Failed:         m.failed,
-		CanceledExs:    m.canceledEx,
-		CellsDone:      m.totalCells,
-		CyclesDone:     m.totalCycles,
-		RecoveriesDone: m.totalRecoveries,
+		QueueDepth:           len(m.queue),
+		QueueCap:             cap(m.queue),
+		Workers:              m.cfg.Workers,
+		Parallel:             m.cfg.Parallel,
+		Submitted:            m.submitted,
+		Deduped:              m.dedupHits,
+		Executions:           m.executions,
+		Running:              m.running,
+		Queued:               m.queuedCount,
+		Done:                 m.done,
+		Failed:               m.failed,
+		CanceledExs:          m.canceledEx,
+		CellsDone:            m.totalCells,
+		CyclesDone:           m.totalCycles,
+		RecoveriesDone:       m.totalRecoveries,
+		ReconfiguredDone:     m.totalReconfigs,
+		ReconfigDrainedDone:  m.totalRecfgDrain,
+		ReconfigFellBackDone: m.totalRecfgFall,
 	}
 	if m.submitted > 0 {
 		mt.CacheHitRate = float64(m.dedupHits) / float64(m.submitted)

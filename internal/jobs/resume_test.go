@@ -72,7 +72,7 @@ func TestRunSpecFaultResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := sweep.NewLimiter(1)
-	noop := func(int64, int64, int64) {}
+	noop := func(progressDelta) {}
 	want, err := runSpec(context.Background(), spec, budget, 1, noop, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -90,8 +90,8 @@ func TestRunSpecFaultResume(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	interrupted := false
-	_, err = runSpec(ctx, spec, budget, 1, func(cells, cycles, recoveries int64) {
-		if !interrupted && cycles > 0 {
+	_, err = runSpec(ctx, spec, budget, 1, func(d progressDelta) {
+		if !interrupted && d.cycles > 0 {
 			interrupted = true
 			cancel()
 		}

@@ -12,15 +12,35 @@ import (
 	"sr2201/internal/fault"
 	"sr2201/internal/geom"
 	"sr2201/internal/inject"
+	"sr2201/internal/reconfig"
 	"sr2201/internal/recovery"
 	"sr2201/internal/sweep"
 )
 
-// progressFn receives completed work increments from inside a run: sweep
-// cells finished, simulated cycles retired, and deadlock-recovery events
-// taken by the liveness layer. Calls arrive from worker goroutines; the
-// manager serializes them into the job's ordered event stream.
-type progressFn func(cells, cycles, recoveries int64)
+// progressDelta is one completed work increment reported from inside a run:
+// sweep cells finished, simulated cycles retired, deadlock recoveries taken
+// by the liveness layer, and online-reconfiguration outcomes (committed
+// swaps, packets purged by transition drains, attempts that fell back to
+// rebuild-in-place).
+type progressDelta struct {
+	cells, cycles, recoveries                     int64
+	reconfigs, reconfigDrained, reconfigFallbacks int64
+}
+
+// progressFn receives progress deltas. Calls arrive from worker goroutines;
+// the manager serializes them into the job's ordered event stream.
+type progressFn func(d progressDelta)
+
+// reconfigDelta maps one reconfiguration event onto its progress increment.
+func reconfigDelta(ev reconfig.Event) progressDelta {
+	d := progressDelta{reconfigDrained: int64(ev.Drained)}
+	if ev.Outcome == reconfig.OutcomeFallback {
+		d.reconfigFallbacks = 1
+	} else {
+		d.reconfigs = 1
+	}
+	return d
+}
 
 // execState is one execution's slice of the manager's state store: where
 // its checkpoints live and how often to write them. nil disables
@@ -68,7 +88,7 @@ func runExperiments(ctx context.Context, e *ExperimentsSpec, budget *sweep.Limit
 		Parallel: parallel,
 		Ctx:      ctx,
 		Budget:   budget,
-		OnCell:   func(cycles int64) { progress(1, cycles, 0) },
+		OnCell:   func(cycles int64) { progress(progressDelta{cells: 1, cycles: cycles}) },
 	}
 	var buf bytes.Buffer
 	failed := 0
@@ -128,29 +148,32 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 	var lastCycle int64
 	var buf bytes.Buffer
 	sspec := campaign.SingleSpec{
-		Shape:       shape,
-		Topology:    f.Topology,
-		Events:      events,
-		Pattern:     pat,
-		Waves:       f.Waves,
-		Gap:         f.Gap,
-		PacketSize:  f.PacketSize,
-		Horizon:     f.Horizon,
-		Inject:      f.Inject.options(),
-		Recovery:    f.Recovery.options(),
-		Preset:      presets,
-		Broadcasts:  bcasts,
-		SXB:         sxb,
-		DXB:         dxb,
-		DXBSeparate: f.Variant.DXBSeparate,
-		VCs:         f.Variant.VCs,
-		Adaptive:    f.Variant.Adaptive,
-		Shards:      f.Shards,
+		Shape:               shape,
+		Topology:            f.Topology,
+		Events:              events,
+		Pattern:             pat,
+		Waves:               f.Waves,
+		Gap:                 f.Gap,
+		PacketSize:          f.PacketSize,
+		Horizon:             f.Horizon,
+		Inject:              f.Inject.options(),
+		Recovery:            f.Recovery.options(),
+		Preset:              presets,
+		Broadcasts:          bcasts,
+		SXB:                 sxb,
+		DXB:                 dxb,
+		DXBSeparate:         f.Variant.DXBSeparate,
+		VCs:                 f.Variant.VCs,
+		Adaptive:            f.Variant.Adaptive,
+		Shards:              f.Shards,
+		Reconfig:            f.Reconfig.Mode,
+		ReconfigDrainBudget: f.Reconfig.DrainBudget,
 		OnCycle: func(c int64, _ engine.Counters) {
-			progress(0, c-lastCycle, 0)
+			progress(progressDelta{cycles: c - lastCycle})
 			lastCycle = c
 		},
-		OnRecovery: func(recovery.Event) { progress(0, 0, 1) },
+		OnRecovery: func(recovery.Event) { progress(progressDelta{recoveries: 1}) },
+		OnReconfig: func(ev reconfig.Event) { progress(reconfigDelta(ev)) },
 	}
 	r, err := campaign.NewSingleRun(sspec, &buf)
 	if err != nil {
@@ -160,9 +183,16 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 		if snap, ok := st.store.loadSingleSnap(st.hash); ok {
 			if err := r.Restore(snap); err == nil {
 				lastCycle = r.Cycle()
-				// Recoveries taken before the interruption were restored with
-				// the supervisor state, not replayed through OnRecovery.
-				progress(0, 0, int64(r.Recoveries()))
+				// Recoveries and reconfigurations taken before the
+				// interruption were restored with the supervisor and manager
+				// state, not replayed through the On* hooks.
+				rs := r.ReconfigStats()
+				progress(progressDelta{
+					recoveries:        int64(r.Recoveries()),
+					reconfigs:         int64(rs.HotSwaps + rs.Drains),
+					reconfigDrained:   int64(rs.DrainedPackets),
+					reconfigFallbacks: int64(rs.Fallbacks),
+				})
 			} else {
 				// A stale or corrupt snapshot (e.g. from an older binary) is
 				// not fatal — restart from cycle zero with a fresh writer.
@@ -199,7 +229,7 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 	}
 	// Settle the totals: OnCycle fires every progressInterval cycles, so a
 	// short run (or the tail of a long one) is reported here.
-	progress(1, outcome.Cycle-lastCycle, 0)
+	progress(progressDelta{cells: 1, cycles: outcome.Cycle - lastCycle})
 	if r.Livelocked() {
 		return buf.Bytes(), fmt.Errorf("run did not drain: %w at cycle %d (%d recoveries)",
 			recovery.ErrLivelock, outcome.Cycle, r.Recoveries())
@@ -240,29 +270,32 @@ func runCampaign(ctx context.Context, c *CampaignSpec, budget *sweep.Limiter, pa
 		return nil, err
 	}
 	cfg := campaign.Config{
-		Shape:       shape,
-		Topology:    c.Topology,
-		Epochs:      c.Epochs,
-		Patterns:    patterns,
-		Waves:       c.Waves,
-		Gap:         c.Gap,
-		PacketSize:  c.PacketSize,
-		Inject:      c.Inject.options(),
-		Recovery:    c.Recovery.options(),
-		Preset:      presets,
-		Broadcasts:  bcasts,
-		SXB:         sxb,
-		DXB:         dxb,
-		DXBSeparate: c.Variant.DXBSeparate,
-		VCs:         c.Variant.VCs,
-		Adaptive:    c.Variant.Adaptive,
-		Shards:      c.Shards,
-		Horizon:     c.Horizon,
-		Parallel:    parallel,
-		Ctx:         ctx,
-		Budget:      budget,
-		OnCell:      func(cycles int64) { progress(1, cycles, 0) },
-		OnRecovery:  func(recovery.Event) { progress(0, 0, 1) },
+		Shape:               shape,
+		Topology:            c.Topology,
+		Epochs:              c.Epochs,
+		Patterns:            patterns,
+		Waves:               c.Waves,
+		Gap:                 c.Gap,
+		PacketSize:          c.PacketSize,
+		Inject:              c.Inject.options(),
+		Recovery:            c.Recovery.options(),
+		Preset:              presets,
+		Broadcasts:          bcasts,
+		SXB:                 sxb,
+		DXB:                 dxb,
+		DXBSeparate:         c.Variant.DXBSeparate,
+		VCs:                 c.Variant.VCs,
+		Adaptive:            c.Variant.Adaptive,
+		Shards:              c.Shards,
+		Reconfig:            c.Reconfig.Mode,
+		ReconfigDrainBudget: c.Reconfig.DrainBudget,
+		Horizon:             c.Horizon,
+		Parallel:            parallel,
+		Ctx:                 ctx,
+		Budget:              budget,
+		OnCell:              func(cycles int64) { progress(progressDelta{cells: 1, cycles: cycles}) },
+		OnRecovery:          func(recovery.Event) { progress(progressDelta{recoveries: 1}) },
+		OnReconfig:          func(ev reconfig.Event) { progress(reconfigDelta(ev)) },
 	}
 	if st != nil {
 		store, err := campaign.OpenStore(st.store.cellsDir(st.hash))

@@ -304,6 +304,52 @@ func TestServerMetrics(t *testing.T) {
 	}
 }
 
+// TestServerReconfigObservability runs a fault job with online
+// reconfiguration enabled end to end over HTTP and asserts the committed
+// swap surfaces everywhere the recovery counters do: the job view, the
+// event stream (one unthrottled "reconfig" event per outcome) and /metrics.
+func TestServerReconfigObservability(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, Parallel: 1})
+	sub, _ := postJob(t, ts, `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:2,1@40"],"pattern":"shift+5","waves":2,"inject":{"retransmit":true},"reconfig":{"mode":"fault"}}}`)
+	v := waitHTTPStatus(t, ts, sub.ID, StatusDone)
+	if v.Reconfigured != 1 || v.ReconfigFellBack != 0 {
+		t.Errorf("job view reconfig counters = (%d committed, %d drained, %d fellback), want (1, 0, 0)",
+			v.Reconfigured, v.ReconfigDrained, v.ReconfigFellBack)
+	}
+	artifact := getArtifact(t, ts, sub.ID)
+	if !strings.Contains(artifact, "hot swap to epoch 1") {
+		t.Errorf("artifact missing the hot-swap line:\n%s", artifact)
+	}
+	evs := streamEvents(t, ts, sub.ID)
+	reconfigEvents := 0
+	for _, ev := range evs {
+		if ev.Type == "reconfig" {
+			reconfigEvents++
+			if ev.Reconfigured != 1 {
+				t.Errorf("reconfig event carries cumulative count %d, want 1", ev.Reconfigured)
+			}
+		}
+	}
+	if reconfigEvents != 1 {
+		t.Errorf("stream has %d reconfig events, want 1: %+v", reconfigEvents, evs)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mt map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mt); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := mt["reconfigured_done"].(float64); !ok || got != 1 {
+		t.Errorf("metrics[reconfigured_done] = %v, want 1", mt["reconfigured_done"])
+	}
+	if got, ok := mt["reconfig_fellback_done"].(float64); !ok || got != 0 {
+		t.Errorf("metrics[reconfig_fellback_done] = %v, want 0", mt["reconfig_fellback_done"])
+	}
+}
+
 func TestServerEventsResume(t *testing.T) {
 	ts, _ := newTestServer(t, Config{Workers: 1, Parallel: 1})
 	sub, _ := postJob(t, ts, `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"shift+5","waves":2,"inject":{"retransmit":true}}}`)

@@ -76,6 +76,17 @@ type RecoverySpec struct {
 	MaxRecoveries  int   `json:"max_recoveries,omitempty"`
 }
 
+// ReconfigSpec mirrors mdxfault's -reconfig flag pair: online routing-table
+// reconfiguration around mid-run faults (internal/reconfig). The zero value
+// disables it.
+type ReconfigSpec struct {
+	// Mode is the trigger: "fault", "deadlock" or "both" ("" = off).
+	Mode string `json:"mode,omitempty"`
+	// DrainBudget caps the in-flight packets a cyclic transition may purge
+	// before falling back to rebuild-in-place (0 = the package default).
+	DrainBudget int `json:"drain_budget,omitempty"`
+}
+
 // VariantSpec selects the crossbar design under test (mdxfault's -sxb /
 // -dxb / -dxb-separate / -vcs / -adaptive). The zero value is the default
 // deadlock-free D-XB = S-XB design on a single-lane network.
@@ -117,6 +128,7 @@ type FaultSpec struct {
 	Inject     InjectSpec   `json:"inject,omitempty"`
 	Recovery   RecoverySpec `json:"recovery,omitempty"`
 	Variant    VariantSpec  `json:"variant,omitempty"`
+	Reconfig   ReconfigSpec `json:"reconfig,omitempty"`
 	// Shards partitions the machine into spatial shards stepped concurrently
 	// (mdxfault -shards). A pure wall-clock knob: the artifact is
 	// byte-identical at every count, so it does NOT participate in dedup
@@ -143,6 +155,7 @@ type CampaignSpec struct {
 	Inject     InjectSpec   `json:"inject,omitempty"`
 	Recovery   RecoverySpec `json:"recovery,omitempty"`
 	Variant    VariantSpec  `json:"variant,omitempty"`
+	Reconfig   ReconfigSpec `json:"reconfig,omitempty"`
 	// Shards partitions each cell's machine into spatial shards (mdxfault
 	// -campaign -shards). Byte-identical output at every count.
 	Shards int `json:"shards,omitempty"`
@@ -212,6 +225,7 @@ const (
 	maxRecoverCap  = 64
 	maxShards      = 64
 	maxVCs         = 8
+	maxDrainBudget = 1 << 20
 )
 
 // normalizeShards checks a spec's shard count. More shards than the service
@@ -459,6 +473,30 @@ func (r *RecoverySpec) normalize(prefix string) error {
 	return nil
 }
 
+func (r *ReconfigSpec) normalize(prefix, topology string, variant *VariantSpec) error {
+	if r.DrainBudget > maxDrainBudget {
+		return fieldErrf(prefix+".reconfig.drain_budget", "%d exceeds maximum %d", r.DrainBudget, maxDrainBudget)
+	}
+	// cliutil rejects unknown modes, negative budgets and a budget without
+	// the mode — the same refusals the CLI flags produce.
+	mode, budget, err := cliutil.ReconfigOptions(r.Mode, r.DrainBudget)
+	if err != nil {
+		return fieldErrf(prefix+".reconfig", "%v", err)
+	}
+	if mode == "" {
+		r.Mode = ""
+		return nil
+	}
+	if topology != "" {
+		return fieldErrf(prefix+".reconfig.mode", "topology %q has no reconfigurable table generations (mdx-only)", topology)
+	}
+	if variant.VCs != 0 || variant.Adaptive {
+		return fieldErrf(prefix+".reconfig.mode", "reconfiguration needs the single-lane network (drop variant.vcs/adaptive)")
+	}
+	r.Mode, r.DrainBudget = mode, budget
+	return nil
+}
+
 func (v *VariantSpec) normalize(prefix string, shape geom.Shape, topology string) error {
 	v.SXB = strings.TrimSpace(v.SXB)
 	v.DXB = strings.TrimSpace(v.DXB)
@@ -581,6 +619,9 @@ func (f *FaultSpec) normalize() error {
 	if err := f.Variant.normalize("fault", shape, f.Topology); err != nil {
 		return err
 	}
+	if err := f.Reconfig.normalize("fault", f.Topology, &f.Variant); err != nil {
+		return err
+	}
 	if err := normalizeShards("fault.shards", f.Shards); err != nil {
 		return err
 	}
@@ -630,6 +671,9 @@ func (c *CampaignSpec) normalize() error {
 		return err
 	}
 	if err := c.Variant.normalize("campaign", shape, c.Topology); err != nil {
+		return err
+	}
+	if err := c.Reconfig.normalize("campaign", c.Topology, &c.Variant); err != nil {
 		return err
 	}
 	if err := normalizeShards("campaign.shards", c.Shards); err != nil {

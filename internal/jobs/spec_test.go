@@ -80,6 +80,12 @@ func TestDecodeSpecRejectionsNameTheField(t *testing.T) {
 		{"adaptive without lanes", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"variant":{"adaptive":true}}}`, "campaign.variant.vcs"},
 		{"adaptive on separate dxb", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","variant":{"vcs":2,"adaptive":true,"dxb_separate":true}}}`, "fault.variant.adaptive"},
 		{"vcs on direct-link topology", `{"kind":"fault","fault":{"shape":"4x4","topology":"hyperx","fails":["link:0,0-3,0@60"],"pattern":"reverse","variant":{"vcs":2,"adaptive":true}}}`, "fault.variant"},
+		{"unknown reconfig mode", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","reconfig":{"mode":"always"}}}`, "fault.reconfig"},
+		{"reconfig budget without mode", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","reconfig":{"drain_budget":8}}}`, "fault.reconfig"},
+		{"negative reconfig budget", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"reconfig":{"mode":"both","drain_budget":-1}}}`, "campaign.reconfig"},
+		{"reconfig budget over ceiling", `{"kind":"fault","fault":{"shape":"4x4","fails":["rtc:1,1@40"],"pattern":"reverse","reconfig":{"mode":"fault","drain_budget":1048577}}}`, "fault.reconfig.drain_budget"},
+		{"reconfig on direct-link topology", `{"kind":"fault","fault":{"shape":"4x4","topology":"hyperx","fails":["link:0,0-3,0@60"],"pattern":"reverse","reconfig":{"mode":"fault"}}}`, "fault.reconfig.mode"},
+		{"reconfig with adaptive vcs", `{"kind":"campaign","campaign":{"shape":"4x4","epochs":[1],"patterns":["reverse"],"variant":{"vcs":2,"adaptive":true},"reconfig":{"mode":"deadlock"}}}`, "campaign.reconfig.mode"},
 		{"trailing data", `{"kind":"experiments","experiments":{"ids":["E1"]}} {"x":1}`, "body"},
 		{"not json", `hello`, "body"},
 	}

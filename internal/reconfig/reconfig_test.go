@@ -1,0 +1,354 @@
+package reconfig_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/core"
+	"sr2201/internal/fault"
+	"sr2201/internal/geom"
+	"sr2201/internal/inject"
+	"sr2201/internal/reconfig"
+	"sr2201/internal/recovery"
+)
+
+// newRig builds a 4x4 machine with online reconfiguration in the given mode.
+// separate selects the paper's deadlock-prone Fig. 9 variant (D-XB != S-XB).
+func newRig(t *testing.T, separate bool, mode string, opt reconfig.Options) (*core.Machine, *reconfig.Manager) {
+	t.Helper()
+	cfg := core.Config{
+		Shape:          geom.MustShape(4, 4),
+		SXB:            geom.Coord{0, 0},
+		StallThreshold: 256,
+		Reconfig:       mode,
+	}
+	if separate {
+		cfg.DXB = geom.Coord{0, 3}
+		cfg.DXBSeparate = true
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := reconfig.New(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mgr
+}
+
+func drainMachine(t *testing.T, m *core.Machine, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if m.Engine().Quiescent() {
+			return
+		}
+		m.Step()
+	}
+	t.Fatalf("machine did not drain within %d cycles", budget)
+}
+
+// TestNewNeedsReconfigMode pins the constructor guard: a manager cannot
+// attach to a machine built without Config.Reconfig.
+func TestNewNeedsReconfigMode(t *testing.T) {
+	m, err := core.NewMachine(core.Config{Shape: geom.MustShape(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reconfig.New(m, reconfig.Options{}); err == nil {
+		t.Fatal("New accepted a machine without Config.Reconfig")
+	}
+}
+
+// TestHotSwapOnFault lands a mid-run router fault on the unified machine
+// with one unicast in flight away from the dead router: the recompiled
+// table's union graph is acyclic, so the swap commits without touching a
+// packet, and the in-flight packet still delivers under its old generation.
+func TestHotSwapOnFault(t *testing.T) {
+	m, mgr := newRig(t, false, core.ReconfigOnFault, reconfig.Options{})
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{3, 3}, 24); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	lost, err := m.FailNow(fault.RouterFault(geom.Coord{2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 0 {
+		t.Fatalf("fault away from the route killed %d packets", len(lost))
+	}
+	evs := mgr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Outcome != reconfig.OutcomeHotSwap || ev.Epoch != 1 || ev.Drained != 0 {
+		t.Fatalf("unexpected event %+v, want hot swap to epoch 1", ev)
+	}
+	if !ev.Union.Acyclic || ev.Union.Channels == 0 {
+		t.Fatalf("hot swap without an acyclic union certificate: %+v", ev.Union)
+	}
+	if ev.InFlight == 0 {
+		t.Fatal("hot swap saw no in-flight packets; scenario lost its point")
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("machine epoch %d, want 1", m.Epoch())
+	}
+	if n := len(m.Generations()); n != 2 {
+		t.Fatalf("%d generations, want 2 (retiring pinned by the in-flight packet)", n)
+	}
+	st := mgr.Stats()
+	if st.Attempts != 1 || st.HotSwaps != 1 || st.Drains != 0 || st.Fallbacks != 0 {
+		t.Fatalf("stats %+v do not record one hot swap", st)
+	}
+	drainMachine(t, m, 10_000)
+	if err := m.Engine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Deliveries()); got != 1 {
+		t.Fatalf("%d deliveries, want 1 (the old-generation packet)", got)
+	}
+}
+
+// TestDrainOnCyclicUnion lands the fault on the separate-D-XB variant with
+// both traffic classes in flight: the separate recompile is refused with a
+// concrete cycle witness, the unified candidate is admissible but its union
+// with the retiring generation's edges is cyclic (the Fig. 9 interaction), so
+// the manager drains every pre-swap packet within budget and commits.
+func TestDrainOnCyclicUnion(t *testing.T) {
+	m, mgr := newRig(t, true, core.ReconfigOnFault, reconfig.Options{})
+	var drained []core.Lost
+	mgr.OnDrained(func(cycle int64, l core.Lost) bool {
+		drained = append(drained, l)
+		return false
+	})
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{3, 3}, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Broadcast(geom.Coord{3, 2}, 24); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	if _, err := m.FailNow(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	evs := mgr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Outcome != reconfig.OutcomeDrain {
+		t.Fatalf("outcome %q (reason %q), want drain", ev.Outcome, ev.Reason)
+	}
+	if len(ev.Refusals) != 1 || ev.Refusals[0].Acyclic || len(ev.Refusals[0].Cycle) == 0 {
+		t.Fatalf("separate recompile was not refused with a cycle witness: %+v", ev.Refusals)
+	}
+	if !strings.Contains(ev.Refusals[0].Scheme, "separate-dxb") {
+		t.Fatalf("refusal names scheme %q, want the separate-D-XB recompile", ev.Refusals[0].Scheme)
+	}
+	if !strings.Contains(ev.Scheme, "unified") {
+		t.Fatalf("committed scheme %q, want the unified degradation", ev.Scheme)
+	}
+	if ev.Union.Acyclic || len(ev.Union.Cycle) == 0 {
+		t.Fatalf("drain without a cyclic union witness: %+v", ev.Union)
+	}
+	if ev.Drained != ev.InFlight || ev.Drained != len(drained) {
+		t.Fatalf("drained %d of %d in flight, callback saw %d", ev.Drained, ev.InFlight, len(drained))
+	}
+	for _, l := range drained {
+		if !l.Drained {
+			t.Fatalf("drained packet %d not marked Drained: %+v", l.PacketID, l)
+		}
+	}
+	if m.Epoch() != 1 || len(m.Generations()) != 1 {
+		t.Fatalf("epoch %d with %d generations; a full drain must collapse to the committed table", m.Epoch(), len(m.Generations()))
+	}
+	drainMachine(t, m, 10_000)
+	if err := m.Engine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFallbackOnDrainBudget repeats the cyclic-union scenario with a budget
+// below the in-flight population: the manager must degrade to
+// rebuild-in-place instead of purging past its bound.
+func TestFallbackOnDrainBudget(t *testing.T) {
+	m, mgr := newRig(t, true, core.ReconfigOnFault, reconfig.Options{DrainBudget: 1})
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{3, 3}, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Broadcast(geom.Coord{3, 2}, 24); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	if _, err := m.FailNow(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	evs := mgr.Events()
+	if len(evs) != 1 || evs[0].Outcome != reconfig.OutcomeFallback {
+		t.Fatalf("events %+v, want one fallback", evs)
+	}
+	if !strings.Contains(evs[0].Reason, "drain budget exceeded") {
+		t.Fatalf("fallback reason %q does not name the budget", evs[0].Reason)
+	}
+	if m.Epoch() != 0 || len(m.Generations()) != 1 {
+		t.Fatalf("fallback advanced the epoch (%d) or kept %d generations", m.Epoch(), len(m.Generations()))
+	}
+	if st := mgr.Stats(); st.Fallbacks != 1 || st.DrainedPackets != 0 {
+		t.Fatalf("stats %+v do not record a packet-free fallback", st)
+	}
+}
+
+// TestDeadlockTriggeredSwap runs the full Fig. 9 deadlock under mode
+// "deadlock": the preset-fault run deadlocks once, the supervisor purges the
+// victim and hands off to the manager, which refuses the separate recompile
+// (witness), hot-swaps to the unified table, and the run drains with zero
+// further recoveries.
+func TestDeadlockTriggeredSwap(t *testing.T) {
+	deadlocked := false
+	for off := 0; off <= 10 && !deadlocked; off++ {
+		m, mgr := newRig(t, true, core.ReconfigOnDeadlock, reconfig.Options{})
+		if err := m.AddFault(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+			t.Fatal(err)
+		}
+		inj, err := inject.New(m, nil, inject.Options{Retransmit: true, RetryAfter: 32, StallThreshold: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := recovery.New(m, inj, recovery.Options{Enabled: true, StallThreshold: 256})
+		sup.OnDeadlock(mgr.OnDeadlock)
+		mgr.OnDrained(inj.LoseDrained)
+
+		if _, err := m.Send(geom.Coord{0, 1}, geom.Coord{2, 2}, 24); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < off; i++ {
+			m.Step()
+		}
+		if _, _, err := m.Broadcast(geom.Coord{3, 2}, 24); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200_000; i++ {
+			if m.Engine().Quiescent() && !inj.Pending() {
+				break
+			}
+			if sup.Verdict().Decided {
+				t.Fatalf("off %d: verdict %+v instead of reconfiguration", off, sup.Verdict())
+			}
+			m.Step()
+		}
+		if err := mgr.Err(); err != nil {
+			t.Fatalf("off %d: deferred manager error: %v", off, err)
+		}
+		if sup.Stats().Recoveries == 0 {
+			continue // this offset never deadlocked
+		}
+		deadlocked = true
+		if sup.Stats().Recoveries != 1 {
+			t.Fatalf("off %d: %d recoveries, want exactly 1 (pre-swap)", off, sup.Stats().Recoveries)
+		}
+		evs := mgr.Events()
+		if len(evs) != 1 || evs[0].Trigger != reconfig.TriggerDeadlock {
+			t.Fatalf("off %d: events %+v, want one deadlock-triggered attempt", off, evs)
+		}
+		if len(evs[0].Refusals) != 1 || len(evs[0].Refusals[0].Cycle) == 0 {
+			t.Fatalf("off %d: separate recompile not refused with witness: %+v", off, evs[0].Refusals)
+		}
+		if evs[0].Outcome == reconfig.OutcomeFallback {
+			t.Fatalf("off %d: attempt fell back (%s)", off, evs[0].Reason)
+		}
+		// Exactly-once delivery: 15 broadcast copies + the recovered p2p.
+		if got := len(m.Deliveries()); got != 16 {
+			t.Fatalf("off %d: %d deliveries, want 16", off, got)
+		}
+		if err := m.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+	}
+	if !deadlocked {
+		t.Fatal("no offset deadlocked; the deadlock trigger is untested")
+	}
+}
+
+// TestFaultModeSkipsDeadlockTrigger pins mode isolation: under mode "fault"
+// the deadlock hand-off is a no-op and under mode "deadlock" a mid-run fault
+// rebuilds in place without recording an attempt.
+func TestFaultModeSkipsDeadlockTrigger(t *testing.T) {
+	_, mgr := newRig(t, false, core.ReconfigOnFault, reconfig.Options{})
+	mgr.OnDeadlock(42)
+	if len(mgr.Events()) != 0 || mgr.Stats().Attempts != 0 {
+		t.Fatalf("mode %q acted on a deadlock trigger: %+v", core.ReconfigOnFault, mgr.Events())
+	}
+
+	m, mgr := newRig(t, false, core.ReconfigOnDeadlock, reconfig.Options{})
+	if _, err := m.FailNow(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.Events()) != 0 || m.Epoch() != 0 {
+		t.Fatalf("mode %q attempted reconfiguration on a fault: %+v", core.ReconfigOnDeadlock, mgr.Events())
+	}
+}
+
+// TestSnapshotRoundTrip encodes the manager mid-history and restores it into
+// a fresh rig: events (certificates included), stats and rendered lines must
+// survive byte-exactly, and option mismatches must be refused.
+func TestSnapshotRoundTrip(t *testing.T) {
+	m, mgr := newRig(t, true, core.ReconfigOnFault, reconfig.Options{})
+	mgr.OnDrained(func(int64, core.Lost) bool { return false })
+	if _, err := m.Send(geom.Coord{0, 0}, geom.Coord{3, 3}, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Broadcast(geom.Coord{3, 2}, 24); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	if _, err := m.FailNow(fault.RouterFault(geom.Coord{2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.Events()) == 0 {
+		t.Fatal("scenario recorded no events")
+	}
+
+	w := checkpoint.NewWriter()
+	mgr.EncodeState(w)
+	snap := w.Bytes()
+
+	_, res := newRig(t, true, core.ReconfigOnFault, reconfig.Options{})
+	r, err := checkpoint.NewReader(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.DecodeState(r); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Events(), mgr.Events()) {
+		t.Fatalf("events diverged after restore:\n%+v\nvs\n%+v", res.Events(), mgr.Events())
+	}
+	if res.Stats() != mgr.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", res.Stats(), mgr.Stats())
+	}
+	for i := range mgr.Events() {
+		if got, want := res.Events()[i].String(), mgr.Events()[i].String(); got != want {
+			t.Fatalf("event %d renders %q after restore, want %q", i, got, want)
+		}
+	}
+
+	_, other := newRig(t, true, core.ReconfigOnFault, reconfig.Options{DrainBudget: 3})
+	r2, err := checkpoint.NewReader(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.DecodeState(r2); err == nil {
+		t.Fatal("restore under a different drain budget succeeded")
+	}
+}

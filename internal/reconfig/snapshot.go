@@ -1,0 +1,142 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"sr2201/internal/checkpoint"
+	"sr2201/internal/fault"
+	"sr2201/internal/topo"
+)
+
+// Manager snapshot/restore. The options and mode are spec (a restore target
+// is built with New against the same machine and options — Expect-guarded);
+// everything the manager has *decided* is state: the accounting, the deferred
+// deadlock-hook error and the event log with its certificates, so a snapshot
+// taken mid-reconfiguration restores to the identical event/report text.
+
+const secReconfigMgr = "reconfig.mgr"
+
+func encodeCert(e *checkpoint.Encoder, c topo.Certificate) {
+	e.String(c.Scheme)
+	e.Int(int64(c.Channels))
+	e.Int(int64(c.Edges))
+	e.Bool(c.Acyclic)
+	e.Uint(uint64(len(c.Cycle)))
+	for _, name := range c.Cycle {
+		e.String(name)
+	}
+}
+
+func decodeCert(d *checkpoint.Decoder) topo.Certificate {
+	var c topo.Certificate
+	c.Scheme = d.String()
+	c.Channels = d.IntAsInt()
+	c.Edges = d.IntAsInt()
+	c.Acyclic = d.Bool()
+	n := d.Len(1)
+	for i := 0; i < n; i++ {
+		c.Cycle = append(c.Cycle, d.String())
+	}
+	return c
+}
+
+// EncodeState appends the manager's dynamic state as the "reconfig.mgr"
+// section.
+func (mgr *Manager) EncodeState(w *checkpoint.Writer) {
+	e := w.Section(secReconfigMgr)
+	e.String(mgr.mode)
+	e.Int(int64(mgr.opt.DrainBudget))
+	e.Bool(mgr.err != nil)
+	if mgr.err != nil {
+		e.String(mgr.err.Error())
+	}
+	for _, v := range []int{
+		mgr.stats.Attempts, mgr.stats.HotSwaps, mgr.stats.Drains,
+		mgr.stats.DrainedPackets, mgr.stats.Fallbacks, mgr.stats.Refusals,
+	} {
+		e.Int(int64(v))
+	}
+	e.Uint(uint64(len(mgr.events)))
+	for _, ev := range mgr.events {
+		e.Int(ev.Cycle)
+		e.String(ev.Trigger)
+		fault.EncodeFault(e, ev.Fault)
+		e.String(ev.Outcome)
+		e.String(ev.Reason)
+		e.Uint(ev.Epoch)
+		e.String(ev.Scheme)
+		e.Int(int64(ev.InFlight))
+		e.Int(int64(ev.Drained))
+		e.Uint(uint64(len(ev.Refusals)))
+		for _, c := range ev.Refusals {
+			encodeCert(e, c)
+		}
+		e.Uint(uint64(len(ev.Errors)))
+		for _, s := range ev.Errors {
+			e.String(s)
+		}
+		encodeCert(e, ev.Candidate)
+		encodeCert(e, ev.Union)
+	}
+}
+
+// DecodeState restores the "reconfig.mgr" section into this manager, which
+// must have been built with New against the same machine config and options.
+func (mgr *Manager) DecodeState(r *checkpoint.Reader) error {
+	d, err := r.Section(secReconfigMgr)
+	if err != nil {
+		return err
+	}
+	if got := d.String(); d.Err() == nil && got != mgr.mode {
+		d.Fail(fmt.Sprintf("reconfig trigger mode mismatch: snapshot has %q, target has %q", got, mgr.mode))
+	}
+	d.Expect(int64(mgr.opt.DrainBudget), "reconfig drain budget")
+	var deferred error
+	if d.Bool() {
+		deferred = &deferredError{d.String()}
+	}
+	var stats Stats
+	for _, p := range []*int{
+		&stats.Attempts, &stats.HotSwaps, &stats.Drains,
+		&stats.DrainedPackets, &stats.Fallbacks, &stats.Refusals,
+	} {
+		*p = d.IntAsInt()
+	}
+	n := d.Len(16)
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var ev Event
+		ev.Cycle = d.Int()
+		ev.Trigger = d.String()
+		ev.Fault = fault.DecodeFault(d)
+		ev.Outcome = d.String()
+		ev.Reason = d.String()
+		ev.Epoch = d.Uint()
+		ev.Scheme = d.String()
+		ev.InFlight = d.IntAsInt()
+		ev.Drained = d.IntAsInt()
+		nr := d.Len(4)
+		for j := 0; j < nr; j++ {
+			ev.Refusals = append(ev.Refusals, decodeCert(d))
+		}
+		ne := d.Len(1)
+		for j := 0; j < ne; j++ {
+			ev.Errors = append(ev.Errors, d.String())
+		}
+		ev.Candidate = decodeCert(d)
+		ev.Union = decodeCert(d)
+		events = append(events, ev)
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	mgr.err = deferred
+	mgr.stats = stats
+	mgr.events = events
+	return nil
+}
+
+// deferredError restores Err across a snapshot boundary as plain text.
+type deferredError struct{ msg string }
+
+func (e *deferredError) Error() string { return e.msg }

@@ -159,10 +159,11 @@ type Supervisor struct {
 	opt Options
 	wd  *deadlock.Watchdog
 
-	verdict Verdict
-	stats   Stats
-	events  []Event
-	onEvent func(Event)
+	verdict    Verdict
+	stats      Stats
+	events     []Event
+	onEvent    func(Event)
+	onDeadlock func(cycle int64)
 }
 
 // New attaches a supervisor to a machine and its injector (required: the
@@ -195,6 +196,14 @@ func New(m *core.Machine, inj *inject.Injector, opt Options) *Supervisor {
 // event, after the purge and the retransmission hand-off. Must be
 // deterministic if the run is to stay so.
 func (s *Supervisor) OnEvent(fn func(Event)) { s.onEvent = fn }
+
+// OnDeadlock registers a hand-off invoked after every successful victim
+// purge, once the retransmission is scheduled and the event recorded: the
+// hook where the reconfiguration manager reacts to a *confirmed* deadlock by
+// recompiling the routing policy around the implicated resources. Runs in
+// the PostCycle hook, so any policy swap it performs lands between cycles;
+// it must be deterministic if the run is to stay so.
+func (s *Supervisor) OnDeadlock(fn func(cycle int64)) { s.onDeadlock = fn }
 
 // tick runs at the bottom of every engine Step.
 func (s *Supervisor) tick(cycle int64) {
@@ -261,6 +270,9 @@ func (s *Supervisor) tick(cycle int64) {
 	}
 	if s.onEvent != nil {
 		s.onEvent(ev)
+	}
+	if s.onDeadlock != nil {
+		s.onDeadlock(cycle)
 	}
 	// The purge frees resources but moves no flits; without a reset the
 	// watchdog would re-fire next cycle on the not-yet-resumed network.

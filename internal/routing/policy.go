@@ -100,6 +100,31 @@ func New(cfg Config) (*Policy, error) {
 	return p, nil
 }
 
+// NewPinned builds a Policy whose effective S-XB and D-XB lines are fixed to
+// the given coordinates, bypassing fault substitution. The reconfiguration
+// layer uses it to reconstruct a *retired* routing generation against the
+// live fault set: packets injected under an old table keep steering toward
+// that table's effective lines even after a newer fault would have
+// substituted them away, and the transition-safety analysis must model
+// exactly those routes. Dimension 0 of both coordinates is ignored.
+func NewPinned(cfg Config, sEff, dEff geom.Coord) (*Policy, error) {
+	if cfg.Shape.Dims() < 1 {
+		return nil, fmt.Errorf("routing: config needs a shape")
+	}
+	p := &Policy{cfg: cfg, shape: cfg.Shape, dims: cfg.Shape.Dims(), faults: cfg.Faults}
+	if p.faults == nil {
+		p.faults = fault.NewSet(cfg.Shape)
+	}
+	var err error
+	if p.sEff, err = p.normalizeLine(sEff, "SXB"); err != nil {
+		return nil, err
+	}
+	if p.dEff, err = p.normalizeLine(dEff, "DXB"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // normalizeLine checks that fixed coordinates identify a dim-0 line inside
 // the shape and zeroes dimension 0.
 func (p *Policy) normalizeLine(fixed geom.Coord, what string) (geom.Coord, error) {

@@ -164,6 +164,41 @@ func (b *Builder) Certificate(scheme string) Certificate {
 	return cert
 }
 
+// ContractedEdges returns the post-contraction dependence edges as name
+// pairs, in deterministic (sorted) order: the same graph Certificate counts
+// and searches, with composite members redirected onto their composite and
+// self-loops dropped. The reconfiguration layer uses this to merge the edges
+// of a retiring routing generation into a fresh Builder when certifying the
+// old ∪ new transition graph.
+func (b *Builder) ContractedEdges() [][2]string {
+	redirect := func(v int) int {
+		if c, ok := b.members[v]; ok {
+			return c
+		}
+		return v
+	}
+	seen := map[[2]int]bool{}
+	var out [][2]string
+	for u, vs := range b.adj {
+		cu := redirect(u)
+		for v := range vs {
+			cv := redirect(v)
+			if cu == cv || seen[[2]int{cu, cv}] {
+				continue
+			}
+			seen[[2]int{cu, cv}] = true
+			out = append(out, [2]string{b.names[cu], b.names[cv]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // FindCycle runs a deterministic DFS (vertices and successors in id
 // order) over the graph and returns the names of one cycle's vertices, or
 // nil. Exposed for analyzers that maintain auxiliary graphs (internal/cdg's

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate a fresh mdxbench snapshot against the committed baseline.
+
+Usage:
+    check_bench.py core  BENCH_core.json  fresh_core.json
+    check_bench.py shard BENCH_shard.json fresh_shard.json
+
+The committed BENCH_*.json files pin two different kinds of promise:
+
+  * Deterministic fields — the sharded engine's final state hash and every
+    case's simulated-cycle count are pure functions of the spec, identical on
+    any machine. A divergence is a semantic change and always fails.
+  * Cycle rates — hardware-dependent, so the gate is a ratio: the fresh rate
+    must stay above (1 - MAX_REGRESSION) of the baseline's. CI hardware
+    differs from the machine that wrote the baseline, so the committed rates
+    are refreshed whenever the baseline is regenerated.
+"""
+
+import json
+import sys
+
+MAX_REGRESSION = 0.25
+
+
+def fail(msg):
+    print("check_bench: FAIL:", msg)
+    sys.exit(1)
+
+
+def rate_ok(name, base, fresh):
+    floor = base * (1 - MAX_REGRESSION)
+    if fresh < floor:
+        fail(
+            f"{name}: cycle rate regressed more than {MAX_REGRESSION:.0%}: "
+            f"{fresh:.0f} cyc/s vs baseline {base:.0f} (floor {floor:.0f})"
+        )
+    print(f"check_bench: {name}: {fresh:.0f} cyc/s vs baseline {base:.0f} ok")
+
+
+def check_core(baseline, fresh):
+    base = {e["name"]: e for e in baseline}
+    cur = {e["name"]: e for e in fresh}
+    if set(base) - set(cur):
+        fail(f"missing core cases: {sorted(set(base) - set(cur))}")
+    for name, b in base.items():
+        c = cur[name]
+        if not c["pass"]:
+            fail(f"{name}: shape criterion failed")
+        if c["cycles"] != b["cycles"]:
+            fail(
+                f"{name}: simulated cycles diverged from baseline: "
+                f"{c['cycles']} vs {b['cycles']} (deterministic field)"
+            )
+        rate_ok(name, b["cycles_per_sec"], c["cycles_per_sec"])
+
+
+def check_shard(baseline, fresh):
+    base = {(e["name"], e["shards"]): e for e in baseline}
+    cur = {(e["name"], e["shards"]): e for e in fresh}
+    if set(base) - set(cur):
+        fail(f"missing shard cases: {sorted(set(base) - set(cur))}")
+    for key, b in base.items():
+        c = cur[key]
+        name = f"{key[0]} shards={key[1]}"
+        if not c["matches_serial"]:
+            fail(f"{name}: sharded final hash diverged from its serial twin")
+        if c["final_hash"] != b["final_hash"]:
+            fail(
+                f"{name}: final state hash diverged from baseline: "
+                f"{c['final_hash']} vs {b['final_hash']} (semantic change)"
+            )
+        if c["cycles"] != b["cycles"]:
+            fail(f"{name}: cycle budget changed: {c['cycles']} vs {b['cycles']}")
+        rate_ok(name, b["cycles_per_sec"], c["cycles_per_sec"])
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in ("core", "shard"):
+        print(__doc__)
+        sys.exit(2)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[3]) as f:
+        fresh = json.load(f)
+    if sys.argv[1] == "core":
+        check_core(baseline, fresh)
+    else:
+        check_shard(baseline, fresh)
+    print("check_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
