@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Store persists per-cell campaign progress under one directory.
@@ -20,13 +21,24 @@ type Store struct {
 	dir string
 }
 
-// OpenStore creates (if needed) and opens the directory.
+// OpenStore creates (if needed) and opens the directory, sweeping out
+// temp-file litter a crashed (SIGKILLed) writer left behind. The open
+// happens under the caller's exclusive ownership of the cell store — in
+// the jobs layer, after the execution's lease is won — so no live writer
+// can be mid-rename here.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("campaign: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, ent := range ents {
+			if strings.Contains(ent.Name(), ".tmp-") {
+				os.Remove(filepath.Join(dir, ent.Name()))
+			}
+		}
 	}
 	return &Store{dir: dir}, nil
 }

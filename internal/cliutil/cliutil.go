@@ -3,7 +3,8 @@
 // ("rtc:2,1", "xb:0:0,1" or "link:0,0-3,0"), fault schedules
 // ("rtc:2,1@500"), broadcast schedules ("3,2@250"), topology names
 // ("mdx" | "hyperx" | "fullmesh"), the recovery-flag triple, the
-// virtual-channel flag pair, and the reconfiguration flag pair.
+// virtual-channel flag pair, the reconfiguration flag pair, fleet worker
+// ids, and chaos failpoints ("<hash>@<cycle>").
 package cliutil
 
 import (
@@ -272,4 +273,61 @@ func ReconfigOptions(mode string, drainBudget int) (string, int, error) {
 		return "", 0, fmt.Errorf("cliutil: reconfig drain budget %d needs -reconfig", drainBudget)
 	}
 	return m, drainBudget, nil
+}
+
+// ParseWorkerID validates a -worker fleet-member name. Worker ids name
+// subdirectories of the shared state dir and appear in lease records, so
+// they are restricted to [A-Za-z0-9._-] with no path separators; the
+// empty string selects the default "w0". Surrounding whitespace is
+// forgiven.
+func ParseWorkerID(s string) (string, error) {
+	id := strings.TrimSpace(s)
+	if id == "" {
+		return "w0", nil
+	}
+	if len(id) > 64 {
+		return "", fmt.Errorf("cliutil: worker id %q longer than 64 bytes", id)
+	}
+	if id == "." || id == ".." {
+		return "", fmt.Errorf("cliutil: worker id %q is a path component", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return "", fmt.Errorf("cliutil: worker id %q: character %q outside [A-Za-z0-9._-]", id, r)
+		}
+	}
+	return id, nil
+}
+
+// ParseFailpoint parses the MDXSERVE_FAILPOINT form "<hash>@<cycle>": kill
+// the process the first time the execution whose canonical spec hash is
+// <hash> (16 hex digits) reports progress at or past simulated cycle
+// <cycle>. The empty string disables the failpoint. This is the chaos
+// harness's deterministic owner-death hook.
+func ParseFailpoint(s string) (hash string, cycle int64, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, nil
+	}
+	at := strings.LastIndex(s, "@")
+	if at < 0 {
+		return "", 0, fmt.Errorf("cliutil: failpoint %q needs the form <hash>@<cycle>", s)
+	}
+	hash = s[:at]
+	if len(hash) != 16 {
+		return "", 0, fmt.Errorf("cliutil: failpoint hash %q is not 16 hex digits", hash)
+	}
+	for _, r := range hash {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return "", 0, fmt.Errorf("cliutil: failpoint hash %q is not lowercase hex", hash)
+		}
+	}
+	cycle, err = strconv.ParseInt(s[at+1:], 10, 64)
+	if err != nil || cycle < 0 {
+		return "", 0, fmt.Errorf("cliutil: bad failpoint cycle in %q", s)
+	}
+	return hash, cycle, nil
 }

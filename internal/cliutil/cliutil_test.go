@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 
 	"sr2201/internal/fault"
@@ -442,6 +443,54 @@ func TestCheckFaultTopology(t *testing.T) {
 		}
 		if !tc.wantErr && err != nil {
 			t.Errorf("CheckFaultTopology(%s, %q): %v", tc.spec, tc.topology, err)
+		}
+	}
+}
+
+func TestParseWorkerID(t *testing.T) {
+	good := map[string]string{
+		"":          "w0", // default fleet member
+		"  w3  ":    "w3",
+		"node-07.a": "node-07.a",
+		"W_1":       "W_1",
+	}
+	for in, want := range good {
+		got, err := ParseWorkerID(in)
+		if err != nil || got != want {
+			t.Errorf("ParseWorkerID(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	bad := []string{".", "..", "a/b", "w 1", "w\x00", strings.Repeat("x", 65)}
+	for _, in := range bad {
+		if got, err := ParseWorkerID(in); err == nil {
+			t.Errorf("ParseWorkerID(%q) = %q, want error (ids become path components)", in, got)
+		}
+	}
+}
+
+func TestParseFailpoint(t *testing.T) {
+	if h, c, err := ParseFailpoint(""); err != nil || h != "" || c != 0 {
+		t.Errorf("empty failpoint = (%q, %d, %v), want disabled", h, c, err)
+	}
+	h, c, err := ParseFailpoint("00deadbeef001122@4096")
+	if err != nil || h != "00deadbeef001122" || c != 4096 {
+		t.Errorf("ParseFailpoint = (%q, %d, %v), want hash@4096", h, c, err)
+	}
+	if h, c, err = ParseFailpoint(" 00deadbeef001122@0 "); err != nil || c != 0 || h == "" {
+		t.Errorf("cycle 0 (kill at first progress) rejected: (%q, %d, %v)", h, c, err)
+	}
+	bad := []string{
+		"00deadbeef001122",       // no cycle
+		"deadbeef@100",           // short hash
+		"00DEADBEEF001122@100",   // uppercase hex
+		"00deadbeef00112g@100",   // not hex
+		"00deadbeef001122@-1",    // negative cycle
+		"00deadbeef001122@ten",   // not a number
+		"00deadbeef001122@1@2@3", // the last @ splits: "...22@1@2" is no hash
+	}
+	for _, in := range bad {
+		if _, _, err := ParseFailpoint(in); err == nil {
+			t.Errorf("ParseFailpoint(%q) accepted, want error", in)
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sr2201/internal/stats"
@@ -30,9 +32,10 @@ func (s Status) terminal() bool {
 // Event is one entry of a job's ordered progress stream. Seq increases by
 // exactly one per event within a stream.
 type Event struct {
-	Seq   int64  `json:"seq"`
-	Type  string `json:"type"` // queued | started | progress | recovery | reconfig | done | failed | canceled
-	Cells int64  `json:"cells,omitempty"`
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"` // queued | started | progress | recovery | reconfig | requeued | done | failed | canceled
+	// Cells is the cumulative sweep cells finished by the execution.
+	Cells int64 `json:"cells,omitempty"`
 	// Cycles is the cumulative simulated cycles retired by the execution.
 	Cycles int64 `json:"cycles,omitempty"`
 	// Recoveries is the cumulative deadlock recoveries taken by the
@@ -56,13 +59,18 @@ var (
 	ErrDraining = errors.New("jobs: draining")
 	// ErrNotFound means no such job id (404).
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrPoisoned classifies a quarantined spec: it killed enough owners
+	// mid-run that the fleet parked it instead of crash-looping.
+	ErrPoisoned = errors.New("jobs: spec quarantined as poison")
 )
 
 // execution is one actual run of a canonical spec. Several jobs may attach
 // to it: identical submissions dedupe here, sharing the run, its artifact,
-// and its event log.
+// and its event log. In a fleet, the canonical hash is also the content
+// address other workers' executions of the same spec resolve to on disk.
 type execution struct {
 	canonical string
+	hash      string // canonHash(canonical)
 	spec      Spec
 
 	mu                sync.Mutex
@@ -79,6 +87,8 @@ type execution struct {
 	reconfigs         int64
 	reconfigDrained   int64
 	reconfigFallbacks int64
+
+	rechecks int // deferred-retry count, guarded by Manager.mu
 }
 
 // append adds one event (and optional state change) under ex.mu and wakes
@@ -145,11 +155,34 @@ type Config struct {
 	// restarted manager rescans the directory — completed executions come
 	// back served from cache, interrupted ones re-enqueue and resume from
 	// their checkpoints, producing artifacts byte-identical to an
-	// uninterrupted run (see state.go for the layout).
+	// uninterrupted run (see state.go for the layout). Several worker
+	// processes may share one StateDir: the lease layer (lease.go)
+	// arbitrates ownership per execution, finished artifacts dedupe
+	// fleet-wide by canonical spec hash, and a job whose owner dies is
+	// taken over by a peer within one LeaseTTL.
 	StateDir string
 	// CheckpointEvery is the mid-run snapshot interval in simulated cycles
 	// for executions that support it (default 4096; only with StateDir).
 	CheckpointEvery int64
+	// WorkerID names this process in a shared StateDir (default "w0").
+	// Fleet members must use distinct ids: job ids are scoped per worker
+	// and lease ownership is attributed by it.
+	WorkerID string
+	// LeaseTTL is how long a lease stays fresh without renewal (default
+	// 5s; only with StateDir). A peer steals an expired lease and resumes
+	// from the parked checkpoint.
+	LeaseTTL time.Duration
+	// PoisonAfter quarantines a spec once this many owners died mid-run
+	// holding its lease (default 3; only with StateDir). 0 keeps the
+	// default; negative disables quarantine.
+	PoisonAfter int
+	// FailpointHash/FailpointCycle, when set, kill the process (os.Exit 3)
+	// the first time the execution with that canonical hash reports
+	// progress at or past the given cycle — the deterministic owner-death
+	// hook the chaos harness uses. See cliutil.ParseFailpoint for the
+	// MDXSERVE_FAILPOINT=<hash>@<cycle> form.
+	FailpointHash  string
+	FailpointCycle int64
 }
 
 func (c *Config) normalize() {
@@ -165,6 +198,17 @@ func (c *Config) normalize() {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 4096
 	}
+	if c.WorkerID == "" {
+		c.WorkerID = "w0"
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.PoisonAfter == 0 {
+		c.PoisonAfter = 3
+	} else if c.PoisonAfter < 0 {
+		c.PoisonAfter = 0 // disabled
+	}
 }
 
 // Manager owns the queue, the worker pool, the dedupe/result cache, and
@@ -172,7 +216,6 @@ func (c *Config) normalize() {
 type Manager struct {
 	cfg    Config
 	budget *sweep.Limiter
-	queue  chan *execution
 	state  *stateStore // nil without Config.StateDir
 
 	baseCtx    context.Context
@@ -180,10 +223,20 @@ type Manager struct {
 	workerWG   sync.WaitGroup
 
 	mu       sync.Mutex
+	qcond    *sync.Cond   // signals qlist growth and qclosed
+	qlist    []*execution // FIFO of executions awaiting a worker
+	qclosed  bool         // no further dequeues/enqueues
 	draining bool
+	degraded bool  // sticky: state dir lost, local-queue-only mode
+	degErr   error // what demoted us
+	killed   bool  // chaos: simulate abrupt process death
 	seq      int64
 	jobs     map[string]*Job
 	byCanon  map[string]*execution
+
+	leasesHeld int       // running executions this process owns a lease for
+	lastRenew  time.Time // most recent successful lease renewal
+	drainRing  []time.Time
 
 	// Metrics, all guarded by mu except where noted.
 	started         time.Time
@@ -195,6 +248,11 @@ type Manager struct {
 	done            int64
 	failed          int64
 	canceledEx      int64
+	adopted         int64
+	stolen          int64
+	deferred        int64
+	poisonedCount   int64
+	leaseLost       int64
 	totalCells      int64
 	totalCycles     int64
 	totalRecoveries int64
@@ -203,6 +261,10 @@ type Manager struct {
 	totalRecfgFall  int64
 	durations       stats.Latency
 }
+
+// drainRingCap bounds the recent-completion timestamp ring that feeds the
+// adaptive Retry-After hint.
+const drainRingCap = 32
 
 // NewManager starts the worker pool and returns a ready manager. It cannot
 // fail when Config.StateDir is unset; with one set, use OpenManager to see
@@ -229,29 +291,23 @@ func OpenManager(cfg Config) (*Manager, error) {
 		byCanon:    map[string]*execution{},
 		started:    time.Now(),
 	}
-	var pending []*execution
+	m.qcond = sync.NewCond(&m.mu)
 	if cfg.StateDir != "" {
-		st, err := openStateStore(cfg.StateDir)
+		st, err := openStateStore(cfg.StateDir, cfg.WorkerID)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		m.state = st
-		if pending, err = m.resume(); err != nil {
+		pending, err := m.resume()
+		if err != nil {
 			cancel()
 			return nil, err
 		}
-	}
-	// Resumed executions must all fit in the queue regardless of its
-	// configured depth.
-	depth := cfg.QueueDepth
-	if len(pending) > depth {
-		depth = len(pending)
-	}
-	m.queue = make(chan *execution, depth)
-	for _, ex := range pending {
-		m.queuedCount++
-		m.queue <- ex
+		// Resumed executions enqueue regardless of the configured depth:
+		// they were admitted once already.
+		m.qlist = pending
+		m.queuedCount = int64(len(pending))
 	}
 	m.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -262,10 +318,12 @@ func OpenManager(cfg Config) (*Manager, error) {
 
 // resume rebuilds executions and jobs from the state directory: completed
 // executions come back terminal (resubmissions dedupe onto the cached
-// artifact), interrupted ones are returned for re-enqueueing and will
-// restore from their checkpoints when a worker picks them up.
+// artifact), quarantined ones come back failed with the classified error,
+// interrupted ones are returned for re-enqueueing — they restore from
+// their checkpoints once this worker wins the lease, or adopt a peer's
+// artifact if the peer finishes first.
 func (m *Manager) resume() ([]*execution, error) {
-	execs, jobRecs, err := m.state.rescan()
+	execs, jobRecs, err := m.state.rescan(m.cfg.LeaseTTL)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +338,7 @@ func (m *Manager) resume() ([]*execution, error) {
 		}
 		ex := &execution{
 			canonical: re.canonical,
+			hash:      re.hash,
 			spec:      spec,
 			state:     StatusQueued,
 			notify:    make(chan struct{}),
@@ -287,13 +346,19 @@ func (m *Manager) resume() ([]*execution, error) {
 		ex.append(StatusQueued, Event{Type: "queued"})
 		m.byCanon[re.canonical] = ex
 		m.executions++
-		if re.artifact != nil {
+		switch {
+		case re.artifact != nil:
 			ex.artifact = re.artifact
 			ex.append(StatusDone, Event{Type: "done"})
 			m.done++
-			continue
+		case re.poisoned != nil:
+			ex.err = fmt.Errorf("%w: %s", ErrPoisoned, re.poisoned.Error)
+			ex.append(StatusFailed, Event{Type: "failed", Error: re.poisoned.Error})
+			m.failed++
+			m.poisonedCount++
+		default:
+			pending = append(pending, ex)
 		}
-		pending = append(pending, ex)
 	}
 	for _, jr := range jobRecs {
 		ex := m.byCanon[jr.canonical]
@@ -310,6 +375,90 @@ func (m *Manager) resume() ([]*execution, error) {
 		}
 	}
 	return pending, nil
+}
+
+// healthyStateLocked is the persistence gate: the store while it works,
+// nil once the process has demoted itself to local-queue-only mode.
+// Callers hold m.mu.
+func (m *Manager) healthyStateLocked() *stateStore {
+	if m.state == nil || m.degraded {
+		return nil
+	}
+	return m.state
+}
+
+func (m *Manager) healthyState() *stateStore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.healthyStateLocked()
+}
+
+// degrade demotes the manager to local-queue-only mode after a state-dir
+// I/O failure (ENOSPC, unmounted volume). Sticky: the in-memory queue
+// keeps serving, persistence and fleet coordination stop, and /readyz
+// reports the loss until the operator restarts the worker.
+func (m *Manager) degrade(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.degraded {
+		m.degraded = true
+		m.degErr = err
+	}
+}
+
+// Degraded reports local-queue-only mode and what caused it.
+func (m *Manager) Degraded() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded, m.degErr
+}
+
+// noteRenew records a successful lease renewal for the readiness probe.
+func (m *Manager) noteRenew() {
+	m.mu.Lock()
+	m.lastRenew = time.Now()
+	m.mu.Unlock()
+}
+
+func (m *Manager) isKilled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.killed
+}
+
+// enqueueLocked appends to the run queue and wakes one worker. Callers
+// hold m.mu.
+func (m *Manager) enqueueLocked(ex *execution) {
+	m.qlist = append(m.qlist, ex)
+	m.qcond.Signal()
+}
+
+// dequeue blocks until an execution is available or the queue is closed.
+// A closed queue still drains its remaining items (Drain semantics);
+// a killed manager abandons them (Kill semantics).
+func (m *Manager) dequeue() (*execution, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.qlist) == 0 && !m.qclosed {
+		m.qcond.Wait()
+	}
+	if m.killed || len(m.qlist) == 0 {
+		return nil, false
+	}
+	ex := m.qlist[0]
+	m.qlist = m.qlist[1:]
+	return ex, true
+}
+
+// CanonicalHash normalizes a spec and returns its canonical content hash —
+// the execution's address in a shared state directory. The chaos harness
+// uses it to aim failpoints.
+func CanonicalHash(spec Spec) (string, error) {
+	spec = spec.Clone()
+	if err := spec.Normalize(); err != nil {
+		return "", err
+	}
+	return canonHash(spec.Canonical()), nil
 }
 
 // Submit validates, normalizes, and enqueues a spec, returning the new job
@@ -333,12 +482,13 @@ func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
 		deduped = true
 		m.dedupHits++
 	} else {
-		if len(m.queue) == cap(m.queue) {
+		if m.queuedCount >= int64(m.cfg.QueueDepth) {
 			m.submitted--
 			return "", false, ErrQueueFull
 		}
 		ex = &execution{
 			canonical: canonical,
+			hash:      canonHash(canonical),
 			spec:      spec,
 			state:     StatusQueued,
 			notify:    make(chan struct{}),
@@ -347,16 +497,15 @@ func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
 		m.byCanon[canonical] = ex
 		m.executions++
 		m.queuedCount++
-		if m.state != nil {
-			if err := m.state.saveExecSpec(canonHash(canonical), canonical); err != nil {
-				m.submitted--
-				m.executions--
-				m.queuedCount--
-				delete(m.byCanon, canonical)
-				return "", false, err
+		if st := m.healthyStateLocked(); st != nil {
+			if err := st.saveExecSpec(ex.hash, canonical); err != nil {
+				// Losing the state dir is not fatal to the submission: demote
+				// to local-queue-only mode and run the job in memory.
+				m.degraded = true
+				m.degErr = err
 			}
 		}
-		m.queue <- ex // cannot block: len checked under mu, only Submit sends
+		m.enqueueLocked(ex)
 	}
 	ex.mu.Lock()
 	ex.attached++
@@ -365,25 +514,177 @@ func (m *Manager) Submit(spec Spec) (id string, deduped bool, err error) {
 	m.seq++
 	id = fmt.Sprintf("j%06d", m.seq)
 	m.jobs[id] = &Job{id: id, ex: ex, deduped: deduped, created: time.Now()}
-	if m.state != nil {
+	if st := m.healthyStateLocked(); st != nil {
 		// Best-effort: the job runs either way; a lost record only costs
 		// the client its id after a restart.
-		_ = m.state.saveJob(id, canonical)
+		_ = st.saveJob(id, canonical)
 	}
 	return id, deduped, nil
 }
 
 func (m *Manager) worker() {
 	defer m.workerWG.Done()
-	for ex := range m.queue {
+	for {
+		ex, ok := m.dequeue()
+		if !ok {
+			return
+		}
 		m.runExecution(ex)
 	}
+}
+
+// retryDelay is the deterministic backoff cadence for deferred executions
+// (a live peer holds the lease): half the TTL, doubling per recheck,
+// capped at one TTL so a dead owner's work is taken over within one
+// lease-expiry interval of the lease going stale. No jitter — fleet
+// behavior replays identically run to run.
+func (m *Manager) retryDelay(rechecks int) time.Duration {
+	d := m.cfg.LeaseTTL / 2
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	for i := 0; i < rechecks && d < m.cfg.LeaseTTL; i++ {
+		d *= 2
+	}
+	if d > m.cfg.LeaseTTL {
+		d = m.cfg.LeaseTTL
+	}
+	return d
+}
+
+// scheduleRecheck re-enqueues a deferred execution after its backoff.
+func (m *Manager) scheduleRecheck(ex *execution, delay time.Duration) {
+	time.AfterFunc(delay, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.qclosed {
+			// Shutting down: the execution stays parked on disk and the next
+			// boot (or a peer) picks it up.
+			m.queuedCount--
+			return
+		}
+		m.enqueueLocked(ex)
+	})
+}
+
+// deferExec parks an execution whose lease a live peer holds: it stays
+// queued and rechecks on the deterministic backoff cadence — adopting the
+// peer's artifact when it finishes, or stealing the lease if it dies.
+func (m *Manager) deferExec(ex *execution) {
+	m.mu.Lock()
+	m.queuedCount++
+	m.deferred++
+	ex.rechecks++
+	delay := m.retryDelay(ex.rechecks - 1)
+	m.mu.Unlock()
+	m.scheduleRecheck(ex, delay)
+}
+
+// finishAdopted completes an execution with a peer's artifact — the
+// fleet-wide content-addressed cache hit.
+func (m *Manager) finishAdopted(ex *execution, artifact []byte) {
+	ex.mu.Lock()
+	if ex.state.terminal() {
+		ex.mu.Unlock()
+		return
+	}
+	ex.artifact = artifact
+	ex.appendLocked(StatusDone, Event{Type: "done"})
+	ex.mu.Unlock()
+	m.mu.Lock()
+	m.done++
+	m.adopted++
+	m.noteDrainLocked(time.Now())
+	m.mu.Unlock()
+}
+
+// finishPoisoned completes an execution as a classified quarantine
+// failure. The canonical mapping is kept: resubmissions dedupe onto the
+// quarantine verdict instead of re-running the poison.
+func (m *Manager) finishPoisoned(ex *execution, msg string) {
+	ex.mu.Lock()
+	if ex.state.terminal() {
+		ex.mu.Unlock()
+		return
+	}
+	ex.err = fmt.Errorf("%w: %s", ErrPoisoned, msg)
+	ex.appendLocked(StatusFailed, Event{Type: "failed", Error: msg})
+	ex.mu.Unlock()
+	m.mu.Lock()
+	m.failed++
+	m.poisonedCount++
+	m.mu.Unlock()
+}
+
+// noteDrainLocked records one execution completion for the adaptive
+// Retry-After hint. Callers hold m.mu.
+func (m *Manager) noteDrainLocked(t time.Time) {
+	m.drainRing = append(m.drainRing, t)
+	if len(m.drainRing) > drainRingCap {
+		m.drainRing = m.drainRing[len(m.drainRing)-drainRingCap:]
+	}
+}
+
+// drainTimes snapshots the recent-completion ring (oldest first).
+func (m *Manager) drainTimes() []time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]time.Time, len(m.drainRing))
+	copy(out, m.drainRing)
+	return out
 }
 
 func (m *Manager) runExecution(ex *execution) {
 	m.mu.Lock()
 	m.queuedCount--
+	killed := m.killed
 	m.mu.Unlock()
+	if killed {
+		return
+	}
+
+	ex.mu.Lock()
+	if ex.state == StatusCanceled {
+		// Every attached job canceled while it sat in the queue.
+		ex.mu.Unlock()
+		return
+	}
+	ex.mu.Unlock()
+
+	// Fleet arbitration: adopt a finished peer's artifact, honor a
+	// quarantine, defer to a live owner, or win (possibly steal) the lease.
+	st := m.healthyState()
+	var leaseEpoch int64
+	owned := false
+	if st != nil {
+		res, err := st.acquire(ex.hash, m.cfg.WorkerID, m.cfg.LeaseTTL, m.cfg.PoisonAfter)
+		if err != nil {
+			m.degrade(err)
+			st = nil
+		} else {
+			switch res.kind {
+			case acqAdopt:
+				m.finishAdopted(ex, res.artifact)
+				return
+			case acqPoisoned:
+				m.finishPoisoned(ex, res.poison)
+				return
+			case acqHeld:
+				m.deferExec(ex)
+				return
+			case acqOwned:
+				owned = true
+				leaseEpoch = res.epoch
+				m.noteRenew()
+				m.mu.Lock()
+				m.leasesHeld++
+				if res.stolen {
+					m.stolen++
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
 
 	ctx := m.baseCtx
 	var cancel context.CancelFunc
@@ -395,11 +696,6 @@ func (m *Manager) runExecution(ex *execution) {
 	defer cancel()
 
 	ex.mu.Lock()
-	if ex.state == StatusCanceled {
-		// Every attached job canceled while it sat in the queue.
-		ex.mu.Unlock()
-		return
-	}
 	ex.cancel = cancel
 	ex.appendLocked(StatusRunning, Event{Type: "started"})
 	ex.mu.Unlock()
@@ -408,8 +704,41 @@ func (m *Manager) runExecution(ex *execution) {
 	m.running++
 	m.mu.Unlock()
 
+	// Heartbeat keeper: renew the lease on a fixed cadence so peers see a
+	// live owner even through progress-silent stretches. Losing the lease
+	// (a peer judged us dead and stole it) cancels the run.
+	var lost atomic.Bool
+	var hbStop chan struct{}
+	var hbDone chan struct{}
+	if owned {
+		hbStop, hbDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			tick := time.NewTicker(m.cfg.LeaseTTL / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-tick.C:
+					if m.isKilled() {
+						return
+					}
+					switch err := st.renewLease(ex.hash, m.cfg.WorkerID, leaseEpoch); {
+					case errors.Is(err, errLeaseLost):
+						lost.Store(true)
+						cancel()
+						return
+					case err == nil:
+						m.noteRenew()
+					}
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
-	var lastEmit time.Time
+	var lastEmit, lastLeaseRenew time.Time
 	progress := func(d progressDelta) {
 		ex.mu.Lock()
 		ex.cells += d.cells
@@ -418,6 +747,7 @@ func (m *Manager) runExecution(ex *execution) {
 		ex.reconfigs += d.reconfigs
 		ex.reconfigDrained += d.reconfigDrained
 		ex.reconfigFallbacks += d.reconfigFallbacks
+		cycles := ex.cycles
 		switch {
 		case d.recoveries > 0:
 			// Recovery events are rare and diagnostic — emit unthrottled so
@@ -434,6 +764,23 @@ func (m *Manager) runExecution(ex *execution) {
 			ex.appendLocked("", Event{Type: "progress"})
 		}
 		ex.mu.Unlock()
+		if m.cfg.FailpointHash == ex.hash && cycles >= m.cfg.FailpointCycle {
+			// Deterministic owner death for the chaos harness: no park, no
+			// release — indistinguishable from SIGKILL to the fleet.
+			os.Exit(3)
+		}
+		if owned && time.Since(lastLeaseRenew) >= m.cfg.LeaseTTL/4 {
+			// Renew per progress event (throttled): an active owner's lease
+			// stays fresh without waiting on the keeper tick.
+			lastLeaseRenew = time.Now()
+			switch err := st.renewLease(ex.hash, m.cfg.WorkerID, leaseEpoch); {
+			case errors.Is(err, errLeaseLost):
+				lost.Store(true)
+				cancel()
+			case err == nil:
+				m.noteRenew()
+			}
+		}
 		m.mu.Lock()
 		m.totalCells += d.cells
 		m.totalCycles += d.cycles
@@ -444,17 +791,49 @@ func (m *Manager) runExecution(ex *execution) {
 		m.mu.Unlock()
 	}
 
-	var st *execState
-	if m.state != nil {
-		st = &execState{store: m.state, hash: canonHash(ex.canonical), every: m.cfg.CheckpointEvery}
+	var es *execState
+	if st != nil {
+		es = &execState{store: st, hash: ex.hash, every: m.cfg.CheckpointEvery, killed: m.isKilled}
 	}
-	artifact, err := runSpec(ctx, ex.spec, m.budget, m.cfg.Parallel, progress, st)
+	artifact, err := runSpec(ctx, ex.spec, m.budget, m.cfg.Parallel, progress, es)
 	elapsed := time.Since(start)
+
+	if hbStop != nil {
+		close(hbStop)
+		<-hbDone // no renewal may land after the release below
+	}
+	if m.isKilled() {
+		// Simulated abrupt death: no release, no bookkeeping, no events —
+		// exactly what a SIGKILLed process leaves behind.
+		return
+	}
+	if owned {
+		m.mu.Lock()
+		m.leasesHeld--
+		m.mu.Unlock()
+	}
+
+	canceledErr := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if lost.Load() && canceledErr && !m.Draining() {
+		// A peer stole the lease and owns the run now. Hand the execution
+		// back to the queue: the recheck will adopt the peer's artifact, or
+		// steal back if the peer dies too.
+		ex.mu.Lock()
+		ex.cancel = nil
+		ex.appendLocked(StatusQueued, Event{Type: "requeued"})
+		ex.mu.Unlock()
+		m.mu.Lock()
+		m.running--
+		m.leaseLost++
+		m.mu.Unlock()
+		m.deferExec(ex)
+		return
+	}
 
 	var final Status
 	var ev Event
 	switch {
-	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+	case canceledErr:
 		final, ev = StatusCanceled, Event{Type: "canceled", Error: err.Error()}
 	case err != nil:
 		final, ev = StatusFailed, Event{Type: "failed", Error: err.Error()}
@@ -464,20 +843,26 @@ func (m *Manager) runExecution(ex *execution) {
 	if st != nil {
 		switch final {
 		case StatusDone:
-			// Persisting the artifact marks the execution done; a crash
-			// before the rename re-runs it from its checkpoints instead.
-			if perr := m.state.saveArtifact(st.hash, artifact); perr != nil {
+			// Persisting the artifact marks the execution done fleet-wide; a
+			// crash before the rename re-runs it from its checkpoints instead.
+			if perr := st.saveArtifact(ex.hash, artifact); perr != nil {
 				final, ev = StatusFailed, Event{Type: "failed", Error: perr.Error()}
 				err = perr
-				m.state.removeExec(st.hash)
+				st.removeExec(ex.hash)
+			} else if owned {
+				_ = st.releaseLease(ex.hash, m.cfg.WorkerID, leaseEpoch)
 			}
 		case StatusFailed:
 			// Failures are not cached (below) and their state would only
 			// replay the failure; discard it.
-			m.state.removeExec(st.hash)
+			st.removeExec(ex.hash)
 		case StatusCanceled:
 			// Keep the checkpoints: a canceled (or SIGTERM-interrupted)
-			// execution resumes on the next boot.
+			// execution resumes on the next boot — or on a peer, which the
+			// clean release lets claim it without counting a death.
+			if owned {
+				_ = st.releaseLease(ex.hash, m.cfg.WorkerID, leaseEpoch)
+			}
 		}
 	}
 
@@ -494,6 +879,7 @@ func (m *Manager) runExecution(ex *execution) {
 	switch final {
 	case StatusDone:
 		m.done++
+		m.noteDrainLocked(time.Now())
 	case StatusFailed:
 		m.failed++
 		// Failures are not cached: a resubmission gets a fresh run.
@@ -647,16 +1033,14 @@ func (m *Manager) JobCanceled(id string) bool {
 }
 
 // Drain stops accepting submissions, lets queued and running executions
-// finish, and returns when the pool is idle. Safe to call once.
+// finish, and returns when the pool is idle. Safe to call more than once.
+// Executions deferred on a peer's lease are abandoned to the fleet: they
+// stay parked on disk for the peer (or the next boot) to finish.
 func (m *Manager) Drain() {
 	m.mu.Lock()
-	if m.draining {
-		m.mu.Unlock()
-		m.workerWG.Wait()
-		return
-	}
 	m.draining = true
-	close(m.queue)
+	m.qclosed = true
+	m.qcond.Broadcast()
 	m.mu.Unlock()
 	m.workerWG.Wait()
 }
@@ -668,6 +1052,21 @@ func (m *Manager) Stop() {
 	m.Drain()
 }
 
+// Kill simulates SIGKILL inside one process for tests: workers abandon
+// their executions mid-run with no checkpoint park, no lease release, and
+// no terminal events — the on-disk state is exactly what an abruptly dead
+// owner leaves for its peers to steal.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.killed = true
+	m.draining = true
+	m.qclosed = true
+	m.qcond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.workerWG.Wait()
+}
+
 // Draining reports whether the manager refuses new submissions.
 func (m *Manager) Draining() bool {
 	m.mu.Lock()
@@ -675,12 +1074,54 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
+// Readiness decides the /readyz verdict: ready means this worker can
+// accept and durably run a stateful submission right now. Not-ready
+// reasons: draining, degraded (state dir lost), state dir not writable
+// (probed live — and demoting to degraded on failure), queue full, or
+// lease renewal gone stale while owning running executions.
+func (m *Manager) Readiness() (bool, []string) {
+	var reasons []string
+	m.mu.Lock()
+	draining := m.draining
+	degraded := m.degraded
+	degErr := m.degErr
+	queued := m.queuedCount
+	depth := int64(m.cfg.QueueDepth)
+	held := m.leasesHeld
+	last := m.lastRenew
+	st := m.healthyStateLocked()
+	m.mu.Unlock()
+
+	if draining {
+		reasons = append(reasons, "draining")
+	}
+	switch {
+	case degraded:
+		reasons = append(reasons, fmt.Sprintf("degraded to local-queue-only: %v", degErr))
+	case st != nil:
+		if err := st.probe(); err != nil {
+			m.degrade(err)
+			reasons = append(reasons, fmt.Sprintf("state dir not writable: %v", err))
+		}
+	}
+	if queued >= depth {
+		reasons = append(reasons, "queue full")
+	}
+	if held > 0 && time.Since(last) > m.cfg.LeaseTTL {
+		reasons = append(reasons, "lease renewal stale")
+	}
+	return len(reasons) == 0, reasons
+}
+
 // Metrics is the /metrics payload.
 type Metrics struct {
-	QueueDepth int `json:"queue_depth"`
-	QueueCap   int `json:"queue_cap"`
-	Workers    int `json:"workers"`
-	Parallel   int `json:"parallel"`
+	Worker     string `json:"worker"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Workers    int    `json:"workers"`
+	Parallel   int    `json:"parallel"`
+	// Degraded reports sticky local-queue-only mode (state dir lost).
+	Degraded bool `json:"degraded,omitempty"`
 
 	Submitted   int64 `json:"jobs_submitted"`
 	Deduped     int64 `json:"jobs_deduped"`
@@ -690,6 +1131,18 @@ type Metrics struct {
 	Done        int64 `json:"done"`
 	Failed      int64 `json:"failed"`
 	CanceledExs int64 `json:"canceled"`
+
+	// Fleet coordination counters (only move with a shared state dir):
+	// Adopted counts executions finished with a peer's cached artifact,
+	// StolenLeases the expired leases this worker took over, Deferred the
+	// times an execution waited out a live peer's lease, Poisoned the
+	// quarantine verdicts served, LeaseLost the runs handed over after a
+	// peer stole this worker's lease.
+	Adopted      int64 `json:"adopted,omitempty"`
+	StolenLeases int64 `json:"stolen_leases,omitempty"`
+	Deferred     int64 `json:"deferred,omitempty"`
+	Poisoned     int64 `json:"poisoned,omitempty"`
+	LeaseLost    int64 `json:"lease_lost,omitempty"`
 
 	// CacheHitRate is deduped submissions over all submissions.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -722,10 +1175,12 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mt := Metrics{
-		QueueDepth:           len(m.queue),
-		QueueCap:             cap(m.queue),
+		Worker:               m.cfg.WorkerID,
+		QueueDepth:           int(m.queuedCount),
+		QueueCap:             m.cfg.QueueDepth,
 		Workers:              m.cfg.Workers,
 		Parallel:             m.cfg.Parallel,
+		Degraded:             m.degraded,
 		Submitted:            m.submitted,
 		Deduped:              m.dedupHits,
 		Executions:           m.executions,
@@ -734,6 +1189,11 @@ func (m *Manager) Metrics() Metrics {
 		Done:                 m.done,
 		Failed:               m.failed,
 		CanceledExs:          m.canceledEx,
+		Adopted:              m.adopted,
+		StolenLeases:         m.stolen,
+		Deferred:             m.deferred,
+		Poisoned:             m.poisonedCount,
+		LeaseLost:            m.leaseLost,
 		CellsDone:            m.totalCells,
 		CyclesDone:           m.totalCycles,
 		RecoveriesDone:       m.totalRecoveries,

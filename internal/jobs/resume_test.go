@@ -78,7 +78,7 @@ func TestRunSpecFaultResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	store, err := openStateStore(t.TempDir())
+	store, err := openStateStore(t.TempDir(), "w0")
 	if err != nil {
 		t.Fatal(err)
 	}

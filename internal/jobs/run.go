@@ -44,12 +44,17 @@ func reconfigDelta(ev reconfig.Event) progressDelta {
 
 // execState is one execution's slice of the manager's state store: where
 // its checkpoints live and how often to write them. nil disables
-// checkpointing (the stateless configuration).
+// checkpointing (the stateless configuration). killed, when set, reports
+// simulated abrupt process death (Manager.Kill): a dead owner writes
+// nothing more — no park, no checkpoint — exactly like a real SIGKILL.
 type execState struct {
-	store *stateStore
-	hash  string
-	every int64
+	store  *stateStore
+	hash   string
+	every  int64
+	killed func() bool
 }
+
+func (st *execState) dead() bool { return st.killed != nil && st.killed() }
 
 // runSpec executes one normalized spec and returns its report artifact —
 // the exact bytes the equivalent CLI run writes to stdout. parallel is the
@@ -209,19 +214,19 @@ func runFault(ctx context.Context, f *FaultSpec, progress progressFn, st *execSt
 			continue
 		}
 		if err := ctx.Err(); err != nil {
-			if st != nil {
+			if st != nil && !st.dead() {
 				st.store.saveSingleSnap(st.hash, r.Snapshot())
 			}
 			return buf.Bytes(), err
 		}
-		if st != nil && st.every > 0 && r.Cycle()-lastSnap >= st.every {
+		if st != nil && !st.dead() && st.every > 0 && r.Cycle()-lastSnap >= st.every {
 			if err := st.store.saveSingleSnap(st.hash, r.Snapshot()); err == nil {
 				lastSnap = r.Cycle()
 			}
 		}
 	}
 	outcome, err := r.Finish()
-	if st != nil {
+	if st != nil && !st.dead() {
 		st.store.removeSingleSnap(st.hash)
 	}
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -19,11 +20,18 @@ const maxSpecBytes = 1 << 20
 //	GET    /jobs/{id}/artifact  the report artifact (byte-identical to the CLI)
 //	GET    /jobs/{id}/events statusless JSONL stream of ordered events
 //	DELETE /jobs/{id}        cancel
-//	GET    /healthz          "ok" | 503 "draining"
+//	GET    /healthz          liveness: "ok" while the process serves at all
+//	GET    /readyz           readiness: "ready" | 503 + one reason per line
 //	GET    /metrics          queue/cache/throughput counters JSON
 //
-// Load shedding: a full queue answers 429 with a Retry-After hint; a
-// draining server answers 503.
+// Liveness vs readiness: /healthz answers 200 whenever the process can
+// answer anything — a draining or degraded worker is still alive, and
+// restarting it would lose its queue. /readyz answers 503 (and names why:
+// draining, state dir lost or unwritable, queue full, stale lease
+// renewal) whenever a load balancer should route new submissions
+// elsewhere. Load shedding: a full queue answers 429 with a Retry-After
+// hint derived from the observed recent drain rate; a draining server
+// answers 503.
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -149,12 +157,22 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if m.Draining() {
+		// Pure liveness: the process is up and serving. Draining and
+		// degraded states are readiness concerns — killing a draining
+		// worker would lose the jobs it is finishing.
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reasons := m.Readiness()
+		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
+			for _, reason := range reasons {
+				fmt.Fprintln(w, reason)
+			}
 			return
 		}
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintln(w, "ready")
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -164,19 +182,60 @@ func NewServer(m *Manager) http.Handler {
 	return mux
 }
 
-// retryAfterSeconds estimates when a shed client should come back: the
-// queued work divided by the pool, scaled by the mean job duration seen so
-// far (at least one second).
+// maxRetryAfterSeconds caps the 429 hint: past ten minutes a client
+// should poll, not trust an extrapolation.
+const maxRetryAfterSeconds = 600
+
+// retryAfterSeconds estimates when a shed client should come back. The
+// primary signal is the observed drain rate — the ring of recent
+// execution-completion timestamps — extrapolated over the queued work.
+// Before enough completions have been observed, it falls back to the mean
+// job duration divided over the pool (at least one second).
 func retryAfterSeconds(m *Manager) int {
+	if secs, ok := adaptiveRetryAfter(m.Metrics().Queued, m.drainTimes(), time.Now()); ok {
+		return secs
+	}
 	mt := m.Metrics()
 	if mt.DurationCount == 0 || mt.Workers == 0 {
 		return 1
 	}
-	est := time.Duration(mt.DurationMean*float64(mt.QueueDepth+1)/float64(mt.Workers)) * time.Millisecond
+	est := time.Duration(mt.DurationMean*float64(mt.Queued+1)/float64(mt.Workers)) * time.Millisecond
 	if est < time.Second {
 		return 1
 	}
-	return int(est / time.Second)
+	secs := int(est / time.Second)
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// adaptiveRetryAfter derives the Retry-After hint from the observed drain
+// rate: with the ring holding n completion timestamps (oldest first), the
+// fleet recently drained n-1 executions over the ring's span, and the
+// shed client's work lands behind queued others. ok is false until two
+// completions have been observed (no rate yet). The hint is clamped to
+// [1, maxRetryAfterSeconds].
+func adaptiveRetryAfter(queued int64, drains []time.Time, now time.Time) (int, bool) {
+	if len(drains) < 2 {
+		return 0, false
+	}
+	span := now.Sub(drains[0])
+	if span <= 0 {
+		return 1, true
+	}
+	rate := float64(len(drains)-1) / span.Seconds() // completions per second
+	if rate <= 0 {
+		return maxRetryAfterSeconds, true
+	}
+	secs := int(math.Ceil(float64(queued+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs, true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -253,13 +255,15 @@ func TestServerDedupeSharesExecution(t *testing.T) {
 
 func TestServerHealthzAndDrain(t *testing.T) {
 	ts, m := newTestServer(t, Config{Workers: 1, Parallel: 1})
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %s", resp.Status)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s", path, resp.Status)
+		}
 	}
 
 	// A mid-length job: drain must let it finish.
@@ -270,13 +274,27 @@ func TestServerHealthzAndDrain(t *testing.T) {
 	if v := getJob(t, ts, sub.ID); v.Status != StatusDone {
 		t.Errorf("job after drain: %s (err=%q), want done", v.Status, v.Error)
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
+	// Liveness stays green while draining — restarting a draining worker
+	// would lose the jobs it is finishing. Readiness goes 503 and says why.
+	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %s, want 200 (liveness only)", resp.Status)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: %s, want 503", resp.Status)
+		t.Errorf("readyz while draining: %s, want 503", resp.Status)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("readyz body %q does not name the draining state", body)
 	}
 	if _, resp := postJob(t, ts, `{"kind":"experiments","experiments":{"ids":["E1"],"quick":true}}`); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining: %s, want 503", resp.Status)
@@ -399,5 +417,89 @@ func TestServerNotFound(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("DELETE unknown job: %s, want 404", resp.Status)
+	}
+}
+
+// TestAdaptiveRetryAfter pins the adaptive 429 hint: the observed drain
+// rate (ring of recent completion timestamps) extrapolated over the queue
+// in front of the shed client, clamped to [1, 600] seconds.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	ring := func(n int, gap time.Duration) []time.Time {
+		out := make([]time.Time, n)
+		for i := range out {
+			out[i] = base.Add(time.Duration(i) * gap)
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		queued int64
+		drains []time.Time
+		now    time.Time
+		secs   int
+		ok     bool
+	}{
+		// No rate yet: zero or one completion observed — fall back.
+		{"no samples", 5, nil, base, 0, false},
+		{"one sample", 5, ring(1, time.Second), base, 0, false},
+		// 6 completions 1s apart ending now: 5 drained over 5s = 1/s.
+		// 9 queued ahead plus this client = ceil(10/1) = 10s.
+		{"steady rate", 9, ring(6, time.Second), base.Add(5 * time.Second), 10, true},
+		// Same rate, empty queue: one slot to drain, 1s.
+		{"empty queue", 0, ring(6, time.Second), base.Add(5 * time.Second), 1, true},
+		// Fast drain rounds up to the 1s floor.
+		{"floor", 0, ring(32, time.Millisecond), base.Add(31 * time.Millisecond), 1, true},
+		// Slow drain: 1 completion per 100s, 99 queued -> clamp at 600.
+		{"clamp", 99, ring(2, 100*time.Second), base.Add(100 * time.Second), 600, true},
+		// Clock skew (drains newer than now) degrades to the floor.
+		{"skew", 7, ring(4, time.Second), base.Add(-time.Minute), 1, true},
+	}
+	for _, tc := range cases {
+		secs, ok := adaptiveRetryAfter(tc.queued, tc.drains, tc.now)
+		if secs != tc.secs || ok != tc.ok {
+			t.Errorf("%s: adaptiveRetryAfter(%d, %d drains) = (%d, %v), want (%d, %v)",
+				tc.name, tc.queued, len(tc.drains), secs, ok, tc.secs, tc.ok)
+		}
+	}
+}
+
+// TestServerReadyzDegraded: a worker that loses its state dir keeps
+// serving (healthz 200) but fails readiness with the degradation named.
+func TestServerReadyzDegraded(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "state")
+	ts, m := newTestServer(t, Config{Workers: 1, Parallel: 1, StateDir: dir, WorkerID: "wz"})
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with lost state dir: %s, want 503 (body %q)", resp.Status, body)
+	}
+	if !strings.Contains(string(body), "state dir") && !strings.Contains(string(body), "degraded") {
+		t.Errorf("readyz body %q does not name the state-dir loss", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while degraded: %s, want 200 (liveness only)", resp.Status)
+	}
+	if degraded, _ := m.Degraded(); !degraded {
+		t.Error("manager did not report degraded after the probe failure")
 	}
 }

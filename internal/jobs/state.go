@@ -1,20 +1,30 @@
 package jobs
 
 // Crash-safe job state. With Config.StateDir set, the manager persists
-// enough to survive a kill -TERM mid-run and finish every job with the
-// exact artifact the uninterrupted server would have produced:
+// enough to survive a kill -9 mid-run and finish every job with the exact
+// artifact the uninterrupted server would have produced. Several worker
+// processes may share one state directory; the lease layer (lease.go)
+// arbitrates ownership per execution.
 //
-//	<dir>/jobs/<id>.json        one record per submitted job (id -> spec)
-//	<dir>/execs/<h>/spec.json   the execution's canonical spec
-//	<dir>/execs/<h>/artifact    the final artifact (present <=> done)
-//	<dir>/execs/<h>/cells/      campaign checkpoint store (campaign kind)
-//	<dir>/execs/<h>/single.snap mid-run snapshot (fault kind)
+//	<dir>/jobs/<worker>/<id>.json  one record per submitted job (id -> spec)
+//	<dir>/execs/<h>/spec.json      the execution's canonical spec
+//	<dir>/execs/<h>/artifact       the final artifact (present <=> done)
+//	<dir>/execs/<h>/artifact.sum   FNV-1a checksum of the artifact bytes
+//	<dir>/execs/<h>/cells/         campaign checkpoint store (campaign kind)
+//	<dir>/execs/<h>/single.snap    mid-run snapshot (fault kind)
+//	<dir>/execs/<h>/lease/         ownership claims + heartbeat (lease.go)
+//	<dir>/execs/<h>/poisoned.json  quarantine record (lease.go)
 //
-// where <h> is the 64-bit FNV-1a of the canonical spec, in hex. On boot the
-// manager rescans: executions with an artifact are resurrected as completed
-// (resubmissions dedupe onto them), executions without one are re-enqueued
-// and resume from their checkpoints. All files are written atomically
-// (temp + rename), so a crash leaves old state or none, never torn state.
+// where <h> is the 64-bit FNV-1a of the canonical spec, in hex — the
+// content address under which a whole fleet dedupes executions: any worker
+// that finds the artifact present adopts it instead of re-running. Job ids
+// are scoped per worker (jobs/<worker>/) so fleet members never collide on
+// id allocation. On boot a manager rescans: executions with a checksummed
+// artifact are resurrected as completed, executions without one are
+// re-enqueued and resume from their checkpoints once the lease is won. All
+// files are written atomically (temp + rename), so a crash leaves old
+// state or none, never torn state; anything torn anyway (bit flips,
+// truncation) reads as absent.
 
 import (
 	"encoding/json"
@@ -24,19 +34,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 type stateStore struct {
-	dir string
+	dir    string
+	worker string
 }
 
-func openStateStore(dir string) (*stateStore, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "jobs"), filepath.Join(dir, "execs")} {
+func openStateStore(dir, worker string) (*stateStore, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "jobs", worker), filepath.Join(dir, "execs")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("jobs: state dir: %w", err)
 		}
 	}
-	return &stateStore{dir: dir}, nil
+	return &stateStore{dir: dir, worker: worker}, nil
 }
 
 func canonHash(canonical string) string {
@@ -47,6 +59,7 @@ func canonHash(canonical string) string {
 
 func (s *stateStore) execDir(h string) string  { return filepath.Join(s.dir, "execs", h) }
 func (s *stateStore) cellsDir(h string) string { return filepath.Join(s.execDir(h), "cells") }
+func (s *stateStore) jobsDir() string          { return filepath.Join(s.dir, "jobs", s.worker) }
 func (s *stateStore) singleSnapPath(h string) string {
 	return filepath.Join(s.execDir(h), "single.snap")
 }
@@ -75,6 +88,13 @@ func writeAtomic(path string, data []byte) error {
 	return nil
 }
 
+// probe verifies the state directory is still writable — the readiness
+// signal. It exercises the same CreateTemp+rename path every persisted
+// write uses, so ENOSPC or an unmounted volume fails here first.
+func (s *stateStore) probe() error {
+	return writeAtomic(filepath.Join(s.dir, ".probe-"+s.worker), []byte("ok"))
+}
+
 // saveExecSpec records a new execution's canonical spec.
 func (s *stateStore) saveExecSpec(h, canonical string) error {
 	if err := os.MkdirAll(s.execDir(h), 0o755); err != nil {
@@ -83,9 +103,36 @@ func (s *stateStore) saveExecSpec(h, canonical string) error {
 	return writeAtomic(filepath.Join(s.execDir(h), "spec.json"), []byte(canonical))
 }
 
-// saveArtifact marks an execution done.
+// artifactSum is the checksum sidecar content for artifact bytes.
+func artifactSum(artifact []byte) []byte {
+	h := fnv.New64a()
+	h.Write(artifact)
+	return []byte(fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// saveArtifact marks an execution done. The sidecar checksum goes first;
+// the artifact rename stays the commit point (a sum without an artifact is
+// harmless litter, an artifact whose sum disagrees reads as absent).
 func (s *stateStore) saveArtifact(h string, artifact []byte) error {
+	if err := writeAtomic(filepath.Join(s.execDir(h), "artifact.sum"), artifactSum(artifact)); err != nil {
+		return err
+	}
 	return writeAtomic(filepath.Join(s.execDir(h), "artifact"), artifact)
+}
+
+// loadArtifact fetches a finished execution's artifact, verifying the
+// checksum sidecar. ok is false when absent or corrupt — a bit-flipped
+// artifact is re-run, never served.
+func (s *stateStore) loadArtifact(h string) ([]byte, bool) {
+	art, err := os.ReadFile(filepath.Join(s.execDir(h), "artifact"))
+	if err != nil {
+		return nil, false
+	}
+	sum, err := os.ReadFile(filepath.Join(s.execDir(h), "artifact.sum"))
+	if err != nil || string(sum) != string(artifactSum(art)) {
+		return nil, false
+	}
+	return art, true
 }
 
 // removeExec discards an execution's state (failed runs are not cached).
@@ -112,7 +159,8 @@ func (s *stateStore) loadSingleSnap(h string) ([]byte, bool) {
 	return data, true
 }
 
-// saveJob records one job id -> canonical spec binding.
+// saveJob records one job id -> canonical spec binding (scoped to this
+// worker: fleet members allocate ids independently).
 func (s *stateStore) saveJob(id, canonical string) error {
 	rec, err := json.Marshal(struct {
 		ID        string `json:"id"`
@@ -121,14 +169,15 @@ func (s *stateStore) saveJob(id, canonical string) error {
 	if err != nil {
 		return err
 	}
-	return writeAtomic(filepath.Join(s.dir, "jobs", id+".json"), rec)
+	return writeAtomic(filepath.Join(s.jobsDir(), id+".json"), rec)
 }
 
 // rescanExec is one persisted execution found at boot.
 type rescanExec struct {
 	hash      string
 	canonical string
-	artifact  []byte // nil when the execution was interrupted
+	artifact  []byte        // nil when the execution was interrupted
+	poisoned  *poisonRecord // non-nil when the spec is quarantined
 }
 
 // rescanJob is one persisted job record found at boot.
@@ -137,11 +186,29 @@ type rescanJob struct {
 	canonical string
 }
 
-// rescan loads every persisted execution and job record, dropping records
-// that fail to parse (a torn write from a crashed process) rather than
-// refusing to boot. Executions and jobs come back in deterministic
-// (lexical) order so re-enqueueing is reproducible.
-func (s *stateStore) rescan() ([]rescanExec, []rescanJob, error) {
+// cleanTmp removes stale writeAtomic temp litter from dir — files a killed
+// process created but never renamed. Only call it on directories no live
+// peer is writing (an in-flight peer temp deleted here would fail the
+// peer's rename).
+func cleanTmp(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if strings.Contains(ent.Name(), ".tmp-") {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// rescan loads every persisted execution plus this worker's job records,
+// dropping records that fail to parse (a torn write from a crashed
+// process) rather than refusing to boot. Corrupt executions are deleted
+// only when no fresh lease guards them — a peer may be mid-creation.
+// Executions and jobs come back in deterministic (lexical) order so
+// re-enqueueing is reproducible.
+func (s *stateStore) rescan(ttl time.Duration) ([]rescanExec, []rescanJob, error) {
 	var execs []rescanExec
 	ents, err := os.ReadDir(filepath.Join(s.dir, "execs"))
 	if err != nil {
@@ -152,26 +219,36 @@ func (s *stateStore) rescan() ([]rescanExec, []rescanJob, error) {
 			continue
 		}
 		h := ent.Name()
+		// unguarded: no peer holds a live lease, so destructive cleanup of
+		// corrupt state (and temp litter) is safe.
+		info, lerr := s.leaseInfo(h)
+		unguarded := lerr == nil && (info.epoch == 0 || info.released || time.Since(info.renewed) >= ttl)
 		spec, err := os.ReadFile(filepath.Join(s.execDir(h), "spec.json"))
-		if err != nil {
-			s.removeExec(h)
+		if err != nil || canonHash(string(spec)) != h {
+			if unguarded {
+				s.removeExec(h)
+			}
 			continue
 		}
-		canonical := string(spec)
-		if canonHash(canonical) != h {
-			s.removeExec(h)
-			continue
+		if unguarded {
+			cleanTmp(s.execDir(h))
+			cleanTmp(s.leaseDir(h))
 		}
-		re := rescanExec{hash: h, canonical: canonical}
-		if art, err := os.ReadFile(filepath.Join(s.execDir(h), "artifact")); err == nil {
+		re := rescanExec{hash: h, canonical: string(spec)}
+		if art, ok := s.loadArtifact(h); ok {
 			re.artifact = art
+		}
+		if pr, ok := s.poisonInfo(h); ok {
+			re.poisoned = &pr
 		}
 		execs = append(execs, re)
 	}
 	sort.Slice(execs, func(i, j int) bool { return execs[i].hash < execs[j].hash })
 
+	// This worker's own job records: no peer writes here, clean freely.
+	cleanTmp(s.jobsDir())
 	var jobsOut []rescanJob
-	jents, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	jents, err := os.ReadDir(s.jobsDir())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -180,7 +257,7 @@ func (s *stateStore) rescan() ([]rescanExec, []rescanJob, error) {
 		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", name))
+		data, err := os.ReadFile(filepath.Join(s.jobsDir(), name))
 		if err != nil {
 			continue
 		}
@@ -189,7 +266,7 @@ func (s *stateStore) rescan() ([]rescanExec, []rescanJob, error) {
 			Canonical string `json:"canonical"`
 		}
 		if json.Unmarshal(data, &rec) != nil || rec.ID == "" || rec.Canonical == "" {
-			os.Remove(filepath.Join(s.dir, "jobs", name))
+			os.Remove(filepath.Join(s.jobsDir(), name))
 			continue
 		}
 		jobsOut = append(jobsOut, rescanJob{id: rec.ID, canonical: rec.Canonical})
